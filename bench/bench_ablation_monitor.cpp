@@ -1,0 +1,98 @@
+// Ablation B — PSL monitor backend: on-the-fly NFA subset stepping (the
+// runtime monitors) vs a statically determinized observer table (the
+// symbolic checker's automaton), replayed over the same traffic.
+#include <cstdio>
+
+#include "la1/behavioral.hpp"
+#include "la1/host_bfm.hpp"
+#include "mc/symbolic.hpp"
+#include "psl/dfa.hpp"
+#include "psl/monitor.hpp"
+#include "psl/parse.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace la1;
+  const util::Cli cli(argc, argv);
+  const int ticks = static_cast<int>(cli.get_int("ticks", 60000));
+  for (const auto& unused : cli.unused()) {
+    std::fprintf(stderr, "unknown option --%s\n", unused.c_str());
+    return 2;
+  }
+
+  const auto prop = psl::parse_property(
+      "always (b0.read_start -> next[4] b0.dout_valid_k)");
+
+  // Record a trace of the relevant taps from the behavioural model first so
+  // both backends replay identical letters.
+  core::Config cfg;
+  cfg.banks = 1;
+  cfg.addr_bits = 6;
+  core::KernelHarness h(cfg);
+  util::Rng rng(21);
+  h.host().push_random(rng, ticks / 2);
+  std::vector<std::pair<bool, bool>> trace;
+  trace.reserve(static_cast<std::size_t>(ticks));
+  h.run_ticks(ticks, [&](int) {
+    trace.emplace_back(h.env().sample("b0.read_start"),
+                       h.env().sample("b0.dout_valid_k"));
+  });
+
+  class TraceEnv : public psl::Env {
+   public:
+    bool read_start = false;
+    bool dout_valid_k = false;
+    bool sample(const std::string& s) const override {
+      if (s == "b0.read_start") return read_start;
+      if (s == "b0.dout_valid_k") return dout_valid_k;
+      throw std::invalid_argument("unknown " + s);
+    }
+  };
+
+  util::Table table({"Backend", "States", "Time/cycle (s)", "Verdict"});
+
+  // NFA subset monitor.
+  {
+    auto monitor = psl::compile(prop);
+    monitor->reset();
+    TraceEnv env;
+    util::Stopwatch watch;
+    for (const auto& [rs, dv] : trace) {
+      env.read_start = rs;
+      env.dout_valid_k = dv;
+      monitor->step(env);
+    }
+    const double per_cycle = watch.seconds() / static_cast<double>(ticks);
+    table.add_row({"NFA subset monitor", "on-the-fly",
+                   util::fmt_sci(per_cycle, 2),
+                   psl::to_string(monitor->current())});
+  }
+
+  // Compiled (determinized) monitor.
+  {
+    const psl::DfaTable t = psl::determinize(prop);
+    auto monitor = psl::compile_dfa(prop);
+    monitor->reset();
+    TraceEnv env;
+    util::Stopwatch watch;
+    for (const auto& [rs, dv] : trace) {
+      env.read_start = rs;
+      env.dout_valid_k = dv;
+      monitor->step(env);
+    }
+    const double per_cycle = watch.seconds() / static_cast<double>(ticks);
+    table.add_row({"compiled DFA monitor", std::to_string(t.state_count),
+                   util::fmt_sci(per_cycle, 2),
+                   psl::to_string(monitor->current())});
+  }
+
+  std::printf("Ablation B - monitor backend over %d half-cycles\n\n", ticks);
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nExpected: the DFA table steps in O(1) per cycle and is much"
+            "\nfaster; the NFA monitor needs no determinization and supports"
+            "\nthe full runtime fragment (strong operators, end-of-trace).");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation A — transition-relation strategy in the symbolic checker:
+// partitioned conjuncts with early quantification vs one monolithic
+// transition-relation BDD (DESIGN.md ablation index).
+#include <cstdio>
+
+#include "la1/rtl_model.hpp"
+#include "mc/symbolic.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace la1;
+  const util::Cli cli(argc, argv);
+  const int banks = static_cast<int>(cli.get_int("banks", 1));
+  const std::uint64_t node_limit =
+      static_cast<std::uint64_t>(cli.get_int("node-limit", 8000000));
+  for (const auto& unused : cli.unused()) {
+    std::fprintf(stderr, "unknown option --%s\n", unused.c_str());
+    return 2;
+  }
+
+  std::printf("Ablation A - image computation strategy (%d bank(s))\n\n", banks);
+
+  const core::RtlConfig cfg = core::RtlConfig::model_checking(banks);
+  core::RtlDevice dev = core::build_device(cfg);
+  const rtl::Module flat = rtl::expand_memories(dev.flatten());
+  const rtl::BitBlast bb = rtl::bitblast(flat, core::clock_schedule(flat));
+
+  util::Table table({"Strategy", "State bits", "Outcome", "CPU Time (s)",
+                     "Peak BDD Nodes", "Iterations"});
+  struct Row {
+    const char* name;
+    bool partitioned;
+    bool coi;
+  };
+  for (const Row row : {Row{"partitioned + cone of influence", true, true},
+                        Row{"partitioned, full design", true, false},
+                        Row{"monolithic relation, full design", false, false}}) {
+    mc::SymbolicOptions opt;
+    opt.partitioned = row.partitioned;
+    opt.cone_of_influence = row.coi;
+    opt.node_limit = node_limit;
+    const mc::SymbolicResult r =
+        mc::check(bb, core::rtl_read_mode_property(cfg), opt);
+    const char* outcome =
+        r.outcome == mc::SymbolicResult::Outcome::kHolds ? "verified"
+        : r.outcome == mc::SymbolicResult::Outcome::kFails
+            ? "VIOLATED"
+            : "state explosion";
+    table.add_row({row.name, std::to_string(r.state_bits), outcome,
+                   util::fmt_double(r.cpu_seconds, 2),
+                   util::fmt_count(r.peak_bdd_nodes),
+                   std::to_string(r.iterations)});
+    std::fflush(stdout);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nExpected: cone-of-influence reduction collapses the problem to"
+            "\nthe property's control cone; without it, partitioning still"
+            "\nbeats the monolithic relation's node peak.");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Micro-benchmarks of the substrate layers (google-benchmark): kernel
+// delta-cycle throughput, RTL cycle simulation, BDD operations, PSL monitor
+// stepping, ASM rule firing. These give the per-operation costs behind the
+// table-level results.
+#include <benchmark/benchmark.h>
+
+#include "asml/machine.hpp"
+#include "bdd/bdd.hpp"
+#include "la1/asm_model.hpp"
+#include "la1/behavioral.hpp"
+#include "la1/host_bfm.hpp"
+#include "la1/rtl_model.hpp"
+#include "psl/monitor.hpp"
+#include "psl/parse.hpp"
+#include "rtl/sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace la1;
+
+void BM_KernelSignalToggle(benchmark::State& state) {
+  sim::Kernel kernel;
+  sim::Signal<int> sig(kernel, "s", 0);
+  int hits = 0;
+  auto& proc = kernel.create_process("p", [&] { ++hits; });
+  proc.dont_initialize();
+  sig.changed_event().subscribe(proc);
+  int v = 0;
+  sim::Time t = 0;
+  for (auto _ : state) {
+    sig.write(++v);
+    kernel.run(++t);
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_KernelSignalToggle);
+
+void BM_BehavioralTick(benchmark::State& state) {
+  core::Config cfg;
+  cfg.banks = static_cast<int>(state.range(0));
+  cfg.addr_bits = 8;
+  core::KernelHarness h(cfg);
+  util::Rng rng(3);
+  h.host().push_random(rng, 1 << 20);
+  for (auto _ : state) h.run_ticks(1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BehavioralTick)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_RtlEdge(benchmark::State& state) {
+  core::RtlConfig cfg;
+  cfg.banks = static_cast<int>(state.range(0));
+  cfg.data_bits = 16;
+  cfg.mem_addr_bits = 4;
+  core::RtlDevice dev = core::build_device(cfg);
+  const rtl::Module flat = dev.flatten();
+  rtl::CycleSim sim(flat);
+  sim.set_input_bit("R_n", false);
+  sim.set_input_bit("W_n", true);
+  sim.set_input("A", 1);
+  sim.set_input("D", 0);
+  sim.set_input("BWE_n", (1u << cfg.lanes()) - 1);
+  int tick = 0;
+  for (auto _ : state) {
+    sim.edge(tick % 2 == 0 ? "K" : "KS", rtl::Edge::kPos);
+    ++tick;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RtlEdge)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_BddIte(benchmark::State& state) {
+  // ITE of moderate, linear-sized functions (XOR chains): measures the
+  // descent + computed-table path without the exponential blowup random
+  // compositions would cause.
+  bdd::Manager m(32);
+  bdd::NodeId f = bdd::kFalse;
+  bdd::NodeId g = bdd::kFalse;
+  for (int v = 0; v < 32; v += 2) f = m.apply_xor(f, m.var(v));
+  for (int v = 1; v < 32; v += 2) g = m.apply_xor(g, m.var(v));
+  int i = 0;
+  for (auto _ : state) {
+    bdd::NodeId r = m.ite(m.var(i), f, g);
+    benchmark::DoNotOptimize(r);
+    i = (i + 1) % 32;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BddIte);
+
+void BM_MonitorStep(benchmark::State& state) {
+  const auto prop =
+      psl::parse_property("always (a -> next[4] b)");
+  auto monitor = psl::compile(prop);
+  monitor->reset();
+  psl::MapEnv env;
+  util::Rng rng(5);
+  for (auto _ : state) {
+    env.set("a", rng.next_bool());
+    env.set("b", true);
+    monitor->step(env);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonitorStep);
+
+void BM_AsmRuleFire(benchmark::State& state) {
+  core::AsmConfig cfg;
+  cfg.banks = static_cast<int>(state.range(0));
+  const asml::Machine machine = core::build_asm_model(cfg);
+  asml::State s = machine.initial();
+  s = machine.fire(machine.rule("SystemStart"), {}, s);
+  s = machine.fire(machine.rule("SimManager_Init"), {}, s);
+  util::Rng rng(1);
+  int phase = 0;
+  for (auto _ : state) {
+    if (phase == 0) {
+      const asml::Args args{
+          asml::Value(rng.next_bool()),
+          asml::Value(static_cast<int>(
+              rng.below(static_cast<std::uint64_t>(cfg.addr_space())))),
+          asml::Value(rng.next_bool()),
+          asml::Value(static_cast<int>(
+              rng.below(static_cast<std::uint64_t>(cfg.data_values))))};
+      s = machine.fire(machine.rule("TickK"), args, s);
+    } else {
+      const asml::Args args{
+          asml::Value(static_cast<int>(
+              rng.below(static_cast<std::uint64_t>(cfg.addr_space())))),
+          asml::Value(static_cast<int>(
+              rng.below(static_cast<std::uint64_t>(cfg.data_values))))};
+      s = machine.fire(machine.rule("TickKs"), args, s);
+    }
+    phase ^= 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AsmRuleFire)->Arg(1)->Arg(4);
+
+}  // namespace

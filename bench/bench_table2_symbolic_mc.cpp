@@ -1,0 +1,93 @@
+// Table 2 — Model Checking Using RuleBase: Read Mode (paper §6.1).
+//
+// For 1..4 banks, checks the read-mode property (P1 latency + P2 burst on
+// bank 0) on the *synthesizable RTL* with the BDD-based symbolic checker.
+// Reports CPU time, memory and the peak live BDD node count ("Number of
+// BDDs"). A node budget models RuleBase's finite memory: a run that
+// exceeds it reports "State Explosion", as the paper's 4-bank row does.
+//
+// Note on scale: the MC geometry shrinks the data path (1-bit beats, depth-2
+// SRAMs) exactly as the paper tightens AsmL domains; even so, this
+// from-scratch BDD package (fixed variable order, no dynamic reordering)
+// hits its wall at lower bank counts than the 2004 RuleBase run. The shape
+// — steep growth then explosion, while the ASM level (Table 1) still
+// handles every configuration — is the reproduced claim. See EXPERIMENTS.md.
+//
+//   --max-banks N     highest bank count (default 4)
+//   --node-limit N    live-BDD-node budget (default 2000000)
+//   --monolithic      use the single transition-relation BDD
+#include <cstdio>
+
+#include "la1/rtl_model.hpp"
+#include "mc/symbolic.hpp"
+#include "rtl/bitblast.hpp"
+#include "util/cli.hpp"
+#include "util/mem.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace la1;
+  const util::Cli cli(argc, argv);
+  const int max_banks = static_cast<int>(cli.get_int("max-banks", 4));
+  const std::uint64_t node_limit =
+      static_cast<std::uint64_t>(cli.get_int("node-limit", 2000000));
+  const bool monolithic = cli.get_bool("monolithic", false);
+  for (const auto& unused : cli.unused()) {
+    std::fprintf(stderr, "unknown option --%s\n", unused.c_str());
+    return 2;
+  }
+
+  std::puts("Table 2 - Symbolic (RuleBase-style) Model Checking: Read Mode");
+  std::printf("node budget = %llu live BDD nodes\n\n",
+              static_cast<unsigned long long>(node_limit));
+
+  util::Table table({"Number of Banks", "CPU Time (s)", "Memory (MB)",
+                     "BDD Nodes (peak)", "Iterations", "Result"});
+
+  for (int banks = 1; banks <= max_banks; ++banks) {
+    const core::RtlConfig cfg = core::RtlConfig::model_checking(banks);
+    core::RtlDevice dev = core::build_device(cfg);
+    const rtl::Module flat = rtl::expand_memories(dev.flatten());
+    const rtl::BitBlast bb = rtl::bitblast(flat, core::clock_schedule(flat));
+
+    mc::SymbolicOptions opt;
+    opt.node_limit = node_limit;
+    opt.partitioned = !monolithic;
+    // RuleBase configuration: the checker carries the whole design (no
+    // property-directed cone-of-influence reduction).
+    opt.cone_of_influence = false;
+    const mc::SymbolicResult r =
+        mc::check(bb, core::rtl_read_mode_property(cfg), opt);
+
+    std::string result;
+    switch (r.outcome) {
+      case mc::SymbolicResult::Outcome::kHolds: result = "verified"; break;
+      case mc::SymbolicResult::Outcome::kFails: result = "VIOLATED"; break;
+      case mc::SymbolicResult::Outcome::kStateExplosion:
+        result = "State Explosion";
+        break;
+    }
+    table.add_row({std::to_string(banks), util::fmt_double(r.cpu_seconds, 2),
+                   util::fmt_double(r.memory_mb, 1),
+                   util::fmt_count(r.peak_bdd_nodes),
+                   std::to_string(r.iterations), result});
+    std::fflush(stdout);
+    if (r.outcome == mc::SymbolicResult::Outcome::kStateExplosion) {
+      // Larger configurations only get worse; report them as exploded too,
+      // like the paper's truncated Table 2.
+      for (int b = banks + 1; b <= max_banks; ++b) {
+        table.add_row({std::to_string(b), "-", "-", "-", "-",
+                       "State Explosion"});
+      }
+      break;
+    }
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nShape check (paper): time/memory/BDD counts climb steeply with the"
+      "\nbank count until the checker hits its resource wall, while Table 1's"
+      "\nASM-level run still verifies every configuration — model checking"
+      "\npays off at the early design stages.");
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Table 3 — Simulation Results (paper §6.2).
+//
+// Assertion-based verification of the Reading Mode, two ways:
+//   * system level: the behavioural (kernel) model with compiled PSL
+//     monitors — the paper's "SystemC + C# assertions" configuration,
+//   * RTL level: the synthesizable netlist in the cycle simulator with
+//     OVL monitors instantiated as additional design logic — the paper's
+//     "Verilog + OVL" configuration.
+// Reports the average execution time per clock cycle for each and the
+// ratio. The paper's claims: the system-level simulation is >= ~20x
+// faster per cycle, and the gap widens with the number of banks.
+//
+//   --banks-list a,b,c   bank counts (default 1,2,4,8)
+//   --sc-ticks N         kernel-model half-cycles (default 40000)
+//   --rtl-ticks N        RTL half-cycles (default 4000)
+#include <cstdio>
+
+#include "la1/behavioral.hpp"
+#include "la1/host_bfm.hpp"
+#include "la1/rtl_model.hpp"
+#include "ovl/ovl.hpp"
+#include "psl/monitor.hpp"
+#include "psl/parse.hpp"
+#include "rtl/sim.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace la1;
+
+/// Read-mode PSL assertions for the behavioural model.
+psl::VUnit read_mode_vunit(int banks) {
+  psl::VUnit vunit("read_mode");
+  for (int b = 0; b < banks; ++b) {
+    const std::string p = "b" + std::to_string(b) + ".";
+    vunit.add_assert("P1_b" + std::to_string(b),
+                     psl::parse_property("always (" + p +
+                                         "read_start -> next[4] " + p +
+                                         "dout_valid_k)"));
+    vunit.add_assert("P2_b" + std::to_string(b),
+                     psl::parse_property("always (" + p +
+                                         "dout_valid_k -> next[1] " + p +
+                                         "dout_valid_ks)"));
+  }
+  vunit.add_assert("P4", psl::parse_property("never {bus_conflict}"));
+  return vunit;
+}
+
+/// Seconds per clock cycle for the behavioural model + compiled PSL
+/// monitors (the paper compiles its PSL to C# monitor modules; the DFA
+/// backend is the equivalent compiled form).
+double run_system_level(int banks, int ticks, std::size_t* failures) {
+  core::Config cfg;
+  cfg.banks = banks;
+  cfg.addr_bits = 8;
+  core::KernelHarness h(cfg);
+  util::Rng rng(7);
+  h.host().push_random(rng, ticks / 2);
+  const psl::VUnit vunit = read_mode_vunit(banks);
+  psl::VUnitRunner monitors(vunit, psl::MonitorBackend::kDfa);
+  util::Stopwatch watch;
+  h.run_ticks(ticks, [&](int) { monitors.step(h.env()); });
+  const double seconds = watch.seconds();
+  *failures = monitors.failures();
+  return seconds / (static_cast<double>(ticks) / 2.0);
+}
+
+/// Seconds per clock cycle for the RTL model + OVL monitors.
+double run_rtl_level(int banks, int ticks, std::size_t* failures) {
+  core::RtlConfig cfg;
+  cfg.banks = banks;
+  cfg.data_bits = 16;
+  cfg.mem_addr_bits = 8 - cfg.bank_bits();
+  core::RtlDevice dev = core::build_device(cfg);
+  rtl::Module flat = dev.flatten();
+
+  // The same Reading-Mode assertions, as OVL monitor logic inside the
+  // simulated design (one latency + one burst monitor per bank, plus the
+  // bus-exclusivity checker) — the paper's "every OVL call loads the
+  // corresponding module into the simulated design".
+  ovl::OvlBank bank;
+  const rtl::NetId k = flat.find_net("K");
+  const rtl::NetId ks = flat.find_net("KS");
+  std::vector<rtl::ExprId> enables;
+  for (int b = 0; b < banks; ++b) {
+    const std::string p = "bank" + std::to_string(b) + ".";
+    const std::string sb = std::to_string(b);
+    ovl::assert_next(flat, bank, "read_latency_b" + sb, ks,
+                     flat.ref(p + "read_start_q"),
+                     flat.ref(p + "dout_valid_k_q"), 2);
+    ovl::assert_implication(flat, bank, "read_burst_b" + sb, ks,
+                            flat.ref(p + "dout_valid_k_q"),
+                            flat.ref(p + "beat1_pend"));
+    enables.push_back(flat.ref(p + "en_q"));
+  }
+  ovl::assert_zero_one_hot(flat, bank, "exclusive", banks > 1 ? ks : k,
+                           banks > 1 ? flat.concat(enables) : enables.front());
+
+  rtl::CycleSim sim(flat);
+  util::Rng rng(7);
+  const std::uint32_t lane_idle = (1u << cfg.lanes()) - 1;
+  util::Stopwatch watch;
+  bool write_pending = false;
+  std::uint64_t waddr = 0;
+  for (int t = 0; t < ticks; ++t) {
+    if (t % 2 == 0) {
+      const bool rd = rng.chance(0.5);
+      const bool wr = rng.chance(0.5);
+      sim.set_input_bit("R_n", !rd);
+      sim.set_input_bit("W_n", !wr);
+      sim.set_input("A", rng.below(1u << cfg.addr_bits()));
+      sim.set_input("D", core::pack_beat(
+                             static_cast<std::uint32_t>(rng.below(1u << 16)), 16));
+      sim.set_input("BWE_n", wr ? 0 : lane_idle);
+      write_pending = wr;
+      waddr = rng.below(1u << cfg.addr_bits());
+      sim.edge("K", rtl::Edge::kPos);
+    } else {
+      if (write_pending) {
+        sim.set_input("A", waddr);
+        sim.set_input("D", core::pack_beat(static_cast<std::uint32_t>(
+                                               rng.below(1u << 16)),
+                                           16));
+      }
+      sim.edge("KS", rtl::Edge::kPos);
+    }
+  }
+  const double seconds = watch.seconds();
+  *failures = bank.failures(sim);
+  return seconds / (static_cast<double>(ticks) / 2.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int sc_ticks = static_cast<int>(cli.get_int("sc-ticks", 40000));
+  const int rtl_ticks = static_cast<int>(cli.get_int("rtl-ticks", 4000));
+  std::vector<int> banks_list;
+  for (const std::string& s : util::split(cli.get("banks-list", "1,2,4,8"), ',')) {
+    banks_list.push_back(std::stoi(s));
+  }
+  for (const auto& unused : cli.unused()) {
+    std::fprintf(stderr, "unknown option --%s\n", unused.c_str());
+    return 2;
+  }
+
+  std::puts("Table 3 - Simulation Results: ABV of the Reading Mode");
+  std::puts("(system-level model + PSL monitors vs RTL + OVL monitors)\n");
+
+  util::Table table({"Number of Banks", "SystemC (dSC s/cyc)",
+                     "OVL (dOVL s/cyc)", "Ratio dOVL/dSC", "Failures"});
+
+  for (int banks : banks_list) {
+    std::size_t sc_failures = 0;
+    std::size_t rtl_failures = 0;
+    const double d_sc = run_system_level(banks, sc_ticks, &sc_failures);
+    const double d_ovl = run_rtl_level(banks, rtl_ticks, &rtl_failures);
+    table.add_row({std::to_string(banks), util::fmt_sci(d_sc, 2),
+                   util::fmt_sci(d_ovl, 2),
+                   util::fmt_double(d_ovl / d_sc, 1) + " x",
+                   std::to_string(sc_failures + rtl_failures)});
+    std::fflush(stdout);
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nShape check (paper): the system-level simulation runs >= ~20x faster"
+      "\nper cycle, and the ratio grows with the design size (bank count).");
+  return 0;
+}

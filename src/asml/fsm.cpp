@@ -1,0 +1,38 @@
+#include "asml/fsm.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace la1::asml {
+
+std::uint32_t Fsm::add_state(State s) {
+  states_.push_back(std::move(s));
+  out_.emplace_back();
+  return static_cast<std::uint32_t>(states_.size() - 1);
+}
+
+void Fsm::add_transition(std::uint32_t from, std::uint32_t to, std::string label) {
+  transitions_.push_back(FsmTransition{from, to, std::move(label)});
+  out_.at(from).push_back(static_cast<std::uint32_t>(transitions_.size() - 1));
+}
+
+std::string Fsm::to_dot(std::size_t max_nodes) const {
+  std::ostringstream out;
+  out << "digraph fsm {\n  rankdir=LR;\n  node [shape=circle];\n";
+  const std::size_t n = std::min(states_.size(), max_nodes);
+  for (std::size_t i = 0; i < n; ++i) {
+    out << "  s" << i << " [label=\"" << i << "\"";
+    if (i == 0) out << ", shape=doublecircle";
+    out << "];\n";
+  }
+  for (const FsmTransition& t : transitions_) {
+    if (t.from >= n || t.to >= n) continue;
+    out << "  s" << t.from << " -> s" << t.to << " [label=\""
+        << util::escape_label(t.label) << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace la1::asml

@@ -1,0 +1,122 @@
+#include "asml/testgen.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace la1::asml {
+
+TestSuite generate_transition_tests(const Fsm& fsm,
+                                    std::size_t max_test_length) {
+  TestSuite suite;
+  suite.transitions_total = fsm.transition_count();
+  if (fsm.node_count() == 0) return suite;
+
+  std::vector<bool> covered(fsm.transition_count(), false);
+  std::size_t remaining = fsm.transition_count();
+
+  auto has_uncovered = [&](std::uint32_t s) {
+    for (std::uint32_t e : fsm.out_edges(s)) {
+      if (!covered[e]) return true;
+    }
+    return false;
+  };
+
+  // Shortest edge path from `start` to any state with an uncovered outgoing
+  // transition (walking covered edges is allowed).
+  auto path_to_uncovered = [&](std::uint32_t start,
+                               std::vector<std::uint32_t>& out) -> bool {
+    out.clear();
+    if (has_uncovered(start)) return true;
+    std::vector<std::int64_t> parent_edge(fsm.node_count(), -1);
+    std::vector<bool> seen(fsm.node_count(), false);
+    std::deque<std::uint32_t> frontier{start};
+    seen[start] = true;
+    std::int64_t target = -1;
+    while (!frontier.empty() && target < 0) {
+      const std::uint32_t at = frontier.front();
+      frontier.pop_front();
+      for (std::uint32_t e : fsm.out_edges(at)) {
+        const std::uint32_t to = fsm.transitions()[e].to;
+        if (seen[to]) continue;
+        seen[to] = true;
+        parent_edge[to] = static_cast<std::int64_t>(e);
+        if (has_uncovered(to)) {
+          target = to;
+          break;
+        }
+        frontier.push_back(to);
+      }
+    }
+    if (target < 0) return false;
+    std::vector<std::uint32_t> rev;
+    for (std::int64_t at = target;
+         parent_edge[static_cast<std::size_t>(at)] >= 0;) {
+      const auto e =
+          static_cast<std::uint32_t>(parent_edge[static_cast<std::size_t>(at)]);
+      rev.push_back(e);
+      at = fsm.transitions()[e].from;
+    }
+    out.assign(rev.rbegin(), rev.rend());
+    return true;
+  };
+
+  while (remaining > 0) {
+    // Start a new test at the initial state.
+    std::vector<std::uint32_t> prefix;
+    if (!path_to_uncovered(0, prefix)) break;  // unreachable leftovers
+    if (prefix.size() + 1 > max_test_length) {
+      // The *nearest* uncovered work does not fit the length bound, so
+      // nothing else does either; the rest stays uncovered.
+      break;
+    }
+
+    std::vector<std::string> test;
+    std::uint32_t at = 0;
+    auto take = [&](std::uint32_t e) {
+      test.push_back(fsm.transitions()[e].label);
+      if (!covered[e]) {
+        covered[e] = true;
+        --remaining;
+      }
+      at = fsm.transitions()[e].to;
+    };
+    for (std::uint32_t e : prefix) take(e);
+    // Progress guarantee: take the first uncovered outgoing edge (it fits,
+    // by the check above).
+    for (std::uint32_t e : fsm.out_edges(at)) {
+      if (!covered[e]) {
+        take(e);
+        break;
+      }
+    }
+
+    // Greedy extension: take uncovered outgoing transitions; when stuck,
+    // ride covered edges to the nearest state with uncovered work, as long
+    // as the length bound allows.
+    while (test.size() < max_test_length && remaining > 0) {
+      std::int64_t pick = -1;
+      for (std::uint32_t e : fsm.out_edges(at)) {
+        if (!covered[e]) {
+          pick = static_cast<std::int64_t>(e);
+          break;
+        }
+      }
+      if (pick >= 0) {
+        take(static_cast<std::uint32_t>(pick));
+        continue;
+      }
+      std::vector<std::uint32_t> bridge;
+      if (!path_to_uncovered(at, bridge) || bridge.empty() ||
+          test.size() + bridge.size() >= max_test_length) {
+        break;
+      }
+      for (std::uint32_t e : bridge) take(e);
+    }
+    suite.tests.push_back(std::move(test));
+  }
+
+  suite.transitions_covered = fsm.transition_count() - remaining;
+  return suite;
+}
+
+}  // namespace la1::asml

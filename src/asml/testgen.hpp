@@ -1,0 +1,35 @@
+// Test-suite generation from an explored FSM.
+//
+// AsmL generates conformance test suites from the FSM its exploration
+// produces (paper §5.1: "the test suite generated from the FSM usually does
+// not cover all possible states and transitions of the model program" —
+// it covers the explored portion). This module derives a
+// transition-covering suite: a set of label sequences from the initial
+// state such that every transition of the FSM appears in at least one
+// sequence. The conformance harness replays the sequences against an
+// implementation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asml/fsm.hpp"
+
+namespace la1::asml {
+
+struct TestSuite {
+  /// Each test is a label sequence executable from the initial state.
+  std::vector<std::vector<std::string>> tests;
+  std::size_t transitions_covered = 0;
+  std::size_t transitions_total = 0;
+
+  bool complete() const { return transitions_covered == transitions_total; }
+};
+
+/// Greedy transition cover: walk uncovered transitions as long as possible;
+/// when stuck, restart with a shortest path to a state that still has
+/// uncovered outgoing transitions. `max_test_length` bounds each sequence.
+TestSuite generate_transition_tests(const Fsm& fsm,
+                                    std::size_t max_test_length = 10000);
+
+}  // namespace la1::asml

@@ -1,0 +1,61 @@
+// Values stored in ASM state locations.
+//
+// AsmL models use booleans, integers, enumeration literals and small data
+// words; `Value` is the corresponding closed sum type. Values are ordered
+// and hashable so states can be canonicalized and interned by the explorer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace la1::asml {
+
+/// An enumeration literal, e.g. CLK_UP or BANK_2. Compared by name.
+struct Symbol {
+  std::string name;
+  auto operator<=>(const Symbol&) const = default;
+};
+
+/// A fixed-width data word (bit patterns travelling through the interface).
+struct Word {
+  std::uint64_t bits = 0;
+  int width = 0;
+  auto operator<=>(const Word&) const = default;
+};
+
+class Value {
+ public:
+  Value() : v_(false) {}
+  Value(bool b) : v_(b) {}                         // NOLINT(runtime/explicit)
+  Value(std::int64_t i) : v_(i) {}                 // NOLINT(runtime/explicit)
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(Symbol s) : v_(std::move(s)) {}            // NOLINT(runtime/explicit)
+  Value(Word w) : v_(w) {}                         // NOLINT(runtime/explicit)
+
+  static Value symbol(std::string name) { return Value(Symbol{std::move(name)}); }
+  static Value word(std::uint64_t bits, int width) { return Value(Word{bits, width}); }
+
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_symbol() const { return std::holds_alternative<Symbol>(v_); }
+  bool is_word() const { return std::holds_alternative<Word>(v_); }
+
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  const Symbol& as_symbol() const;
+  const Word& as_word() const;
+
+  std::string to_string() const;
+
+  auto operator<=>(const Value&) const = default;
+
+ private:
+  std::variant<bool, std::int64_t, Symbol, Word> v_;
+};
+
+/// FNV-1a style hash over the printed form; stable across runs.
+std::size_t hash_value(const Value& v);
+
+}  // namespace la1::asml

@@ -1,0 +1,329 @@
+#include "bdd/bdd.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace la1::bdd {
+
+Manager::Manager(int var_count) : var_count_(var_count) {
+  if (var_count < 0) throw std::invalid_argument("negative var count");
+  // Terminal nodes. var = var_count acts as the "past the last level" rank
+  // so ordering comparisons work without special cases.
+  nodes_.push_back(Node{var_count, kFalse, kFalse, 1});
+  nodes_.push_back(Node{var_count, kTrue, kTrue, 1});
+}
+
+NodeId Manager::make(int var, NodeId low, NodeId high) {
+  if (low == high) return low;
+  const UniqueKey key{var, low, high};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+
+  if (node_limit_ != 0 && live_nodes_ >= node_limit_) {
+    throw ResourceExhausted{live_nodes_, node_limit_};
+  }
+
+  NodeId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[id] = Node{var, low, high, 0};
+  } else {
+    id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{var, low, high, 0});
+  }
+  ++nodes_[low].refs;
+  ++nodes_[high].refs;
+  ++live_nodes_;
+  ++created_nodes_;
+  if (live_nodes_ > peak_live_nodes_) peak_live_nodes_ = live_nodes_;
+  unique_[key] = id;
+  return id;
+}
+
+NodeId Manager::var(int v) { return make(v, kFalse, kTrue); }
+NodeId Manager::nvar(int v) { return make(v, kTrue, kFalse); }
+
+int Manager::top_var(NodeId f) const { return nodes_[f].var; }
+NodeId Manager::low(NodeId f) const { return nodes_[f].low; }
+NodeId Manager::high(NodeId f) const { return nodes_[f].high; }
+
+NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const IteKey key{f, g, h};
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int v = std::min(nodes_[f].var, std::min(nodes_[g].var, nodes_[h].var));
+  auto cof = [&](NodeId n, bool hi) {
+    return nodes_[n].var == v ? (hi ? nodes_[n].high : nodes_[n].low) : n;
+  };
+  const NodeId lo = ite(cof(f, false), cof(g, false), cof(h, false));
+  const NodeId hi = ite(cof(f, true), cof(g, true), cof(h, true));
+  const NodeId out = make(v, lo, hi);
+  ite_cache_[key] = out;
+  return out;
+}
+
+NodeId Manager::apply_xor(NodeId f, NodeId g) {
+  return ite(f, apply_not(g), g);
+}
+
+NodeId Manager::exists_rec(NodeId f, const std::vector<bool>& mask,
+                           std::unordered_map<NodeId, NodeId>& memo) {
+  if (is_const(f)) return f;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  const Node n = nodes_[f];
+  const NodeId lo = exists_rec(n.low, mask, memo);
+  const NodeId hi = exists_rec(n.high, mask, memo);
+  const NodeId out = mask[static_cast<std::size_t>(n.var)]
+                         ? apply_or(lo, hi)
+                         : make(n.var, lo, hi);
+  memo[f] = out;
+  return out;
+}
+
+NodeId Manager::exists(NodeId f, const std::vector<bool>& mask) {
+  std::unordered_map<NodeId, NodeId> memo;
+  return exists_rec(f, mask, memo);
+}
+
+NodeId Manager::forall(NodeId f, const std::vector<bool>& mask) {
+  return apply_not(exists(apply_not(f), mask));
+}
+
+NodeId Manager::and_exists_rec(NodeId f, NodeId g, const std::vector<bool>& mask,
+                               std::unordered_map<std::uint64_t, NodeId>& memo) {
+  if (f == kFalse || g == kFalse) return kFalse;
+  if (f == kTrue && g == kTrue) return kTrue;
+  if (f == kTrue) {
+    std::unordered_map<NodeId, NodeId> m2;
+    return exists_rec(g, mask, m2);
+  }
+  if (g == kTrue) {
+    std::unordered_map<NodeId, NodeId> m2;
+    return exists_rec(f, mask, m2);
+  }
+  if (f > g) std::swap(f, g);
+  const std::uint64_t key = (static_cast<std::uint64_t>(f) << 32) | g;
+  auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+
+  const int v = std::min(nodes_[f].var, nodes_[g].var);
+  auto cof = [&](NodeId n, bool hi) {
+    return nodes_[n].var == v ? (hi ? nodes_[n].high : nodes_[n].low) : n;
+  };
+  const NodeId lo = and_exists_rec(cof(f, false), cof(g, false), mask, memo);
+  NodeId out;
+  if (mask[static_cast<std::size_t>(v)]) {
+    if (lo == kTrue) {
+      out = kTrue;  // early termination: OR with TRUE
+    } else {
+      const NodeId hi = and_exists_rec(cof(f, true), cof(g, true), mask, memo);
+      out = apply_or(lo, hi);
+    }
+  } else {
+    const NodeId hi = and_exists_rec(cof(f, true), cof(g, true), mask, memo);
+    out = make(v, lo, hi);
+  }
+  memo[key] = out;
+  return out;
+}
+
+NodeId Manager::and_exists(NodeId f, NodeId g, const std::vector<bool>& mask) {
+  std::unordered_map<std::uint64_t, NodeId> memo;
+  return and_exists_rec(f, g, mask, memo);
+}
+
+NodeId Manager::rename_rec(NodeId f, const std::vector<int>& rename,
+                           std::unordered_map<NodeId, NodeId>& memo) {
+  if (is_const(f)) return f;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  const Node n = nodes_[f];
+  const NodeId lo = rename_rec(n.low, rename, memo);
+  const NodeId hi = rename_rec(n.high, rename, memo);
+  const NodeId out = make(rename[static_cast<std::size_t>(n.var)], lo, hi);
+  memo[f] = out;
+  return out;
+}
+
+NodeId Manager::rename(NodeId f, const std::vector<int>& ren) {
+  // Order compatibility is the caller's contract; violating it silently
+  // builds a non-canonical DAG, so verify always (cheap). Non-decreasing
+  // suffices: equal images are fine when only one of the two variables can
+  // occur in f (the checker's quantify-then-rename usage).
+  for (std::size_t i = 1; i < ren.size(); ++i) {
+    if (ren[i] < ren[i - 1]) {
+      throw std::invalid_argument("rename: order-incompatible mapping");
+    }
+  }
+  std::unordered_map<NodeId, NodeId> memo;
+  return rename_rec(f, ren, memo);
+}
+
+NodeId Manager::cofactor(NodeId f, int v, bool value) {
+  if (is_const(f)) return f;
+  const Node n = nodes_[f];
+  if (n.var > v) return f;
+  if (n.var == v) return value ? n.high : n.low;
+  const NodeId lo = cofactor(n.low, v, value);
+  const NodeId hi = cofactor(n.high, v, value);
+  return make(n.var, lo, hi);
+}
+
+bool Manager::eval(NodeId f, const std::vector<bool>& assignment) const {
+  while (!is_const(f)) {
+    const Node& n = nodes_[f];
+    f = assignment[static_cast<std::size_t>(n.var)] ? n.high : n.low;
+  }
+  return f == kTrue;
+}
+
+std::uint64_t Manager::dag_size_rec(NodeId f, std::vector<bool>& seen) const {
+  if (seen[f]) return 0;
+  seen[f] = true;
+  if (is_const(f)) return 1;
+  return 1 + dag_size_rec(nodes_[f].low, seen) + dag_size_rec(nodes_[f].high, seen);
+}
+
+std::uint64_t Manager::dag_size(NodeId f) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  return dag_size_rec(f, seen);
+}
+
+double Manager::sat_count_rec(NodeId f,
+                              std::unordered_map<NodeId, double>& memo) const {
+  if (f == kFalse) return 0.0;
+  if (f == kTrue) return 1.0;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  const Node& n = nodes_[f];
+  auto weight = [&](NodeId child) {
+    const int skip = nodes_[child].var - n.var - 1;
+    return sat_count_rec(child, memo) * std::pow(2.0, skip);
+  };
+  // Levels skipped between parent and child double the count per level.
+  double count = weight(n.low) + weight(n.high);
+  memo[f] = count;
+  return count;
+}
+
+double Manager::sat_count(NodeId f) const {
+  std::unordered_map<NodeId, double> memo;
+  if (is_const(f)) {
+    return f == kTrue ? std::pow(2.0, var_count_) : 0.0;
+  }
+  const double below = sat_count_rec(f, memo);
+  return below * std::pow(2.0, nodes_[f].var);
+}
+
+std::vector<bool> Manager::any_sat(NodeId f) const {
+  if (f == kFalse) throw std::invalid_argument("any_sat of FALSE");
+  std::vector<bool> out(static_cast<std::size_t>(var_count_), false);
+  while (!is_const(f)) {
+    const Node& n = nodes_[f];
+    if (n.low != kFalse) {
+      out[static_cast<std::size_t>(n.var)] = false;
+      f = n.low;
+    } else {
+      out[static_cast<std::size_t>(n.var)] = true;
+      f = n.high;
+    }
+  }
+  return out;
+}
+
+std::vector<bool> Manager::support(NodeId f) const {
+  std::vector<bool> out(static_cast<std::size_t>(var_count_), false);
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> work{f};
+  while (!work.empty()) {
+    const NodeId id = work.back();
+    work.pop_back();
+    if (seen[id] || is_const(id)) continue;
+    seen[id] = true;
+    const Node& n = nodes_[id];
+    out[static_cast<std::size_t>(n.var)] = true;
+    work.push_back(n.low);
+    work.push_back(n.high);
+  }
+  return out;
+}
+
+void Manager::ref(NodeId f) { ++nodes_[f].refs; }
+
+void Manager::deref(NodeId f) {
+  if (nodes_[f].refs == 0) throw std::logic_error("deref of unreferenced node");
+  --nodes_[f].refs;
+}
+
+std::uint64_t Manager::collect_garbage() {
+  // The computed table may hold dead operands; drop it wholesale.
+  ite_cache_.clear();
+  std::uint64_t reclaimed = 0;
+  // Worklist sweep: free every refs==0 node; freeing may push children to 0.
+  std::vector<NodeId> dead;
+  for (NodeId id = 2; id < nodes_.size(); ++id) {
+    if (nodes_[id].var >= 0 && nodes_[id].refs == 0) dead.push_back(id);
+  }
+  while (!dead.empty()) {
+    const NodeId id = dead.back();
+    dead.pop_back();
+    Node& n = nodes_[id];
+    if (n.var < 0 || n.refs != 0) continue;  // resurrected or already freed
+    unique_.erase(UniqueKey{n.var, n.low, n.high});
+    for (NodeId child : {n.low, n.high}) {
+      if (--nodes_[child].refs == 0 && child > kTrue && nodes_[child].var >= 0) {
+        dead.push_back(child);
+      }
+    }
+    n.var = -1;  // tombstone
+    free_list_.push_back(id);
+    --live_nodes_;
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
+std::uint64_t Manager::memory_bytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         unique_.size() * (sizeof(UniqueKey) + sizeof(NodeId) + 16) +
+         ite_cache_.size() * (sizeof(IteKey) + sizeof(NodeId) + 16);
+}
+
+std::string Manager::to_dot(
+    NodeId f, const std::function<std::string(int)>& var_name) const {
+  std::ostringstream out;
+  out << "digraph bdd {\n  rankdir=TB;\n";
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> work{f};
+  while (!work.empty()) {
+    const NodeId id = work.back();
+    work.pop_back();
+    if (seen[id]) continue;
+    seen[id] = true;
+    if (is_const(id)) {
+      out << "  n" << id << " [shape=box,label=\"" << (id == kTrue ? 1 : 0)
+          << "\"];\n";
+      continue;
+    }
+    const Node& n = nodes_[id];
+    out << "  n" << id << " [label=\"" << var_name(n.var) << "\"];\n";
+    out << "  n" << id << " -> n" << n.low << " [style=dashed];\n";
+    out << "  n" << id << " -> n" << n.high << ";\n";
+    work.push_back(n.low);
+    work.push_back(n.high);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace la1::bdd

@@ -1,0 +1,176 @@
+// Reduced Ordered Binary Decision Diagrams.
+//
+// This is the symbolic engine behind the RuleBase-style model checker
+// (paper §5.2, Table 2). It is a classic ROBDD package: a unique table for
+// canonicity, an ITE operation with a computed-table cache, existential /
+// universal quantification, variable substitution (compose-by-renaming for
+// the transition-relation image), reference-counted garbage collection, and
+// node accounting so the benchmark can report "Number of BDDs" and memory
+// the way RuleBase does.
+//
+// Node 0 is the constant FALSE, node 1 the constant TRUE. Complement edges
+// are not used; negation materializes nodes (simpler invariants, adequate
+// for the design sizes in the paper).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace la1::bdd {
+
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kFalse = 0;
+inline constexpr NodeId kTrue = 1;
+
+/// Thrown when a node or memory budget set via `Manager::set_node_limit` is
+/// exceeded — the mechanism the Table-2 bench uses to reproduce RuleBase's
+/// state explosion at 4 banks.
+struct ResourceExhausted {
+  std::uint64_t live_nodes = 0;
+  std::uint64_t limit = 0;
+};
+
+/// The BDD manager: owns all nodes of one variable order.
+class Manager {
+ public:
+  /// Creates a manager with `var_count` variables, order = index order.
+  explicit Manager(int var_count);
+
+  int var_count() const { return var_count_; }
+
+  // --- constructors ----------------------------------------------------
+  NodeId constant(bool v) const { return v ? kTrue : kFalse; }
+  /// The function "variable v" (positive literal).
+  NodeId var(int v);
+  /// The function "NOT variable v".
+  NodeId nvar(int v);
+
+  // --- boolean operations (all reference-neutral: result returned with
+  // +1 ref taken by the caller via `ref`, see below) --------------------
+  NodeId ite(NodeId f, NodeId g, NodeId h);
+  NodeId apply_and(NodeId f, NodeId g) { return ite(f, g, kFalse); }
+  NodeId apply_or(NodeId f, NodeId g) { return ite(f, kTrue, g); }
+  NodeId apply_xor(NodeId f, NodeId g);
+  NodeId apply_not(NodeId f) { return ite(f, kFalse, kTrue); }
+
+  /// Existential quantification over the variables with `true` in `mask`.
+  NodeId exists(NodeId f, const std::vector<bool>& mask);
+  /// Universal quantification over the masked variables.
+  NodeId forall(NodeId f, const std::vector<bool>& mask);
+  /// AND followed by existential quantification in one pass — the relational
+  /// image workhorse (avoids building the full conjunction).
+  NodeId and_exists(NodeId f, NodeId g, const std::vector<bool>& mask);
+  /// Simultaneous variable renaming: var v -> var rename[v]. The renaming
+  /// must be order-compatible (monotone), which the checker's interleaved
+  /// current/next order guarantees.
+  NodeId rename(NodeId f, const std::vector<int>& rename);
+
+  /// Restricts variable v to `value` (cofactor).
+  NodeId cofactor(NodeId f, int v, bool value);
+
+  // --- inspection --------------------------------------------------------
+  bool is_const(NodeId f) const { return f <= kTrue; }
+  int top_var(NodeId f) const;
+  NodeId low(NodeId f) const;
+  NodeId high(NodeId f) const;
+
+  /// Evaluates f under a full assignment.
+  bool eval(NodeId f, const std::vector<bool>& assignment) const;
+
+  /// Number of distinct nodes in f (counting terminals once).
+  std::uint64_t dag_size(NodeId f) const;
+
+  /// Number of satisfying assignments over all `var_count()` variables.
+  double sat_count(NodeId f) const;
+
+  /// One satisfying assignment (minterm); f must not be kFalse.
+  std::vector<bool> any_sat(NodeId f) const;
+
+  /// Variables f depends on (true at index v when var v occurs in f).
+  std::vector<bool> support(NodeId f) const;
+
+  // --- reference counting / GC -------------------------------------------
+  void ref(NodeId f);
+  void deref(NodeId f);
+  /// Frees dead nodes; returns the number reclaimed.
+  std::uint64_t collect_garbage();
+
+  // --- accounting ----------------------------------------------------------
+  std::uint64_t live_nodes() const { return live_nodes_; }
+  std::uint64_t peak_live_nodes() const { return peak_live_nodes_; }
+  std::uint64_t created_nodes() const { return created_nodes_; }
+  /// Approximate bytes held by the manager (nodes + tables).
+  std::uint64_t memory_bytes() const;
+
+  /// Sets a live-node budget; operations throw ResourceExhausted beyond it.
+  /// 0 disables the budget.
+  void set_node_limit(std::uint64_t limit) { node_limit_ = limit; }
+
+  /// DOT export for debugging / documentation.
+  std::string to_dot(NodeId f, const std::function<std::string(int)>& var_name) const;
+
+ private:
+  struct Node {
+    int var = -1;
+    NodeId low = 0;
+    NodeId high = 0;
+    std::uint32_t refs = 0;
+  };
+
+  struct UniqueKey {
+    int var;
+    NodeId low;
+    NodeId high;
+    bool operator==(const UniqueKey& o) const {
+      return var == o.var && low == o.low && high == o.high;
+    }
+  };
+  struct UniqueKeyHash {
+    std::size_t operator()(const UniqueKey& k) const {
+      std::size_t h = static_cast<std::size_t>(k.var);
+      h = h * 1000003u ^ k.low;
+      h = h * 1000003u ^ k.high;
+      return h;
+    }
+  };
+  struct IteKey {
+    NodeId f, g, h;
+    bool operator==(const IteKey& o) const {
+      return f == o.f && g == o.g && h == o.h;
+    }
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::size_t h = k.f;
+      h = h * 1000003u ^ k.g;
+      h = h * 1000003u ^ k.h;
+      return h;
+    }
+  };
+
+  NodeId make(int var, NodeId low, NodeId high);
+  NodeId exists_rec(NodeId f, const std::vector<bool>& mask,
+                    std::unordered_map<NodeId, NodeId>& memo);
+  NodeId and_exists_rec(NodeId f, NodeId g, const std::vector<bool>& mask,
+                        std::unordered_map<std::uint64_t, NodeId>& memo);
+  NodeId rename_rec(NodeId f, const std::vector<int>& rename,
+                    std::unordered_map<NodeId, NodeId>& memo);
+  std::uint64_t dag_size_rec(NodeId f, std::vector<bool>& seen) const;
+  double sat_count_rec(NodeId f, std::unordered_map<NodeId, double>& memo) const;
+
+  int var_count_;
+  std::vector<Node> nodes_;
+  std::unordered_map<UniqueKey, NodeId, UniqueKeyHash> unique_;
+  std::unordered_map<IteKey, NodeId, IteKeyHash> ite_cache_;
+  std::vector<NodeId> free_list_;
+  std::uint64_t live_nodes_ = 2;
+  std::uint64_t peak_live_nodes_ = 2;
+  std::uint64_t created_nodes_ = 2;
+  std::uint64_t node_limit_ = 0;
+};
+
+}  // namespace la1::bdd

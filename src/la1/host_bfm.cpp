@@ -1,0 +1,128 @@
+#include "la1/host_bfm.hpp"
+
+#include <stdexcept>
+
+namespace la1::core {
+
+HostBfm::HostBfm(const Config& cfg, Pins& pins) : cfg_(&cfg), pins_(&pins) {
+  if (cfg.addr_bits > 22) {
+    throw std::invalid_argument("HostBfm: addr_bits > 22 needs a sparse mirror");
+  }
+  mirror_.assign(1ull << cfg.addr_bits, 0);
+}
+
+void HostBfm::push(const Transaction& t) { queue_.push_back(t); }
+
+void HostBfm::push_random(util::Rng& rng, int n, double write_fraction) {
+  const std::uint64_t addr_space = 1ull << cfg_->addr_bits;
+  const int total_lanes = 2 * cfg_->lanes();
+  for (int i = 0; i < n; ++i) {
+    Transaction t;
+    if (rng.chance(write_fraction)) {
+      t.kind = Transaction::Kind::kWrite;
+      t.addr = rng.below(addr_space);
+      t.data = rng.next_u64() & ((cfg_->word_bits() == 64)
+                                     ? ~0ull
+                                     : ((1ull << cfg_->word_bits()) - 1));
+      t.be_mask = static_cast<std::uint32_t>(rng.below(1u << total_lanes));
+      if (t.be_mask == 0) t.be_mask = (1u << total_lanes) - 1;
+    } else {
+      t.kind = Transaction::Kind::kRead;
+      t.addr = rng.below(addr_space);
+    }
+    push(t);
+  }
+}
+
+std::uint64_t HostBfm::mirror(std::uint64_t addr) const {
+  return mirror_.at(addr);
+}
+
+void HostBfm::before_k(int tick) {
+  // Idle defaults; selects are active low.
+  pins_->r_sel_n.write(true);
+  pins_->w_sel_n.write(true);
+  pins_->bwe_n.write((1u << cfg_->lanes()) - 1);
+
+  if (queue_.empty()) return;
+
+  // Issue the front transaction; LA-1 supports one read and one write
+  // concurrently per cycle (independent unidirectional buses), so when the
+  // next transaction is of the other kind it rides the same cycle.
+  Transaction first = queue_.front();
+  queue_.pop_front();
+  const Transaction* read_tx = nullptr;
+  const Transaction* write_tx = nullptr;
+  Transaction second;
+  if (!queue_.empty() && queue_.front().kind != first.kind) {
+    second = queue_.front();
+    queue_.pop_front();
+  } else {
+    second.kind = first.kind;  // mark unused by matching kinds below
+    second.addr = ~0ull;
+  }
+  if (first.kind == Transaction::Kind::kRead) {
+    read_tx = &first;
+    if (second.addr != ~0ull) write_tx = &second;
+  } else {
+    write_tx = &first;
+    if (second.addr != ~0ull) read_tx = &second;
+  }
+
+  if (read_tx != nullptr) {
+    pins_->r_sel_n.write(false);
+    pins_->addr.write(static_cast<std::uint32_t>(read_tx->addr));
+    expected_.push_back(
+        Expected{tick + cfg_->latency_ticks(), mirror_[read_tx->addr]});
+    ++reads_issued_;
+  }
+  if (write_tx != nullptr) {
+    pins_->w_sel_n.write(false);
+    pins_->din.write(pack_beat(word_low_beat(write_tx->data, cfg_->data_bits),
+                               cfg_->data_bits));
+    const std::uint32_t lane_mask = (1u << cfg_->lanes()) - 1;
+    pins_->bwe_n.write(~(write_tx->be_mask & lane_mask) & lane_mask);
+    write_pending_ = true;
+    write_tx_ = *write_tx;
+    ++writes_issued_;
+  }
+}
+
+void HostBfm::before_ks(int /*tick*/) {
+  if (!write_pending_) return;
+  write_pending_ = false;
+  // Address + high beat + its byte enables on the rising K#.
+  pins_->addr.write(static_cast<std::uint32_t>(write_tx_.addr));
+  pins_->din.write(pack_beat(word_high_beat(write_tx_.data, cfg_->data_bits),
+                             cfg_->data_bits));
+  const std::uint32_t lane_mask = (1u << cfg_->lanes()) - 1;
+  const std::uint32_t hi_mask = (write_tx_.be_mask >> cfg_->lanes()) & lane_mask;
+  pins_->bwe_n.write(~hi_mask & lane_mask);
+  // Update the mirror now that the transfer is complete on the pins.
+  mirror_[write_tx_.addr] = merge_bytes(mirror_[write_tx_.addr], write_tx_.data,
+                                        write_tx_.be_mask, cfg_->data_bits);
+}
+
+void HostBfm::after_k(int tick) {
+  if (expected_.empty() || expected_.front().beat0_tick != tick) return;
+  const std::uint32_t beat = pins_->dout.read();
+  if (!parity_ok(beat, cfg_->data_bits)) ++parity_errors_;
+  if (beat_data(beat, cfg_->data_bits) !=
+      word_low_beat(expected_.front().word, cfg_->data_bits)) {
+    ++data_mismatches_;
+  }
+}
+
+void HostBfm::after_ks(int tick) {
+  if (expected_.empty() || expected_.front().beat0_tick != tick - 1) return;
+  const std::uint32_t beat = pins_->dout.read();
+  if (!parity_ok(beat, cfg_->data_bits)) ++parity_errors_;
+  if (beat_data(beat, cfg_->data_bits) !=
+      word_high_beat(expected_.front().word, cfg_->data_bits)) {
+    ++data_mismatches_;
+  }
+  expected_.pop_front();
+  ++reads_checked_;
+}
+
+}  // namespace la1::core

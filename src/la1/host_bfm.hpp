@@ -1,0 +1,77 @@
+// Host-side bus functional model: the network processor's view of LA-1.
+//
+// The BFM converts a transaction stream (reads and byte-enabled writes)
+// into pin activity with the documented edge discipline, keeps a mirror of
+// the device memory, and scoreboards returned read data: each issued read
+// schedules an expectation for the beat ticks, and mismatches (data or
+// parity) are counted — the "validation unit" role the paper assigns the IP.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "la1/behavioral.hpp"
+#include "util/rng.hpp"
+
+namespace la1::core {
+
+struct Transaction {
+  enum class Kind { kRead, kWrite };
+  Kind kind = Kind::kRead;
+  std::uint64_t addr = 0;
+  std::uint64_t data = 0;     // writes: full word (two beats)
+  std::uint32_t be_mask = ~0u;  // writes: one bit per 8-bit lane
+};
+
+class HostBfm {
+ public:
+  HostBfm(const Config& cfg, Pins& pins);
+
+  /// Enqueues a transaction; issued in order, one per K cycle.
+  void push(const Transaction& t);
+  /// Enqueues `n` random transactions.
+  void push_random(util::Rng& rng, int n, double write_fraction = 0.5);
+
+  std::size_t pending() const { return queue_.size(); }
+
+  // Edge hooks, called by the harness around each clock edge.
+  void before_k(int tick);
+  void before_ks(int tick);
+  void after_k(int tick);
+  void after_ks(int tick);
+
+  // Scoreboard results.
+  std::uint64_t reads_issued() const { return reads_issued_; }
+  std::uint64_t writes_issued() const { return writes_issued_; }
+  std::uint64_t reads_checked() const { return reads_checked_; }
+  std::uint64_t data_mismatches() const { return data_mismatches_; }
+  std::uint64_t parity_errors() const { return parity_errors_; }
+
+  /// Host-side mirror of the device memory (flat address space).
+  std::uint64_t mirror(std::uint64_t addr) const;
+
+ private:
+  struct Expected {
+    int beat0_tick = 0;  // even tick of the first beat
+    std::uint64_t word = 0;
+  };
+
+  const Config* cfg_;
+  Pins* pins_;
+  std::deque<Transaction> queue_;
+  std::vector<std::uint64_t> mirror_;
+  std::deque<Expected> expected_;
+
+  // Write in flight between its K edge and the following K#.
+  bool write_pending_ = false;
+  Transaction write_tx_;
+
+  std::uint64_t reads_issued_ = 0;
+  std::uint64_t writes_issued_ = 0;
+  std::uint64_t reads_checked_ = 0;
+  std::uint64_t data_mismatches_ = 0;
+  std::uint64_t parity_errors_ = 0;
+};
+
+}  // namespace la1::core

@@ -1,0 +1,68 @@
+#include "la1/properties.hpp"
+
+#include "psl/parse.hpp"
+
+namespace la1::core {
+
+std::vector<std::pair<std::string, std::string>> property_sources(
+    const Config& cfg) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (int b = 0; b < cfg.banks; ++b) {
+    const std::string p = "b" + std::to_string(b) + ".";
+    out.emplace_back(
+        "P1_read_latency_b" + std::to_string(b),
+        "always (" + p + "read_start -> next[" +
+            std::to_string(cfg.latency_ticks()) + "] " + p + "dout_valid_k)");
+    out.emplace_back("P2_read_burst_b" + std::to_string(b),
+                     "always (" + p + "dout_valid_k -> next[1] " + p +
+                         "dout_valid_ks)");
+    out.emplace_back("P8_capture_selected_b" + std::to_string(b),
+                     "always (" + p + "addr_captured -> " + p + "selected)");
+  }
+  out.emplace_back("P3_write_addr_edge",
+                   "always (write_start -> next[1] addr_captured)");
+  out.emplace_back("P3b_write_commit",
+                   "always (addr_captured -> next[1] write_commit)");
+  out.emplace_back("P4_exclusive_drive", "never {bus_conflict}");
+  out.emplace_back("P5_parity_even",
+                   "always (dout_valid -> dout_parity_ok)");
+  out.emplace_back("P6_byte_merge",
+                   "always (write_commit -> byte_merge_ok)");
+  out.emplace_back("P7_no_spurious", "never {dout_spurious}");
+  return out;
+}
+
+std::vector<std::pair<std::string, psl::PropPtr>> behavioral_properties(
+    const Config& cfg) {
+  std::vector<std::pair<std::string, psl::PropPtr>> out;
+  for (const auto& [name, text] : property_sources(cfg)) {
+    out.emplace_back(name, psl::parse_property(text));
+  }
+  return out;
+}
+
+psl::VUnit behavioral_vunit(const Config& cfg) {
+  psl::VUnit vunit("la1_behavioral");
+  for (const auto& [name, prop] : behavioral_properties(cfg)) {
+    vunit.add_assert(name, prop, psl::DirSeverity::kMajor,
+                     "LA-1 protocol violation: " + name);
+  }
+  // Coverage: the interesting scenarios actually occur in the run.
+  // Request, the configured read latency in ticks, then the second beat on
+  // the following K#.
+  vunit.add_cover(
+      "C1_read_completes",
+      psl::parse_sere("{read_start ; true[*" +
+                      std::to_string(cfg.latency_ticks()) +
+                      "] ; dout_valid_ks}"));
+  vunit.add_cover("C2_concurrent_read_write",
+                  psl::parse_sere("{read_start && write_start}"));
+  for (int b = 0; b < cfg.banks; ++b) {
+    const std::string p = "b" + std::to_string(b) + ".";
+    vunit.add_cover("C3_bank" + std::to_string(b) + "_read",
+                    psl::parse_sere("{" + p + "read_start}"));
+  }
+  return vunit;
+}
+
+}  // namespace la1::core

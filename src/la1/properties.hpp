@@ -1,0 +1,34 @@
+// The LA-1 PSL property suite at the behavioural level (DESIGN.md §6).
+//
+// The same properties exist in three instantiations:
+//   * here, over the behavioural ProbeEnv tap names,
+//   * asm_model.cpp::asm_properties over ASM locations (same names),
+//   * rtl_model.cpp::rtl_properties over flattened RTL net names.
+// Keeping one suite per level with shared shape is the paper's central
+// claim: properties verified early keep their meaning down the refinement.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "la1/spec.hpp"
+#include "psl/monitor.hpp"
+#include "psl/temporal.hpp"
+
+namespace la1::core {
+
+/// All assert properties for an N-bank behavioural device.
+std::vector<std::pair<std::string, psl::PropPtr>> behavioral_properties(
+    const Config& cfg);
+
+/// The full verification unit: the asserts above plus cover directives
+/// (read completes, concurrent read+write observed, every bank exercised).
+psl::VUnit behavioral_vunit(const Config& cfg);
+
+/// The same properties as PSL source text (parsed by psl::parse_property);
+/// used by documentation and the parser round-trip tests.
+std::vector<std::pair<std::string, std::string>> property_sources(
+    const Config& cfg);
+
+}  // namespace la1::core

@@ -1,0 +1,78 @@
+#include "la1/spec.hpp"
+
+namespace la1::core {
+
+void Config::validate() const {
+  if (banks < 1) throw std::invalid_argument("Config: banks >= 1");
+  if (data_bits < 8 || data_bits % 8 != 0) {
+    throw std::invalid_argument("Config: data_bits must be a positive multiple of 8");
+  }
+  if (addr_bits < 1 || addr_bits > 32) {
+    throw std::invalid_argument("Config: addr_bits in [1, 32]");
+  }
+  if (mem_addr_bits() < 1) {
+    throw std::invalid_argument("Config: no address bits left for the SRAM");
+  }
+  if (word_bits() > 64) {
+    throw std::invalid_argument("Config: words wider than 64 bits unsupported");
+  }
+  if (read_latency < 2 || read_latency > 4) {
+    throw std::invalid_argument("Config: read_latency in [2, 4]");
+  }
+}
+
+std::uint32_t parity_of(std::uint32_t data, int data_bits) {
+  std::uint32_t parity = 0;
+  const int lanes = data_bits / 8;
+  for (int lane = 0; lane < lanes; ++lane) {
+    const std::uint32_t byte = (data >> (lane * 8)) & 0xffu;
+    // __builtin_parity is odd-parity; even byte parity sets the bit when the
+    // byte has an odd number of ones.
+    if (__builtin_parity(byte) != 0) parity |= (1u << lane);
+  }
+  return parity;
+}
+
+bool parity_ok(std::uint32_t beat, int data_bits) {
+  const std::uint32_t data = beat & ((1u << data_bits) - 1);
+  const std::uint32_t parity = beat >> data_bits;
+  return parity == parity_of(data, data_bits);
+}
+
+std::uint32_t pack_beat(std::uint32_t data, int data_bits) {
+  data &= (1u << data_bits) - 1;
+  return data | (parity_of(data, data_bits) << data_bits);
+}
+
+std::uint32_t beat_data(std::uint32_t beat, int data_bits) {
+  return beat & ((1u << data_bits) - 1);
+}
+
+std::uint32_t word_low_beat(std::uint64_t word, int data_bits) {
+  return static_cast<std::uint32_t>(word & ((1ull << data_bits) - 1));
+}
+
+std::uint32_t word_high_beat(std::uint64_t word, int data_bits) {
+  return static_cast<std::uint32_t>((word >> data_bits) &
+                                    ((1ull << data_bits) - 1));
+}
+
+std::uint64_t word_of_beats(std::uint32_t low, std::uint32_t high,
+                            int data_bits) {
+  return static_cast<std::uint64_t>(low) |
+         (static_cast<std::uint64_t>(high) << data_bits);
+}
+
+std::uint64_t merge_bytes(std::uint64_t old_word, std::uint64_t new_word,
+                          std::uint32_t be_mask, int data_bits) {
+  const int total_lanes = 2 * (data_bits / 8);
+  std::uint64_t out = old_word;
+  for (int lane = 0; lane < total_lanes; ++lane) {
+    if (((be_mask >> lane) & 1u) == 0) continue;
+    const int shift = lane * 8;
+    out = (out & ~(0xffull << shift)) | (new_word & (0xffull << shift));
+  }
+  return out;
+}
+
+}  // namespace la1::core

@@ -1,0 +1,105 @@
+// LA-1 protocol constants, configuration and parity arithmetic.
+//
+// From the NPF Look-Aside (LA-1) Interface Implementation Agreement as
+// summarized in the paper (§3):
+//   * master clock pair K / K# (K# is K shifted 180 degrees),
+//   * unidirectional read and write data paths, 18 pins each, DDR:
+//     16 data bits + 2 even byte-parity bits per beat, two beats per word,
+//   * a single address bus shared by reads (sampled at rising K) and writes
+//     (sampled at the following rising K#),
+//   * READ_SEL (R#) and WRITE_SEL (W#), active low, asserted at rising K,
+//   * byte write control for writes (one enable per 8-bit lane),
+//   * multi-bank devices (the paper studies 1..4 banks) sharing the buses,
+//     bank-selected by the high-order address bits.
+//
+// Timing contract used by every model in this repository (Figure 3):
+//   read : R#=0 + address at K(t) -> SRAM fetch at K(t+1) -> first beat
+//          driven at K(t+2) -> second beat at the following K#(t+2),
+//   write: W#=0 + low beat + its byte enables at K(t) -> address + high
+//          beat + its enables at K#(t) -> memory commit at K(t+1).
+//
+// The monitors' common time base is the *half-cycle tick*: rising K edges
+// are even ticks, rising K# edges odd ticks.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace la1::core {
+
+/// Geometry of one LA-1 device. Defaults follow the standard; model
+/// checking shrinks the widths (see DESIGN.md) without changing the shape
+/// of the protocol.
+struct Config {
+  int banks = 1;
+  int data_bits = 16;  // data bits per DDR beat (lanes * 8)
+  int addr_bits = 8;   // total address pins, including bank-select bits
+  /// Read latency in K cycles from the request edge to the first data beat.
+  /// 2 is the LA-1 implementation agreement; 3 and 4 model the deeper
+  /// pipelining of LA-1B-class devices (the extension the paper's [3]
+  /// reference motivates).
+  int read_latency = 2;
+
+  int latency_ticks() const { return 2 * read_latency; }
+
+  int lanes() const { return data_bits / 8; }         // byte lanes per beat
+  int parity_bits() const { return lanes(); }          // 1 per byte
+  int beat_pins() const { return data_bits + parity_bits(); }  // 18 by default
+  int word_bits() const { return 2 * data_bits; }      // two beats per word
+
+  /// Bits of the address used to select the bank (0 for a 1-bank device).
+  int bank_bits() const {
+    int b = 0;
+    while ((1 << b) < banks) ++b;
+    return b;
+  }
+  /// Address bits seen by each bank's SRAM.
+  int mem_addr_bits() const { return addr_bits - bank_bits(); }
+  std::uint64_t mem_depth() const { return 1ull << mem_addr_bits(); }
+
+  int bank_of(std::uint64_t addr) const {
+    return bank_bits() == 0
+               ? 0
+               : static_cast<int>(addr >> mem_addr_bits()) & ((1 << bank_bits()) - 1);
+  }
+  std::uint64_t mem_addr_of(std::uint64_t addr) const {
+    return addr & ((1ull << mem_addr_bits()) - 1);
+  }
+
+  /// Throws std::invalid_argument when the geometry is inconsistent.
+  void validate() const;
+};
+
+/// Read latency in K cycles from request edge to the first data beat.
+inline constexpr int kReadLatencyCycles = 2;
+/// ... and in half-cycle ticks (K edges are even ticks).
+inline constexpr int kReadLatencyTicks = 2 * kReadLatencyCycles;
+
+// --- even byte parity -------------------------------------------------
+
+/// Parity bits for a beat: bit i makes byte lane i have an even number of
+/// ones including the parity bit.
+std::uint32_t parity_of(std::uint32_t data, int data_bits);
+
+/// True when every byte lane of `beat` (data + parity fields) has even
+/// parity. `beat` packs parity above data: [parity | data].
+bool parity_ok(std::uint32_t beat, int data_bits);
+
+/// Packs data + computed parity into beat pins.
+std::uint32_t pack_beat(std::uint32_t data, int data_bits);
+/// Data field of a packed beat.
+std::uint32_t beat_data(std::uint32_t beat, int data_bits);
+
+/// Splits a word into its DDR beats: beat 0 = low half (sent first, at K),
+/// beat 1 = high half (sent at K#).
+std::uint32_t word_low_beat(std::uint64_t word, int data_bits);
+std::uint32_t word_high_beat(std::uint64_t word, int data_bits);
+std::uint64_t word_of_beats(std::uint32_t low, std::uint32_t high, int data_bits);
+
+/// Byte-merge: replaces the lanes of `old_word` enabled in `be_mask` (bit
+/// per lane, across both beats: lanes 0..lanes-1 = low beat, the rest high).
+std::uint64_t merge_bytes(std::uint64_t old_word, std::uint64_t new_word,
+                          std::uint32_t be_mask, int data_bits);
+
+}  // namespace la1::core

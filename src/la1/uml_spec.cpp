@@ -1,0 +1,93 @@
+#include "la1/uml_spec.hpp"
+
+#include <stdexcept>
+
+namespace la1::core {
+
+uml::ClassDiagram la1_class_diagram() {
+  uml::ClassDiagram cd("LA1_Interface");
+
+  uml::Class& np = cd.add_class("NetworkProcessor");
+  np.operations = {{"IssueRead", {"addr"}}, {"IssueWrite", {"addr", "data", "bwe"}}};
+
+  uml::Class& rp = cd.add_class("ReadPort");
+  rp.attributes = {{"m_stage", "PipelineStage"}, {"m_addr", "Address"}};
+  rp.operations = {{"OnReadRequest", {"addr"}}, {"FormatData", {}}};
+
+  uml::Class& wp = cd.add_class("WritePort");
+  wp.attributes = {{"m_beat0", "Beat"}, {"m_bwe", "ByteEnables"}};
+  wp.operations = {{"OnReceiveData", {"beat"}}, {"OnAddress", {"addr"}}};
+
+  uml::Class& mem = cd.add_class("SRAM_Memory");
+  mem.attributes = {{"m_words", "WordArray"}};
+  mem.operations = {{"Read", {"addr"}}, {"Write", {"addr", "word", "bwe"}}};
+
+  uml::Class& simmgr = cd.add_class("LightSimulator");
+  simmgr.attributes = {{"m_k", "ClockEvent"}, {"m_ks", "ClockEvent"}};
+  simmgr.operations = {{"SimManager_Init", {}}, {"SimManager_Restart", {}}};
+
+  uml::Class& bank = cd.add_class("La1Bank");
+  bank.operations = {{"OnK", {}}, {"OnKs", {}}};
+
+  cd.add_relation({"La1Bank", "ReadPort", uml::RelationKind::kComposition,
+                   "read path", "1"});
+  cd.add_relation({"La1Bank", "WritePort", uml::RelationKind::kComposition,
+                   "write path", "1"});
+  cd.add_relation({"La1Bank", "SRAM_Memory", uml::RelationKind::kComposition,
+                   "storage", "1"});
+  cd.add_relation({"NetworkProcessor", "La1Bank", uml::RelationKind::kAssociation,
+                   "LA-1 pins", "1..4"});
+  cd.add_relation({"LightSimulator", "La1Bank", uml::RelationKind::kAssociation,
+                   "clocks", "1..4"});
+  return cd;
+}
+
+uml::SequenceDiagram read_mode_sequence() {
+  uml::SequenceDiagram sd("ReadMode");
+  sd.add_lifeline("NetworkProcessor");
+  sd.add_lifeline("ReadPort");
+  sd.add_lifeline("SRAM_Memory");
+
+  // Figure 3: request at K(0); SRAM access at K(1); data released in two
+  // consecutive beats at K(2) and the following K#(2).
+  sd.add_message({"NetworkProcessor", "ReadPort", "OnReadRequest", 0,
+                  uml::ClockRef::kK, 0});
+  sd.add_message({"ReadPort", "SRAM_Memory", "LA1_SRAM_OnReadRequest", 1,
+                  uml::ClockRef::kK, 0});
+  sd.add_message({"ReadPort", "NetworkProcessor", "ReleaseBeat0", 2,
+                  uml::ClockRef::kK, 0});
+  sd.add_message({"ReadPort", "NetworkProcessor", "ReleaseBeat1", 2,
+                  uml::ClockRef::kKs, 0});
+  return sd;
+}
+
+uml::SequenceDiagram write_mode_sequence() {
+  uml::SequenceDiagram sd("WriteMode");
+  sd.add_lifeline("NetworkProcessor");
+  sd.add_lifeline("WritePort");
+  sd.add_lifeline("SRAM_Memory");
+
+  sd.add_message({"NetworkProcessor", "WritePort", "OnReceiveData", 0,
+                  uml::ClockRef::kK, 0});
+  sd.add_message({"NetworkProcessor", "WritePort", "OnAddress", 0,
+                  uml::ClockRef::kKs, 0});
+  sd.add_message({"WritePort", "SRAM_Memory", "CommitWrite", 1,
+                  uml::ClockRef::kK, 0});
+  return sd;
+}
+
+uml::SignalNamer tap_namer(int bank) {
+  const std::string p = "b" + std::to_string(bank) + ".";
+  return [p](const uml::Message& m) -> std::string {
+    if (m.operation == "OnReadRequest") return p + "read_start";
+    if (m.operation == "LA1_SRAM_OnReadRequest") return p + "fetch";
+    if (m.operation == "ReleaseBeat0") return p + "dout_valid_k";
+    if (m.operation == "ReleaseBeat1") return p + "dout_valid_ks";
+    if (m.operation == "OnReceiveData") return "write_start";
+    if (m.operation == "OnAddress") return "addr_captured";
+    if (m.operation == "CommitWrite") return "write_commit";
+    throw std::invalid_argument("no tap for operation: " + m.operation);
+  };
+}
+
+}  // namespace la1::core

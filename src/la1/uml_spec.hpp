@@ -1,0 +1,26 @@
+// The LA-1 UML specification instance (paper §4.1, Figures 1 and 3): the
+// class diagram with the four principal classes plus the light simulator,
+// and the clock-annotated sequence diagrams for the read and write modes.
+#pragma once
+
+#include "uml/derive.hpp"
+#include "uml/model.hpp"
+
+namespace la1::core {
+
+/// The LA-1 class diagram: NetworkProcessor (host), WritePort, ReadPort,
+/// SRAM_Memory, LightSimulator, La1Bank composition.
+uml::ClassDiagram la1_class_diagram();
+
+/// Figure 3: the read-mode sequence diagram.
+uml::SequenceDiagram read_mode_sequence();
+
+/// The write-mode sequence diagram (W# at K, address at the following K#,
+/// commit at the next K).
+uml::SequenceDiagram write_mode_sequence();
+
+/// Maps sequence-diagram messages to the behavioural tap names of `bank`,
+/// so derived properties run directly against the ProbeEnv.
+uml::SignalNamer tap_namer(int bank);
+
+}  // namespace la1::core

@@ -1,0 +1,174 @@
+#include "mc/explicit.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace la1::mc {
+
+bool StateEnv::sample(const std::string& signal) const {
+  const std::size_t eq = signal.find('=');
+  if (eq == std::string::npos) return state_->get_bool(signal);
+  const std::string loc = std::string(util::trim(signal.substr(0, eq)));
+  const std::string want = std::string(util::trim(signal.substr(eq + 1)));
+  return state_->get(loc).to_string() == want;
+}
+
+namespace {
+
+std::string label_of(const asml::Rule& rule, const asml::Args& args) {
+  std::string label = rule.name;
+  if (!args.empty()) {
+    label += '(';
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i != 0) label += ',';
+      label += args[i].to_string();
+    }
+    label += ')';
+  }
+  return label;
+}
+
+}  // namespace
+
+ExplicitResult check(const asml::Machine& machine, const psl::PropPtr& prop,
+                     const ExplicitOptions& options) {
+  util::CpuStopwatch cpu;
+  ExplicitResult result;
+
+  std::vector<const asml::Rule*> rules;
+  if (options.enabled_rules.empty()) {
+    for (const asml::Rule& r : machine.rules()) rules.push_back(&r);
+  } else {
+    for (const std::string& name : options.enabled_rules) {
+      rules.push_back(&machine.rule(name));
+    }
+  }
+  std::vector<std::vector<asml::Args>> tuples;
+  tuples.reserve(rules.size());
+  for (const auto* r : rules) tuples.push_back(asml::Machine::argument_tuples(*r));
+
+  struct ProductState {
+    asml::State state;
+    std::unique_ptr<psl::Monitor> monitor;
+    std::int64_t parent = -1;
+    std::string label;
+  };
+
+  std::vector<ProductState> states;
+  std::unordered_map<std::string, std::uint32_t> interned;
+  std::unordered_map<std::string, bool> fsm_states;
+
+  auto intern = [&](asml::State s, std::unique_ptr<psl::Monitor> m,
+                    std::int64_t parent,
+                    std::string label) -> std::pair<std::uint32_t, bool> {
+    const std::string state_key = s.encode();
+    fsm_states.emplace(state_key, true);
+    const std::string key = state_key + "##" + m->encode();
+    auto it = interned.find(key);
+    if (it != interned.end()) return {it->second, false};
+    const auto id = static_cast<std::uint32_t>(states.size());
+    interned.emplace(key, id);
+    states.push_back(
+        ProductState{std::move(s), std::move(m), parent, std::move(label)});
+    return {id, true};
+  };
+
+  auto counterexample_to = [&](std::uint32_t target) {
+    std::vector<std::string> path;
+    for (std::int64_t at = target; states[static_cast<std::size_t>(at)].parent >= 0;
+         at = states[static_cast<std::size_t>(at)].parent) {
+      path.push_back(states[static_cast<std::size_t>(at)].label);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+
+  auto finish = [&](ExplicitResult r) {
+    r.product_states = states.size();
+    r.fsm_states = fsm_states.size();
+    r.cpu_seconds = cpu.seconds();
+    return r;
+  };
+
+  // Initial product state: monitor samples the initial ASM state (cycle 0).
+  {
+    auto monitor = psl::compile(prop);
+    StateEnv env(machine.initial());
+    monitor->step(env);
+    if (monitor->current() == psl::Verdict::kFailed) {
+      result.violated = true;
+      return finish(std::move(result));
+    }
+    intern(machine.initial(), std::move(monitor), -1, "");
+  }
+
+  std::deque<std::uint32_t> frontier{0};
+  bool truncated = false;
+
+  while (!frontier.empty() && !truncated) {
+    const std::uint32_t at = frontier.front();
+    frontier.pop_front();
+    // Copy: `states` may reallocate during expansion.
+    const asml::State current = states[at].state;
+
+    for (std::size_t r = 0; r < rules.size() && !truncated; ++r) {
+      for (const asml::Args& args : tuples[r]) {
+        if (!rules[r]->enabled(current, args)) continue;
+        if (result.product_transitions >= options.max_transitions) {
+          truncated = true;
+          break;
+        }
+        ++result.product_transitions;
+        asml::State next = machine.fire(*rules[r], args, current);
+        auto monitor = states[at].monitor->clone();
+        StateEnv env(next);
+        monitor->step(env);
+        const bool failed = monitor->current() == psl::Verdict::kFailed;
+        const auto [id, is_new] =
+            intern(std::move(next), std::move(monitor), at,
+                   label_of(*rules[r], args));
+        if (failed) {
+          result.violated = true;
+          result.counterexample = counterexample_to(id);
+          return finish(std::move(result));
+        }
+        if (is_new) {
+          if (states.size() >= options.max_states) {
+            truncated = true;
+          } else {
+            frontier.push_back(id);
+          }
+        }
+      }
+    }
+  }
+
+  result.holds = true;
+  result.complete = !truncated;
+  return finish(std::move(result));
+}
+
+std::vector<PropertyOutcome> check_all(
+    const asml::Machine& machine,
+    const std::vector<std::pair<std::string, psl::PropPtr>>& props,
+    const ExplicitOptions& options) {
+  std::vector<PropertyOutcome> out;
+  out.reserve(props.size());
+  for (const auto& [name, prop] : props) {
+    const ExplicitResult r = check(machine, prop, options);
+    PropertyOutcome o;
+    o.name = name;
+    o.holds = r.holds;
+    o.complete = r.complete;
+    o.counterexample = r.counterexample;
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace la1::mc

@@ -1,0 +1,603 @@
+#include "mc/symbolic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/mem.hpp"
+#include "util/stopwatch.hpp"
+
+namespace la1::mc {
+
+Observer build_observer(const psl::PropPtr& prop, int max_states) {
+  // The observer is the safety view of the determinized monitor table.
+  const psl::DfaTable table = psl::determinize(prop, max_states);
+  Observer obs;
+  obs.atoms = table.atoms;
+  obs.state_count = table.state_count;
+  obs.init_state = table.init_state;
+  obs.next = table.next;
+  obs.bad.reserve(table.verdict.size());
+  for (const psl::Verdict v : table.verdict) {
+    obs.bad.push_back(v == psl::Verdict::kFailed);
+  }
+  return obs;
+}
+
+namespace {
+
+/// Everything the reachability engine needs, bundled so the counterexample
+/// extractor can reuse it.
+struct Encoding {
+  bdd::Manager* mgr = nullptr;
+  const rtl::BitBlast* bb = nullptr;
+  int n_model = 0;    // model state bits
+  int n_obs = 0;      // observer state bits
+  int n_state = 0;    // n_model + n_obs
+  int n_inputs = 0;
+
+  int cur(int i) const { return 2 * i; }
+  int nxt(int i) const { return 2 * i + 1; }
+  int input(int j) const { return 2 * n_state + j; }
+
+  std::vector<bdd::NodeId> conjuncts;  // per next-state bit: s'_i <-> f_i
+  bdd::NodeId init = bdd::kFalse;
+  bdd::NodeId bad = bdd::kFalse;
+  std::vector<bool> quantify_mask;     // current + input vars
+  std::vector<int> rename_next_to_cur;
+  std::vector<int> state_at_rank;      // rank -> index into bb->state_vars
+  std::vector<int> last_use;           // per var: last conjunct mentioning it
+
+  std::string state_bit_name(int rank) const;
+};
+
+std::string Encoding::state_bit_name(int rank) const {
+  if (rank < n_model) {
+    const int k = state_at_rank[static_cast<std::size_t>(rank)];
+    return bb->vars[static_cast<std::size_t>(
+                        bb->state_vars[static_cast<std::size_t>(k)])]
+        .name;
+  }
+  return "__observer[" + std::to_string(rank - n_model) + "]";
+}
+
+/// Translates a BitGraph node into a BDD over the encoding's variables.
+class Translator {
+ public:
+  Translator(const rtl::BitGraph& graph, bdd::Manager& mgr,
+             const std::vector<int>& var_map)
+      : graph_(&graph), mgr_(&mgr), var_map_(&var_map) {}
+
+  bdd::NodeId operator()(int node) {
+    auto it = memo_.find(node);
+    if (it != memo_.end()) return it->second;
+    const rtl::BitGraph::Node& n = graph_->node(node);
+    bdd::NodeId out = bdd::kFalse;
+    using Kind = rtl::BitGraph::Kind;
+    switch (n.kind) {
+      case Kind::kConst: out = node == 1 ? bdd::kTrue : bdd::kFalse; break;
+      case Kind::kVar: {
+        const int v = (*var_map_)[static_cast<std::size_t>(n.var)];
+        if (v < 0) throw std::logic_error("unmapped BitGraph variable");
+        out = mgr_->var(v);
+        break;
+      }
+      case Kind::kNot: out = mgr_->apply_not((*this)(n.a)); break;
+      case Kind::kAnd: out = mgr_->apply_and((*this)(n.a), (*this)(n.b)); break;
+      case Kind::kOr: out = mgr_->apply_or((*this)(n.a), (*this)(n.b)); break;
+      case Kind::kXor: out = mgr_->apply_xor((*this)(n.a), (*this)(n.b)); break;
+      case Kind::kMux:
+        out = mgr_->ite((*this)(n.a), (*this)(n.b), (*this)(n.c));
+        break;
+    }
+    memo_.emplace(node, out);
+    return out;
+  }
+
+ private:
+  const rtl::BitGraph* graph_;
+  bdd::Manager* mgr_;
+  const std::vector<int>* var_map_;
+  std::unordered_map<int, bdd::NodeId> memo_;
+};
+
+/// Resolves an atom name against the blasted design: "net" (1-bit),
+/// "net[i]" (bit i), or "net.__conflict" (tristate conflict flag).
+int atom_bit_node(const rtl::BitBlast& bb, const std::string& name) {
+  const std::string conflict_suffix = ".__conflict";
+  if (name.size() > conflict_suffix.size() &&
+      name.compare(name.size() - conflict_suffix.size(), conflict_suffix.size(),
+                   conflict_suffix) == 0) {
+    const std::string net = name.substr(0, name.size() - conflict_suffix.size());
+    auto it = bb.conflict_bits.find(net);
+    if (it == bb.conflict_bits.end()) {
+      throw std::invalid_argument("no tristate conflict bit for net: " + net);
+    }
+    return it->second;
+  }
+  std::string net = name;
+  int bit = 0;
+  const std::size_t lb = name.rfind('[');
+  if (lb != std::string::npos && name.back() == ']') {
+    net = name.substr(0, lb);
+    bit = std::stoi(name.substr(lb + 1, name.size() - lb - 2));
+  }
+  auto it = bb.net_bits.find(net);
+  if (it == bb.net_bits.end()) {
+    throw std::invalid_argument("property atom refers to unknown net: " + net);
+  }
+  if (bit < 0 || bit >= static_cast<int>(it->second.size())) {
+    throw std::invalid_argument("property atom bit out of range: " + name);
+  }
+  if (lb == std::string::npos && it->second.size() != 1) {
+    throw std::invalid_argument("property atom must name a single bit: " + name);
+  }
+  return it->second[static_cast<std::size_t>(bit)];
+}
+
+/// Image of `from` under the transition conjuncts, renamed back to current
+/// variables. `partitioned` enables early quantification.
+bdd::NodeId image(const Encoding& enc, bdd::NodeId from, bool partitioned,
+                  std::uint64_t gc_threshold, bool verbose) {
+  bdd::Manager& mgr = *enc.mgr;
+  if (!partitioned) {
+    bdd::NodeId t = bdd::kTrue;
+    for (bdd::NodeId c : enc.conjuncts) t = mgr.apply_and(t, c);
+    const bdd::NodeId img = mgr.and_exists(from, t, enc.quantify_mask);
+    return mgr.rename(img, enc.rename_next_to_cur);
+  }
+
+  // Early quantification: a current/input variable is quantified right
+  // after the last conjunct mentioning it has been conjoined (enc.last_use
+  // is precomputed — the conjuncts never change).
+  const std::size_t nvars = enc.quantify_mask.size();
+  const std::vector<int>& last_use = enc.last_use;
+
+  bdd::NodeId acc = from;
+  mgr.ref(acc);
+  for (std::size_t ci = 0; ci < enc.conjuncts.size(); ++ci) {
+    std::vector<bool> mask(nvars, false);
+    bool any = false;
+    for (std::size_t v = 0; v < nvars; ++v) {
+      if (enc.quantify_mask[v] && last_use[v] == static_cast<int>(ci)) {
+        mask[v] = true;
+        any = true;
+      }
+    }
+    const bdd::NodeId next_acc =
+        any ? mgr.and_exists(acc, enc.conjuncts[ci], mask)
+            : mgr.apply_and(acc, enc.conjuncts[ci]);
+    mgr.ref(next_acc);
+    mgr.deref(acc);
+    acc = next_acc;
+    if (mgr.live_nodes() > gc_threshold) {
+      mgr.collect_garbage();
+      if (verbose) {
+        std::fprintf(stderr,
+                     "[symbolic]   conjunct %zu/%zu: |acc|=%llu live=%llu\n",
+                     ci + 1, enc.conjuncts.size(),
+                     static_cast<unsigned long long>(mgr.dag_size(acc)),
+                     static_cast<unsigned long long>(mgr.live_nodes()));
+      }
+    }
+  }
+  // Variables never mentioned by any conjunct (e.g. unused inputs) still
+  // need quantification out of `from`.
+  std::vector<bool> rest(nvars, false);
+  bool any_rest = false;
+  for (std::size_t v = 0; v < nvars; ++v) {
+    if (enc.quantify_mask[v] && last_use[v] < 0) {
+      rest[v] = true;
+      any_rest = true;
+    }
+  }
+  const bdd::NodeId quantified = any_rest ? mgr.exists(acc, rest) : acc;
+  const bdd::NodeId out = mgr.rename(quantified, enc.rename_next_to_cur);
+  mgr.deref(acc);
+  return out;
+}
+
+/// Builds a trace from the onion rings. `rings[i]` is the frontier reached
+/// at step i; `target` intersects rings.back() and the bad states.
+std::vector<std::map<std::string, bool>> extract_trace(
+    const Encoding& enc, const std::vector<bdd::NodeId>& rings,
+    bdd::NodeId target) {
+  bdd::Manager& mgr = *enc.mgr;
+  std::vector<std::map<std::string, bool>> trace(rings.size());
+
+  // Pick a concrete bad state in the last ring.
+  std::vector<bool> state_assign =
+      mgr.any_sat(mgr.apply_and(rings.back(), target));
+
+  for (std::size_t i = rings.size(); i-- > 0;) {
+    // Record the state bits of the chosen state.
+    for (int b = 0; b < enc.n_state; ++b) {
+      trace[i][enc.state_bit_name(b)] =
+          state_assign[static_cast<std::size_t>(enc.cur(b))];
+    }
+    if (i == 0) break;
+
+    // Constrain the transition conjuncts by the chosen successor state and
+    // intersect with the previous ring; any satisfying assignment yields the
+    // predecessor state and the inputs used.
+    bdd::NodeId pred = rings[i - 1];
+    for (bdd::NodeId c : enc.conjuncts) {
+      bdd::NodeId restricted = c;
+      for (int b = 0; b < enc.n_state; ++b) {
+        restricted = mgr.cofactor(
+            restricted, enc.nxt(b),
+            state_assign[static_cast<std::size_t>(enc.cur(b))]);
+      }
+      pred = mgr.apply_and(pred, restricted);
+    }
+    std::vector<bool> full = mgr.any_sat(pred);
+    // Inputs driven during the step out of state i-1.
+    for (int j = 0; j < enc.n_inputs; ++j) {
+      const std::string name =
+          enc.bb->vars[static_cast<std::size_t>(
+                           enc.bb->input_vars[static_cast<std::size_t>(j)])]
+              .name;
+      trace[i - 1][name] = full[static_cast<std::size_t>(enc.input(j))];
+    }
+    state_assign = std::move(full);
+  }
+  return trace;
+}
+
+}  // namespace
+
+SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
+                     const SymbolicOptions& options) {
+  util::CpuStopwatch cpu;
+  SymbolicResult result;
+
+  const Observer obs = build_observer(prop);
+  const unsigned letters = 1u << obs.atoms.size();
+
+  // Cone of influence: the state variables the property can observe,
+  // transitively through the next-state functions. Exact for safety.
+  std::vector<std::size_t> active;
+  {
+    const std::size_t n = design.state_vars.size();
+    if (options.cone_of_influence) {
+      std::vector<bool> var_mask(design.vars.size(), false);
+      for (const std::string& name : obs.atoms) {
+        design.graph.support(atom_bit_node(design, name), var_mask);
+      }
+      std::vector<bool> in_cone(n, false);
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (std::size_t k = 0; k < n; ++k) {
+          if (in_cone[k] ||
+              !var_mask[static_cast<std::size_t>(design.state_vars[k])]) {
+            continue;
+          }
+          in_cone[k] = true;
+          design.graph.support(design.next_fn[k], var_mask);
+          changed = true;
+        }
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        if (in_cone[k]) active.push_back(k);
+      }
+    } else {
+      for (std::size_t k = 0; k < n; ++k) active.push_back(k);
+    }
+  }
+
+  Encoding enc;
+  enc.bb = &design;
+  enc.n_model = static_cast<int>(active.size());
+  enc.n_obs = 0;
+  while ((1 << enc.n_obs) < obs.state_count) ++enc.n_obs;
+  enc.n_state = enc.n_model + enc.n_obs;
+  enc.n_inputs = static_cast<int>(design.input_vars.size());
+  result.state_bits = enc.n_state;
+  result.input_bits = enc.n_inputs;
+
+  bdd::Manager mgr(2 * enc.n_state + enc.n_inputs);
+  mgr.set_node_limit(options.node_limit);
+  enc.mgr = &mgr;
+
+  auto fill_stats = [&] {
+    result.peak_bdd_nodes = mgr.peak_live_nodes();
+    result.created_bdd_nodes = mgr.created_nodes();
+    result.memory_mb = util::to_mb(mgr.memory_bytes());
+    result.cpu_seconds = cpu.seconds();
+  };
+
+  try {
+    // Static variable order. Reachable-set BDDs relate same-lane bits of
+    // different registers (memory word <-> pipeline word <-> data-path
+    // registers), so within each instance prefix the order is *bit-major*:
+    // all lane-0 bits of every register, then lane 1, ... Register-major
+    // order would force the BDD to remember whole words across distant
+    // variable groups (exponential equality relations).
+    std::vector<int> rank_of_active(active.size());
+    {
+      struct Key {
+        std::string instance;
+        int lane = 0;   // bit % 8 — the byte lane (DDR halves fold together)
+        int word = 0;   // bit / 8
+        std::string reg;
+        std::size_t active_index = 0;
+      };
+      std::vector<Key> keys;
+      keys.reserve(active.size());
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        const std::size_t k = active[a];
+        const std::string& name =
+            design.vars[static_cast<std::size_t>(design.state_vars[k])].name;
+        Key key;
+        key.active_index = a;
+        std::string base = name;
+        int bit = 0;
+        const std::size_t lb = name.rfind('[');
+        if (lb != std::string::npos && name.back() == ']') {
+          base = name.substr(0, lb);
+          bit = std::stoi(name.substr(lb + 1, name.size() - lb - 2));
+        }
+        key.lane = bit % 8;
+        key.word = bit / 8;
+        const std::size_t dot = base.find('.');
+        key.instance = dot == std::string::npos ? std::string() : base.substr(0, dot);
+        key.reg = dot == std::string::npos ? base : base.substr(dot + 1);
+        keys.push_back(std::move(key));
+      }
+      // Instances interleave (same register of different banks adjacent):
+      // the shared buses make sibling registers near-equal across banks,
+      // and bank-major order would turn those into distant equalities.
+      std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+        if (a.lane != b.lane) return a.lane < b.lane;
+        if (a.word != b.word) return a.word < b.word;
+        if (a.reg != b.reg) return a.reg < b.reg;
+        return a.instance < b.instance;
+      });
+      for (std::size_t pos = 0; pos < keys.size(); ++pos) {
+        rank_of_active[keys[pos].active_index] = static_cast<int>(pos);
+      }
+    }
+
+    // Map BitGraph variables to BDD variables: active state bit k sits at
+    // the interleaved current/next pair of its rank.
+    std::vector<int> var_map(design.vars.size(), -1);
+    std::vector<int> state_at_rank(active.size());
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const std::size_t k = active[a];
+      var_map[static_cast<std::size_t>(design.state_vars[k])] =
+          enc.cur(rank_of_active[a]);
+      state_at_rank[static_cast<std::size_t>(rank_of_active[a])] =
+          static_cast<int>(k);
+    }
+    for (std::size_t j = 0; j < design.input_vars.size(); ++j) {
+      var_map[static_cast<std::size_t>(design.input_vars[j])] =
+          enc.input(static_cast<int>(j));
+    }
+    Translator translate(design.graph, mgr, var_map);
+    enc.state_at_rank = state_at_rank;
+
+    // Model next-state conjuncts: s'_i <-> f_i(s, x), in rank order so the
+    // early-quantification pass walks the variable order.
+    for (int r = 0; r < enc.n_model; ++r) {
+      const int k = state_at_rank[static_cast<std::size_t>(r)];
+      const bdd::NodeId f =
+          translate(design.next_fn[static_cast<std::size_t>(k)]);
+      enc.conjuncts.push_back(
+          mgr.apply_not(mgr.apply_xor(mgr.var(enc.nxt(r)), f)));
+      if (options.verbose) {
+        std::fprintf(stderr, "[symbolic] conjunct %d (%s): |f|=%llu live=%llu\n",
+                     r, enc.state_bit_name(r).c_str(),
+                     static_cast<unsigned long long>(mgr.dag_size(f)),
+                     static_cast<unsigned long long>(mgr.live_nodes()));
+      }
+    }
+
+    // Atom functions; must depend only on model state bits.
+    std::vector<bdd::NodeId> atom_cur;
+    for (const std::string& name : obs.atoms) {
+      const bdd::NodeId a = translate(atom_bit_node(design, name));
+      const std::vector<bool> sup = mgr.support(a);
+      for (std::size_t v = 0; v < sup.size(); ++v) {
+        if (!sup[v]) continue;
+        const bool is_cur_model =
+            (v % 2 == 0) && static_cast<int>(v) < 2 * enc.n_model;
+        if (!is_cur_model) {
+          throw std::invalid_argument(
+              "symbolic MC: atom '" + name +
+              "' depends on a non-registered signal; attach monitors to "
+              "registered taps");
+        }
+      }
+      atom_cur.push_back(a);
+    }
+    // Atoms over the *next* state (the observer reads the successor state).
+    std::vector<int> shift(static_cast<std::size_t>(mgr.var_count()));
+    for (int v = 0; v < mgr.var_count(); ++v) {
+      const bool cur_model = (v % 2 == 0) && v < 2 * enc.n_model;
+      shift[static_cast<std::size_t>(v)] = cur_model ? v + 1 : v;
+    }
+    std::vector<bdd::NodeId> atom_next;
+    atom_next.reserve(atom_cur.size());
+    for (bdd::NodeId a : atom_cur) atom_next.push_back(mgr.rename(a, shift));
+
+    // Observer state equality over current variables.
+    auto obs_eq_cur = [&](int s) {
+      bdd::NodeId acc = bdd::kTrue;
+      for (int j = 0; j < enc.n_obs; ++j) {
+        const int v = enc.cur(enc.n_model + j);
+        acc = mgr.apply_and(acc, ((s >> j) & 1) != 0 ? mgr.var(v) : mgr.nvar(v));
+      }
+      return acc;
+    };
+    auto valuation_formula = [&](unsigned m) {
+      bdd::NodeId acc = bdd::kTrue;
+      for (std::size_t a = 0; a < atom_next.size(); ++a) {
+        acc = mgr.apply_and(acc, ((m >> a) & 1u) != 0
+                                     ? atom_next[a]
+                                     : mgr.apply_not(atom_next[a]));
+      }
+      return acc;
+    };
+
+    // Observer next-state conjuncts: o'_j <-> g_j(o, atoms(s')).
+    for (int j = 0; j < enc.n_obs; ++j) {
+      bdd::NodeId g = bdd::kFalse;
+      for (int s = 0; s < obs.state_count; ++s) {
+        for (unsigned m = 0; m < letters; ++m) {
+          const int t = obs.step(s, m);
+          if (((t >> j) & 1) == 0) continue;
+          g = mgr.apply_or(g,
+                           mgr.apply_and(obs_eq_cur(s), valuation_formula(m)));
+        }
+      }
+      enc.conjuncts.push_back(
+          mgr.apply_not(mgr.apply_xor(mgr.var(enc.nxt(enc.n_model + j)), g)));
+    }
+
+    // Initial state: model inits plus the observer state after reading the
+    // initial letter.
+    std::vector<bool> init_assign(static_cast<std::size_t>(mgr.var_count()),
+                                  false);
+    for (int r = 0; r < enc.n_model; ++r) {
+      const int k = state_at_rank[static_cast<std::size_t>(r)];
+      init_assign[static_cast<std::size_t>(enc.cur(r))] =
+          design.vars[static_cast<std::size_t>(
+                          design.state_vars[static_cast<std::size_t>(k)])]
+              .init;
+    }
+    unsigned v0 = 0;
+    for (std::size_t a = 0; a < atom_cur.size(); ++a) {
+      if (mgr.eval(atom_cur[a], init_assign)) v0 |= (1u << a);
+    }
+    const int obs0 = obs.step(obs.init_state, v0);
+
+    bdd::NodeId init = bdd::kTrue;
+    for (int i = 0; i < enc.n_model; ++i) {
+      init = mgr.apply_and(init, init_assign[static_cast<std::size_t>(enc.cur(i))]
+                                     ? mgr.var(enc.cur(i))
+                                     : mgr.nvar(enc.cur(i)));
+    }
+    init = mgr.apply_and(init, obs_eq_cur(obs0));
+    enc.init = init;
+
+    // Bad: observer in a bad state.
+    bdd::NodeId bad = bdd::kFalse;
+    for (int s = 0; s < obs.state_count; ++s) {
+      if (s < obs.state_count && obs.bad[static_cast<std::size_t>(s)]) {
+        bad = mgr.apply_or(bad, obs_eq_cur(s));
+      }
+    }
+    enc.bad = bad;
+
+    // Quantification mask (current state + inputs) and next->current rename.
+    enc.quantify_mask.assign(static_cast<std::size_t>(mgr.var_count()), false);
+    for (int i = 0; i < enc.n_state; ++i) {
+      enc.quantify_mask[static_cast<std::size_t>(enc.cur(i))] = true;
+    }
+    for (int j = 0; j < enc.n_inputs; ++j) {
+      enc.quantify_mask[static_cast<std::size_t>(enc.input(j))] = true;
+    }
+    enc.rename_next_to_cur.assign(static_cast<std::size_t>(mgr.var_count()), 0);
+    for (int v = 0; v < mgr.var_count(); ++v) {
+      const bool nxt_state = (v % 2 == 1) && v < 2 * enc.n_state;
+      enc.rename_next_to_cur[static_cast<std::size_t>(v)] =
+          nxt_state ? v - 1 : v;
+    }
+
+    // Precompute the early-quantification schedule.
+    enc.last_use.assign(static_cast<std::size_t>(mgr.var_count()), -1);
+    for (std::size_t ci = 0; ci < enc.conjuncts.size(); ++ci) {
+      const std::vector<bool> sup = mgr.support(enc.conjuncts[ci]);
+      for (std::size_t v = 0; v < sup.size(); ++v) {
+        if (sup[v] && enc.quantify_mask[v]) {
+          enc.last_use[v] = static_cast<int>(ci);
+        }
+      }
+    }
+
+    // Protect the long-lived BDDs so garbage collection between iterations
+    // can reclaim image intermediates (which dwarf the useful sets).
+    for (bdd::NodeId c : enc.conjuncts) mgr.ref(c);
+    mgr.ref(enc.init);
+    mgr.ref(enc.bad);
+    // Collect aggressively: the useful sets are orders of magnitude smaller
+    // than image intermediates, and small tables keep operations fast. The
+    // node budget (`node_limit`, the Table-2 explosion knob) measures the
+    // live working set, which GC keeps honest.
+    const std::uint64_t gc_threshold =
+        options.node_limit != 0
+            ? std::min<std::uint64_t>(options.node_limit / 2, 1u << 20)
+            : (1u << 20);
+
+    // Reachability with onion rings.
+    std::vector<bdd::NodeId> rings{init};
+    bdd::NodeId reached = init;
+    bdd::NodeId frontier = init;
+    mgr.ref(reached);
+    mgr.ref(frontier);
+    mgr.ref(rings.back());
+    for (;;) {
+      if (mgr.apply_and(reached, enc.bad) != bdd::kFalse) {
+        // Trim rings to the first ring that intersects bad.
+        while (mgr.apply_and(rings.back(), enc.bad) == bdd::kFalse &&
+               rings.size() > 1) {
+          rings.pop_back();
+        }
+        result.outcome = SymbolicResult::Outcome::kFails;
+        result.trace = extract_trace(enc, rings, enc.bad);
+        break;
+      }
+      if (options.max_iterations > 0 &&
+          result.iterations >= options.max_iterations) {
+        result.outcome = SymbolicResult::Outcome::kStateExplosion;
+        break;
+      }
+      // Image of the full reached set: the union is a structurally smoother
+      // BDD than the exact-depth frontier ring (which encodes depth
+      // correlations), and monotone growth converges in the same number of
+      // iterations.
+      const bdd::NodeId img = image(enc, reached, options.partitioned,
+                                    gc_threshold, options.verbose);
+      const bdd::NodeId fresh = mgr.apply_and(img, mgr.apply_not(reached));
+      if (fresh == bdd::kFalse) {
+        result.outcome = SymbolicResult::Outcome::kHolds;
+        break;
+      }
+      const bdd::NodeId new_reached = mgr.apply_or(reached, fresh);
+      mgr.ref(new_reached);
+      mgr.ref(fresh);  // frontier
+      mgr.ref(fresh);  // ring
+      mgr.deref(reached);
+      mgr.deref(frontier);
+      reached = new_reached;
+      frontier = fresh;
+      rings.push_back(fresh);
+      ++result.iterations;
+      if (mgr.live_nodes() > gc_threshold) mgr.collect_garbage();
+      if (options.verbose) {
+        std::fprintf(stderr,
+                     "[symbolic] iter %d: |frontier|=%llu |reached|=%llu "
+                     "live=%llu\n",
+                     result.iterations,
+                     static_cast<unsigned long long>(mgr.dag_size(frontier)),
+                     static_cast<unsigned long long>(mgr.dag_size(reached)),
+                     static_cast<unsigned long long>(mgr.live_nodes()));
+      }
+    }
+
+    const double free_vars =
+        static_cast<double>(mgr.var_count() - enc.n_state);
+    result.reachable_states = mgr.sat_count(reached) / std::pow(2.0, free_vars);
+  } catch (const bdd::ResourceExhausted&) {
+    result.outcome = SymbolicResult::Outcome::kStateExplosion;
+  }
+
+  fill_stats();
+  return result;
+}
+
+}  // namespace la1::mc

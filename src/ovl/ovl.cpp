@@ -1,0 +1,325 @@
+#include "ovl/ovl.hpp"
+
+#include <stdexcept>
+
+namespace la1::ovl {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kMinor: return "MINOR";
+    case Severity::kMajor: return "MAJOR";
+    case Severity::kFatal: return "FATAL";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string flag_name(const std::string& name) { return "ovl." + name + ".err"; }
+
+/// Adds the sticky error register: err <= err | violation, sampled on clk.
+rtl::NetId sticky_error(rtl::Module& m, const std::string& name, rtl::NetId clk,
+                        rtl::ExprId violation) {
+  const rtl::NetId err = m.reg(flag_name(name), 1, 0u);
+  const rtl::ProcId proc = m.process("ovl." + name, clk, rtl::Edge::kPos);
+  m.nonblocking(proc, err, m.op_or(m.ref(err), violation));
+  return err;
+}
+
+void check_bit(const rtl::Module& m, rtl::ExprId e, const char* what) {
+  if (m.expr(e).width != 1) {
+    throw std::invalid_argument(std::string("OVL: expected 1-bit ") + what);
+  }
+}
+
+/// Unsigned a < b over equal widths: extend by a zero MSB, subtract, and
+/// read the borrow out of the top bit.
+rtl::ExprId unsigned_lt(rtl::Module& m, rtl::ExprId a, rtl::ExprId b) {
+  const int w = m.expr(a).width;
+  const rtl::ExprId z = m.lit_uint(0, 1);
+  const rtl::ExprId az = m.concat({z, a});
+  const rtl::ExprId bz = m.concat({z, b});
+  const rtl::ExprId diff = m.sub(az, bz);
+  return m.slice(diff, w, 1);
+}
+
+/// Small counter register with controlled next value; width covers `max`.
+int counter_width(int max) {
+  int w = 1;
+  while ((1 << w) <= max + 1) ++w;
+  return w;
+}
+
+}  // namespace
+
+void OvlBank::add(std::string name, rtl::NetId flag, Options options) {
+  entries_.push_back(Entry{std::move(name), flag, std::move(options)});
+}
+
+std::size_t OvlBank::failures(const rtl::CycleSim& sim) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (fired(sim, i)) ++n;
+  }
+  return n;
+}
+
+bool OvlBank::fired(const rtl::CycleSim& sim, std::size_t i) const {
+  const rtl::LVec& v = sim.get(entries_.at(i).flag);
+  return v.bit(0) == rtl::Logic::k1;
+}
+
+void OvlBank::resolve(const rtl::Module& flat, const std::string& prefix) {
+  for (Entry& e : entries_) {
+    const rtl::NetId id = flat.find_net(prefix + flag_name(e.name));
+    if (id == rtl::kInvalidId) {
+      throw std::invalid_argument("OVL flag not found after elaboration: " +
+                                  prefix + flag_name(e.name));
+    }
+    e.flag = id;
+  }
+}
+
+rtl::NetId assert_always(rtl::Module& m, OvlBank& bank, const std::string& name,
+                         rtl::NetId clk, rtl::ExprId expr, Options opt) {
+  check_bit(m, expr, "expression");
+  const rtl::NetId err = sticky_error(m, name, clk, m.op_not(expr));
+  bank.add(name, err, std::move(opt));
+  return err;
+}
+
+rtl::NetId assert_never(rtl::Module& m, OvlBank& bank, const std::string& name,
+                        rtl::NetId clk, rtl::ExprId expr, Options opt) {
+  check_bit(m, expr, "expression");
+  const rtl::NetId err = sticky_error(m, name, clk, expr);
+  bank.add(name, err, std::move(opt));
+  return err;
+}
+
+rtl::NetId assert_implication(rtl::Module& m, OvlBank& bank,
+                              const std::string& name, rtl::NetId clk,
+                              rtl::ExprId antecedent, rtl::ExprId consequent,
+                              Options opt) {
+  check_bit(m, antecedent, "antecedent");
+  check_bit(m, consequent, "consequent");
+  const rtl::NetId err =
+      sticky_error(m, name, clk, m.op_and(antecedent, m.op_not(consequent)));
+  bank.add(name, err, std::move(opt));
+  return err;
+}
+
+rtl::NetId assert_next(rtl::Module& m, OvlBank& bank, const std::string& name,
+                       rtl::NetId clk, rtl::ExprId start, rtl::ExprId test,
+                       int num_cks, Options opt) {
+  check_bit(m, start, "start");
+  check_bit(m, test, "test");
+  if (num_cks < 1) throw std::invalid_argument("OVL assert_next: num_cks >= 1");
+  // Shift register carrying the pending obligation: `test` is sampled
+  // exactly num_cks clock edges after `start` was sampled.
+  const rtl::ProcId proc = m.process("ovl." + name + ".pipe", clk, rtl::Edge::kPos);
+  rtl::ExprId stage = start;
+  for (int i = 0; i < num_cks; ++i) {
+    const rtl::NetId r =
+        m.reg(flag_name(name) + ".sr" + std::to_string(i), 1, 0u);
+    m.nonblocking(proc, r, stage);
+    stage = m.ref(r);
+  }
+  const rtl::NetId err =
+      sticky_error(m, name, clk, m.op_and(stage, m.op_not(test)));
+  bank.add(name, err, std::move(opt));
+  return err;
+}
+
+rtl::NetId assert_frame(rtl::Module& m, OvlBank& bank, const std::string& name,
+                        rtl::NetId clk, rtl::ExprId start, rtl::ExprId test,
+                        int min_cks, int max_cks, Options opt) {
+  check_bit(m, start, "start");
+  check_bit(m, test, "test");
+  if (min_cks < 0 || max_cks < min_cks) {
+    throw std::invalid_argument("OVL assert_frame: bad window");
+  }
+  const int cw = counter_width(max_cks);
+  const rtl::NetId pending = m.reg(flag_name(name) + ".pending", 1, 0u);
+  const rtl::NetId cnt = m.reg(flag_name(name) + ".cnt", cw, 0u);
+
+  const rtl::ExprId p = m.ref(pending);
+  const rtl::ExprId c = m.ref(cnt);
+  const rtl::ExprId min_lit = m.lit_uint(static_cast<std::uint64_t>(min_cks), cw);
+  const rtl::ExprId max_lit = m.lit_uint(static_cast<std::uint64_t>(max_cks), cw);
+
+  const rtl::ExprId early = m.op_and(m.op_and(p, test), unsigned_lt(m, c, min_lit));
+  const rtl::ExprId late = m.op_and(
+      m.op_and(p, m.op_not(test)),
+      m.op_not(unsigned_lt(m, c, max_lit)));  // cnt >= max and still no test
+  const rtl::ExprId violation = m.op_or(early, late);
+
+  const rtl::ProcId proc = m.process("ovl." + name + ".fsm", clk, rtl::Edge::kPos);
+  // pending' = start when idle; stays pending while neither test nor timeout.
+  const rtl::ExprId stay =
+      m.op_and(p, m.op_not(m.op_or(test, late)));
+  m.nonblocking(proc, pending, m.mux(p, stay, start));
+  // cnt' = 0 on a fresh start, cnt+1 while pending.
+  const rtl::ExprId inc = m.add(c, m.lit_uint(1, cw));
+  m.nonblocking(proc, cnt, m.mux(p, inc, m.lit_uint(0, cw)));
+
+  const rtl::NetId err = sticky_error(m, name, clk, violation);
+  bank.add(name, err, std::move(opt));
+  return err;
+}
+
+rtl::NetId assert_cycle_sequence(rtl::Module& m, OvlBank& bank,
+                                 const std::string& name, rtl::NetId clk,
+                                 const std::vector<rtl::ExprId>& events,
+                                 Options opt) {
+  if (events.size() < 2) {
+    throw std::invalid_argument("OVL assert_cycle_sequence: need >= 2 events");
+  }
+  for (rtl::ExprId e : events) check_bit(m, e, "event");
+  const rtl::ProcId proc =
+      m.process("ovl." + name + ".pipe", clk, rtl::Edge::kPos);
+  rtl::ExprId prefix = events.front();
+  for (std::size_t i = 1; i + 1 < events.size(); ++i) {
+    const rtl::NetId r =
+        m.reg(flag_name(name) + ".p" + std::to_string(i), 1, 0u);
+    m.nonblocking(proc, r, prefix);
+    prefix = m.op_and(m.ref(r), events[i]);
+  }
+  // One more register stage so the final event is checked a cycle later.
+  const rtl::NetId armed = m.reg(flag_name(name) + ".armed", 1, 0u);
+  m.nonblocking(proc, armed, prefix);
+  const rtl::NetId err = sticky_error(
+      m, name, clk, m.op_and(m.ref(armed), m.op_not(events.back())));
+  bank.add(name, err, std::move(opt));
+  return err;
+}
+
+namespace {
+/// "Two or more bits set" as pairwise AND reduction.
+rtl::ExprId any_two_set(rtl::Module& m, rtl::ExprId vec) {
+  const int w = m.expr(vec).width;
+  rtl::ExprId acc = m.lit_uint(0, 1);
+  for (int i = 0; i < w; ++i) {
+    for (int j = i + 1; j < w; ++j) {
+      acc = m.op_or(acc, m.op_and(m.slice(vec, i, 1), m.slice(vec, j, 1)));
+    }
+  }
+  return acc;
+}
+}  // namespace
+
+rtl::NetId assert_one_hot(rtl::Module& m, OvlBank& bank, const std::string& name,
+                          rtl::NetId clk, rtl::ExprId vec, Options opt) {
+  const rtl::ExprId none = m.op_not(m.red_or(vec));
+  const rtl::ExprId violation = m.op_or(any_two_set(m, vec), none);
+  const rtl::NetId err = sticky_error(m, name, clk, violation);
+  bank.add(name, err, std::move(opt));
+  return err;
+}
+
+rtl::NetId assert_zero_one_hot(rtl::Module& m, OvlBank& bank,
+                               const std::string& name, rtl::NetId clk,
+                               rtl::ExprId vec, Options opt) {
+  const rtl::NetId err = sticky_error(m, name, clk, any_two_set(m, vec));
+  bank.add(name, err, std::move(opt));
+  return err;
+}
+
+rtl::NetId assert_range(rtl::Module& m, OvlBank& bank, const std::string& name,
+                        rtl::NetId clk, rtl::ExprId vec, std::uint64_t lo,
+                        std::uint64_t hi, Options opt) {
+  const int w = m.expr(vec).width;
+  const rtl::ExprId below = unsigned_lt(m, vec, m.lit_uint(lo, w));
+  const rtl::ExprId above = unsigned_lt(m, m.lit_uint(hi, w), vec);
+  const rtl::NetId err = sticky_error(m, name, clk, m.op_or(below, above));
+  bank.add(name, err, std::move(opt));
+  return err;
+}
+
+rtl::NetId assert_handshake(rtl::Module& m, OvlBank& bank,
+                            const std::string& name, rtl::NetId clk,
+                            rtl::ExprId req, rtl::ExprId ack, int max_ack_cks,
+                            Options opt) {
+  check_bit(m, req, "req");
+  check_bit(m, ack, "ack");
+  const int cw = counter_width(max_ack_cks > 0 ? max_ack_cks : 1);
+  const rtl::NetId pending = m.reg(flag_name(name) + ".pending", 1, 0u);
+  const rtl::NetId cnt = m.reg(flag_name(name) + ".cnt", cw, 0u);
+  const rtl::ExprId p = m.ref(pending);
+  const rtl::ExprId c = m.ref(cnt);
+
+  const rtl::ExprId dropped = m.op_and(p, m.op_and(m.op_not(req), m.op_not(ack)));
+  rtl::ExprId violation = dropped;
+  if (max_ack_cks > 0) {
+    const rtl::ExprId timeout = m.op_and(
+        m.op_and(p, m.op_not(ack)),
+        m.op_not(unsigned_lt(
+            m, c, m.lit_uint(static_cast<std::uint64_t>(max_ack_cks), cw))));
+    violation = m.op_or(violation, timeout);
+  }
+
+  const rtl::ProcId proc = m.process("ovl." + name + ".fsm", clk, rtl::Edge::kPos);
+  const rtl::ExprId stay = m.op_and(p, m.op_not(m.op_or(ack, violation)));
+  m.nonblocking(proc, pending, m.mux(p, stay, m.op_and(req, m.op_not(ack))));
+  m.nonblocking(proc, cnt,
+                m.mux(p, m.add(c, m.lit_uint(1, cw)), m.lit_uint(0, cw)));
+
+  const rtl::NetId err = sticky_error(m, name, clk, violation);
+  bank.add(name, err, std::move(opt));
+  return err;
+}
+
+rtl::NetId assert_width(rtl::Module& m, OvlBank& bank, const std::string& name,
+                        rtl::NetId clk, rtl::ExprId expr, int min_cks,
+                        int max_cks, Options opt) {
+  check_bit(m, expr, "expression");
+  if (min_cks < 1 || max_cks < min_cks) {
+    throw std::invalid_argument("OVL assert_width: bad bounds");
+  }
+  const int cw = counter_width(max_cks + 1);
+  // cnt = completed consecutive high samples of the current pulse.
+  const rtl::NetId cnt = m.reg(flag_name(name) + ".cnt", cw, 0u);
+  const rtl::ExprId c = m.ref(cnt);
+  const rtl::ExprId cp1 = m.add(c, m.lit_uint(1, cw));
+  const rtl::ExprId late = m.op_and(
+      expr, unsigned_lt(m, m.lit_uint(static_cast<std::uint64_t>(max_cks), cw),
+                        cp1));
+  const rtl::ExprId pulse_ended =
+      m.op_and(m.op_not(expr), m.op_not(m.eq(c, m.lit_uint(0, cw))));
+  const rtl::ExprId early = m.op_and(
+      pulse_ended,
+      unsigned_lt(m, c, m.lit_uint(static_cast<std::uint64_t>(min_cks), cw)));
+  const rtl::ProcId proc = m.process("ovl." + name + ".cnt", clk, rtl::Edge::kPos);
+  m.nonblocking(proc, cnt, m.mux(expr, cp1, m.lit_uint(0, cw)));
+  const rtl::NetId err = sticky_error(m, name, clk, m.op_or(early, late));
+  bank.add(name, err, std::move(opt));
+  return err;
+}
+
+rtl::NetId assert_no_transition(rtl::Module& m, OvlBank& bank,
+                                const std::string& name, rtl::NetId clk,
+                                rtl::ExprId vec, rtl::ExprId hold,
+                                Options opt) {
+  check_bit(m, hold, "hold");
+  const int w = m.expr(vec).width;
+  const rtl::NetId prev = m.reg(flag_name(name) + ".prev", w, 0u);
+  const rtl::NetId armed = m.reg(flag_name(name) + ".armed", 1, 0u);
+  const rtl::ProcId proc =
+      m.process("ovl." + name + ".prev", clk, rtl::Edge::kPos);
+  m.nonblocking(proc, prev, vec);
+  m.nonblocking(proc, armed, m.lit_uint(1, 1));
+  const rtl::ExprId violation =
+      m.op_and(m.ref(armed), m.op_and(hold, m.ne(vec, m.ref(prev))));
+  const rtl::NetId err = sticky_error(m, name, clk, violation);
+  bank.add(name, err, std::move(opt));
+  return err;
+}
+
+rtl::NetId assert_even_parity(rtl::Module& m, OvlBank& bank,
+                              const std::string& name, rtl::NetId clk,
+                              rtl::ExprId vec, Options opt) {
+  const rtl::NetId err = sticky_error(m, name, clk, m.red_xor(vec));
+  bank.add(name, err, std::move(opt));
+  return err;
+}
+
+}  // namespace la1::ovl

@@ -1,0 +1,139 @@
+// OVL-style assertion monitors for the RTL level (paper §5.4).
+//
+// Mirroring the Accellera Open Verification Library, each assertion is a
+// *module of synthesizable logic* instantiated into the design under test:
+// registers, comparators and a sticky error flag, all clocked with the
+// monitored logic. That is precisely why Table 3's Verilog/OVL simulation
+// pays per-cycle cost for every assertion — the monitor logic is simulated
+// with the design — and this implementation reproduces that cost model by
+// construction.
+//
+// Every monitor is composed of an event (the checked condition), a message
+// and a severity, as in the OVL reference manual.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+#include "rtl/sim.hpp"
+
+namespace la1::ovl {
+
+enum class Severity { kMinor, kMajor, kFatal };
+
+const char* to_string(Severity severity);
+
+struct Options {
+  std::string message;
+  Severity severity = Severity::kMajor;
+};
+
+/// Collects the sticky error flags of the monitors added to one module, and
+/// reads them back from a running simulation.
+class OvlBank {
+ public:
+  struct Entry {
+    std::string name;
+    rtl::NetId flag = rtl::kInvalidId;  // 1-bit sticky error register
+    Options options;
+  };
+
+  void add(std::string name, rtl::NetId flag, Options options);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Number of monitors whose error flag is 1 in `sim`. Flag nets must
+  /// exist in the simulated (elaborated) module under the same names, which
+  /// `resolve` establishes after elaboration.
+  std::size_t failures(const rtl::CycleSim& sim) const;
+
+  /// True when monitor `i` has fired.
+  bool fired(const rtl::CycleSim& sim, std::size_t i) const;
+
+  /// Remaps flag nets by name against an elaborated module (optionally with
+  /// an instance `prefix`, e.g. "bank0.").
+  void resolve(const rtl::Module& flat, const std::string& prefix = {});
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<std::string> flag_names_;
+};
+
+// Every assertion below adds monitor logic to `m`, clocked on posedge
+// `clk`, and returns the 1-bit sticky error register. Expressions are
+// sampled at the clock edge like any other sequential logic.
+
+/// Fires when `expr` (1-bit) is false at a clock edge.
+rtl::NetId assert_always(rtl::Module& m, OvlBank& bank, const std::string& name,
+                         rtl::NetId clk, rtl::ExprId expr, Options opt = {});
+
+/// Fires when `expr` is true at a clock edge.
+rtl::NetId assert_never(rtl::Module& m, OvlBank& bank, const std::string& name,
+                        rtl::NetId clk, rtl::ExprId expr, Options opt = {});
+
+/// Fires when `antecedent` holds and `consequent` does not, same cycle.
+rtl::NetId assert_implication(rtl::Module& m, OvlBank& bank,
+                              const std::string& name, rtl::NetId clk,
+                              rtl::ExprId antecedent, rtl::ExprId consequent,
+                              Options opt = {});
+
+/// Fires when `test` is false exactly `num_cks` edges after `start` held.
+rtl::NetId assert_next(rtl::Module& m, OvlBank& bank, const std::string& name,
+                       rtl::NetId clk, rtl::ExprId start, rtl::ExprId test,
+                       int num_cks, Options opt = {});
+
+/// After `start`, `test` must hold within [min_cks, max_cks] edges. One
+/// outstanding window at a time (matching OVL's simple frame).
+rtl::NetId assert_frame(rtl::Module& m, OvlBank& bank, const std::string& name,
+                        rtl::NetId clk, rtl::ExprId start, rtl::ExprId test,
+                        int min_cks, int max_cks, Options opt = {});
+
+/// events[0..n-2] holding on consecutive edges obliges events[n-1] next.
+rtl::NetId assert_cycle_sequence(rtl::Module& m, OvlBank& bank,
+                                 const std::string& name, rtl::NetId clk,
+                                 const std::vector<rtl::ExprId>& events,
+                                 Options opt = {});
+
+/// Fires when `vec` is not one-hot.
+rtl::NetId assert_one_hot(rtl::Module& m, OvlBank& bank, const std::string& name,
+                          rtl::NetId clk, rtl::ExprId vec, Options opt = {});
+
+/// Fires when `vec` has two or more bits set (all-zero allowed).
+rtl::NetId assert_zero_one_hot(rtl::Module& m, OvlBank& bank,
+                               const std::string& name, rtl::NetId clk,
+                               rtl::ExprId vec, Options opt = {});
+
+/// Fires when `vec` (unsigned) leaves [lo, hi].
+rtl::NetId assert_range(rtl::Module& m, OvlBank& bank, const std::string& name,
+                        rtl::NetId clk, rtl::ExprId vec, std::uint64_t lo,
+                        std::uint64_t hi, Options opt = {});
+
+/// req must stay high until ack; fires on early deassertion, and on a
+/// missing ack within `max_ack_cks` edges when that bound is positive.
+rtl::NetId assert_handshake(rtl::Module& m, OvlBank& bank,
+                            const std::string& name, rtl::NetId clk,
+                            rtl::ExprId req, rtl::ExprId ack, int max_ack_cks,
+                            Options opt = {});
+
+/// Fires when a pulse on `expr` lasts fewer than `min_cks` or more than
+/// `max_cks` consecutive edges (OVL assert_width).
+rtl::NetId assert_width(rtl::Module& m, OvlBank& bank, const std::string& name,
+                        rtl::NetId clk, rtl::ExprId expr, int min_cks,
+                        int max_cks, Options opt = {});
+
+/// Fires when `vec` changes value on an edge where `hold` is asserted
+/// (OVL assert_no_transition, simplified: any change forbidden under hold).
+rtl::NetId assert_no_transition(rtl::Module& m, OvlBank& bank,
+                                const std::string& name, rtl::NetId clk,
+                                rtl::ExprId vec, rtl::ExprId hold,
+                                Options opt = {});
+
+/// Fires when `vec` has odd parity (OVL assert_even_parity) — the LA-1 data
+/// beats with their parity field must always pass this.
+rtl::NetId assert_even_parity(rtl::Module& m, OvlBank& bank,
+                              const std::string& name, rtl::NetId clk,
+                              rtl::ExprId vec, Options opt = {});
+
+}  // namespace la1::ovl

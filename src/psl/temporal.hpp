@@ -1,0 +1,120 @@
+// PSL temporal layer (FL properties) and verification layer (directives).
+//
+// The temporal layer "describes properties that involve complex temporal
+// relations, evaluated over a series of evaluation cycles" (paper §2.2).
+// This embedding mirrors the paper's object-oriented PSL-in-AsmL embedding:
+// every layer builds on the one below (Boolean -> SERE -> temporal ->
+// verification) and compiles to runtime monitors (monitor.hpp) or to
+// automata used by the model checkers.
+//
+// Supported fragment (the simple-subset safety core plus the strong
+// operators needed for end-of-trace checks):
+//   boolean b                      -- b in the first cycle
+//   always p / never {r}
+//   {r} |-> {s}  /  {r} |=> {s}    -- suffix implication, weak or strong s
+//   b -> next[n] c                 -- sugar for {b} |-> {true[*n]; c}
+//   next[n] b
+//   a until b / a until! b
+//   a before b / a before! b
+//   eventually! b
+//   p && p && ...
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "psl/sere.hpp"
+
+namespace la1::psl {
+
+struct Prop;
+using PropPtr = std::shared_ptr<const Prop>;
+
+struct Prop {
+  enum class Kind {
+    kBoolean,     // expr
+    kAlways,      // child
+    kNever,       // sere
+    kSuffixImpl,  // sere |-> / |=> sere2 (strong => consequent must finish)
+    kNext,        // next[n] expr
+    kUntil,       // lhs until rhs (strong = until!)
+    kBefore,      // lhs before rhs (strong = before!)
+    kEventually,  // eventually! expr (always strong)
+    kAnd          // children
+  };
+  Kind kind = Kind::kBoolean;
+  BExprPtr expr;
+  BExprPtr lhs;
+  BExprPtr rhs;
+  SerePtr sere;    // antecedent / never-operand
+  SerePtr sere2;   // suffix-implication consequent
+  PropPtr child;
+  std::vector<PropPtr> children;
+  int n = 0;
+  bool strong = false;
+  bool overlap = true;  // |-> vs |=>
+};
+
+PropPtr p_bool(BExprPtr b);
+PropPtr p_always(PropPtr child);
+PropPtr p_never(SerePtr r);
+PropPtr p_suffix_impl(SerePtr antecedent, SerePtr consequent, bool overlap = true,
+                      bool strong = false);
+PropPtr p_next(BExprPtr b, int n);
+PropPtr p_until(BExprPtr lhs, BExprPtr rhs, bool strong = false);
+PropPtr p_before(BExprPtr lhs, BExprPtr rhs, bool strong = false);
+PropPtr p_eventually(BExprPtr b);
+PropPtr p_and(std::vector<PropPtr> children);
+
+/// Sugar: always (b -> next[n] c) as a suffix implication.
+PropPtr p_impl_next(BExprPtr b, int n, BExprPtr c);
+/// Sugar: always (b -> c) in the same cycle.
+PropPtr p_impl_now(BExprPtr b, BExprPtr c);
+/// Sugar: always ({trigger} |-> next_event(b)[n](c)) — c holds at the n-th
+/// occurrence of b at or after each trigger ({trigger} |-> {b[->n] : c}).
+PropPtr p_next_event(BExprPtr trigger, BExprPtr b, int n, BExprPtr c);
+
+std::string to_string(const Prop& p);
+void collect_signals(const Prop& p, std::set<std::string>& out);
+
+// --- verification layer ----------------------------------------------------
+
+enum class DirectiveKind { kAssert, kAssume, kCover };
+
+/// Assertion severity, mirroring OVL's event/message/severity triple
+/// (paper §5.4): a directive carries what to check, what to say, and how bad
+/// a failure is.
+enum class DirSeverity { kMinor, kMajor, kFatal };
+
+struct Directive {
+  DirectiveKind kind = DirectiveKind::kAssert;
+  std::string name;
+  PropPtr prop;        // assert/assume
+  SerePtr cover_sere;  // cover
+  DirSeverity severity = DirSeverity::kMajor;
+  std::string message;
+};
+
+/// A verification unit: a named group of directives bound to one design
+/// (PSL vunit).
+class VUnit {
+ public:
+  explicit VUnit(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void add_assert(std::string name, PropPtr prop,
+                  DirSeverity severity = DirSeverity::kMajor,
+                  std::string message = {});
+  void add_assume(std::string name, PropPtr prop);
+  void add_cover(std::string name, SerePtr sere);
+
+  const std::vector<Directive>& directives() const { return directives_; }
+
+ private:
+  std::string name_;
+  std::vector<Directive> directives_;
+};
+
+}  // namespace la1::psl

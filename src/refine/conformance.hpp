@@ -1,0 +1,30 @@
+// ASM <-> behavioural conformance testing (paper §5.1).
+//
+// AsmL's conformance test "executes the exploration algorithm on both the
+// ASM model and a binary generated from the SystemC design and verifies
+// that for all inputs both behave the same". Here: the ASM machine and the
+// kernel-level model are co-executed on one random edge-by-edge stimulus
+// stream drawn from the ASM rule domains, and every shared observation
+// (the tap locations) is compared after every clock edge; the per-bank
+// memory contents are compared at the end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "la1/asm_model.hpp"
+
+namespace la1::refine {
+
+struct ConformanceResult {
+  bool ok = true;
+  int steps_run = 0;
+  std::uint64_t comparisons = 0;
+  std::string mismatch;  // first divergence, empty when ok
+};
+
+/// Co-executes `steps` clock edges (half-cycles) with seed-derived stimulus.
+ConformanceResult conformance_test(const core::AsmConfig& cfg, int steps,
+                                   std::uint64_t seed);
+
+}  // namespace la1::refine

@@ -1,0 +1,217 @@
+#include "refine/flow.hpp"
+
+#include <sstream>
+
+#include "la1/asm_model.hpp"
+#include "la1/behavioral.hpp"
+#include "la1/host_bfm.hpp"
+#include "la1/properties.hpp"
+#include "la1/rtl_model.hpp"
+#include "la1/uml_spec.hpp"
+#include "mc/explicit.hpp"
+#include "mc/symbolic.hpp"
+#include "ovl/ovl.hpp"
+#include "psl/monitor.hpp"
+#include "refine/conformance.hpp"
+#include "refine/lockstep.hpp"
+#include "rtl/verilog.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace la1::refine {
+
+std::string FlowReport::render() const {
+  std::ostringstream out;
+  out << "LA-1 design & verification flow (paper Figure 2)\n";
+  for (const FlowStage& s : stages) {
+    out << "  [" << (s.ok ? "PASS" : "FAIL") << "] " << s.name << " ("
+        << static_cast<int>(s.seconds * 1000) << " ms)";
+    if (!s.detail.empty()) out << " — " << s.detail;
+    out << '\n';
+  }
+  out << (ok ? "flow complete: all stages passed\n" : "flow FAILED\n");
+  return out.str();
+}
+
+namespace {
+
+template <typename Fn>
+void stage(FlowReport& report, const std::string& name, Fn&& body) {
+  if (!report.ok) return;  // earlier failure stops the flow, as in Figure 2
+  util::Stopwatch watch;
+  FlowStage s;
+  s.name = name;
+  s.ok = body(s.detail);
+  s.seconds = watch.seconds();
+  report.ok = report.ok && s.ok;
+  report.stages.push_back(std::move(s));
+}
+
+}  // namespace
+
+FlowReport run_flow(const FlowOptions& options) {
+  FlowReport report;
+  const int banks = options.banks;
+
+  // 1. UML level: capture + validate the spec, derive properties.
+  stage(report, "UML specification", [&](std::string& detail) {
+    const uml::ClassDiagram cd = core::la1_class_diagram();
+    const uml::SequenceDiagram read_sd = core::read_mode_sequence();
+    const uml::SequenceDiagram write_sd = core::write_mode_sequence();
+    auto issues = cd.validate();
+    for (const auto& i : read_sd.validate()) issues.push_back(i);
+    for (const auto& i : write_sd.validate()) issues.push_back(i);
+    const auto derived =
+        uml::derive_latency_properties(read_sd, core::tap_namer(0));
+    detail = std::to_string(cd.classes().size()) + " classes, " +
+             std::to_string(derived.size()) + " derived properties";
+    return issues.empty();
+  });
+
+  // 2. ASM level: model-check the PSL suite by guided exploration.
+  core::AsmConfig acfg;
+  acfg.banks = banks;
+  stage(report, "ASM model checking (AsmL-style)", [&](std::string& detail) {
+    const asml::Machine machine = core::build_asm_model(acfg);
+    mc::ExplicitOptions mopt;
+    mopt.max_states = options.explore_max_states;
+    const auto outcomes =
+        mc::check_all(machine, core::asm_properties(acfg), mopt);
+    std::size_t held = 0;
+    for (const auto& o : outcomes) {
+      if (o.holds) ++held;
+    }
+    detail = std::to_string(held) + "/" + std::to_string(outcomes.size()) +
+             " properties hold";
+    return held == outcomes.size();
+  });
+
+  // 3. ASM -> behavioural conformance (the AsmL conformance test).
+  stage(report, "ASM/behavioural conformance", [&](std::string& detail) {
+    const ConformanceResult r =
+        conformance_test(acfg, options.conformance_steps, options.seed);
+    detail = std::to_string(r.comparisons) + " comparisons over " +
+             std::to_string(r.steps_run) + " edges";
+    if (!r.ok) detail += "; mismatch: " + r.mismatch;
+    return r.ok;
+  });
+
+  // 4. Behavioural ABV: compiled PSL monitors over random traffic.
+  core::Config bcfg;
+  bcfg.banks = banks;
+  stage(report, "behavioural ABV (PSL monitors)", [&](std::string& detail) {
+    core::KernelHarness harness(bcfg);
+    util::Rng rng(options.seed);
+    harness.host().push_random(rng, options.abv_ticks / 2);
+    psl::VUnit vunit = core::behavioral_vunit(bcfg);
+    psl::VUnitRunner runner(vunit);
+    harness.run_ticks(options.abv_ticks,
+                      [&](int) { runner.step(harness.env()); });
+    detail = std::to_string(vunit.directives().size()) + " directives, " +
+             std::to_string(runner.failures()) + " failures, scoreboard " +
+             std::to_string(harness.host().data_mismatches()) + " mismatches";
+    return runner.failures() == 0 && harness.host().data_mismatches() == 0 &&
+           harness.host().parity_errors() == 0;
+  });
+
+  // 5. Behavioural -> RTL lockstep.
+  stage(report, "behavioural/RTL lockstep", [&](std::string& detail) {
+    const LockstepResult r =
+        lockstep_compare(bcfg, options.lockstep_transactions, options.seed);
+    detail = std::to_string(r.comparisons) + " comparisons over " +
+             std::to_string(r.ticks_run) + " ticks";
+    if (!r.ok) detail += "; mismatch: " + r.mismatch;
+    return r.ok;
+  });
+
+  // 6. RTL symbolic model checking (RuleBase-style), read-mode property.
+  const core::RtlConfig mc_cfg = core::RtlConfig::model_checking(banks);
+  stage(report, "RTL symbolic model checking", [&](std::string& detail) {
+    core::RtlDevice dev = core::build_device(mc_cfg);
+    const rtl::Module flat = rtl::expand_memories(dev.flatten());
+    const rtl::BitBlast bb = rtl::bitblast(flat, core::clock_schedule(flat));
+    mc::SymbolicOptions sopt;
+    sopt.node_limit = 4'000'000;
+    const mc::SymbolicResult r =
+        mc::check(bb, core::rtl_read_mode_property(mc_cfg), sopt);
+    std::ostringstream d;
+    d << r.state_bits << " state bits, " << r.iterations << " iterations, "
+      << r.peak_bdd_nodes << " peak BDD nodes";
+    detail = d.str();
+    return r.outcome == mc::SymbolicResult::Outcome::kHolds;
+  });
+
+  // 7. RTL simulation with OVL monitors.
+  core::RtlConfig rcfg;
+  rcfg.banks = banks;
+  rcfg.data_bits = bcfg.data_bits;
+  rcfg.mem_addr_bits = bcfg.mem_addr_bits();
+  stage(report, "RTL ABV (OVL monitors)", [&](std::string& detail) {
+    core::RtlDevice dev = core::build_device(rcfg);
+    // OVL monitors instantiated into the flattened design — the monitor
+    // logic simulates with the DUT, as in the paper.
+    rtl::Module flat = dev.flatten();
+    ovl::OvlBank bank;
+    const rtl::NetId k = flat.find_net("K");
+    const rtl::NetId ks = flat.find_net("KS");
+    std::vector<rtl::ExprId> enables;
+    for (int b = 0; b < banks; ++b) {
+      const std::string p = "bank" + std::to_string(b) + ".";
+      const std::string sb = std::to_string(b);
+      // Read mode: first beat exactly 2 K cycles after the request, second
+      // beat pending on the following K#. K-edge taps are visible to
+      // KS-clocked monitors (they clear at the next K#).
+      ovl::assert_next(flat, bank, "read_latency_b" + sb, ks,
+                       flat.ref(p + "read_start_q"),
+                       flat.ref(p + "dout_valid_k_q"), 2);
+      ovl::assert_implication(flat, bank, "read_burst_b" + sb, ks,
+                              flat.ref(p + "dout_valid_k_q"),
+                              flat.ref(p + "beat1_pend"));
+      ovl::assert_implication(flat, bank, "write_ready_b" + sb, k,
+                              flat.ref(p + "addr_captured_q"),
+                              flat.ref(p + "w_ready"));
+      enables.push_back(flat.ref(p + "en_q"));
+    }
+    ovl::assert_zero_one_hot(flat, bank, "exclusive_drive",
+                             banks > 1 ? ks : k,
+                             banks > 1 ? flat.concat(enables) : enables.front());
+    rtl::CycleSim sim(flat);
+    // Drive random traffic straight at the pins.
+    util::Rng rng(options.seed);
+    const int ticks = 2000;
+    for (int t = 0; t < ticks; ++t) {
+      if (t % 2 == 0) {
+        sim.set_input_bit("R_n", !rng.next_bool());
+        sim.set_input_bit("W_n", !rng.next_bool());
+        sim.set_input("A", rng.below(1u << rcfg.addr_bits()));
+        sim.set_input("D", core::pack_beat(static_cast<std::uint32_t>(
+                                               rng.below(1u << rcfg.data_bits)),
+                                           rcfg.data_bits));
+        sim.set_input("BWE_n", 0);
+        sim.edge("K", rtl::Edge::kPos);
+      } else {
+        sim.set_input("A", rng.below(1u << rcfg.addr_bits()));
+        sim.set_input("D", core::pack_beat(static_cast<std::uint32_t>(
+                                               rng.below(1u << rcfg.data_bits)),
+                                           rcfg.data_bits));
+        sim.edge("KS", rtl::Edge::kPos);
+      }
+    }
+    detail = std::to_string(bank.entries().size()) + " OVL monitors, " +
+             std::to_string(bank.failures(sim)) + " failures over " +
+             std::to_string(ticks) + " edges";
+    return bank.failures(sim) == 0;
+  });
+
+  // 8. Verilog emission — the flow's final artifact.
+  stage(report, "Verilog emission", [&](std::string& detail) {
+    core::RtlDevice dev = core::build_device(rcfg);
+    report.verilog = rtl::to_verilog(*dev.top);
+    detail = std::to_string(report.verilog.size()) + " bytes of Verilog";
+    return !report.verilog.empty();
+  });
+
+  return report;
+}
+
+}  // namespace la1::refine

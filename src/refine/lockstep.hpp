@@ -1,0 +1,29 @@
+// Behavioural <-> RTL lockstep equivalence.
+//
+// The refinement step from the system-level model to synthesizable RTL is
+// validated by driving both models with the *same* pin activity, edge by
+// edge, and comparing every observation: the registered RTL taps against
+// the behavioural taps, and the DOUT beats whenever data is valid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "la1/spec.hpp"
+
+namespace la1::refine {
+
+struct LockstepResult {
+  bool ok = true;
+  int ticks_run = 0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t reads_issued = 0;
+  std::uint64_t writes_issued = 0;
+  std::string mismatch;
+};
+
+/// Runs `transactions` random host transactions through both models.
+LockstepResult lockstep_compare(const core::Config& cfg, int transactions,
+                                std::uint64_t seed);
+
+}  // namespace la1::refine

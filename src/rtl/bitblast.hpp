@@ -1,0 +1,94 @@
+// Bit-blasting: flat 2-state RTL -> boolean function graph.
+//
+// The symbolic (RuleBase-style) model checker consumes a finite-state
+// machine over booleans: one state variable per register bit plus a phase
+// counter that sequences the clock-edge schedule, one free variable per
+// primary-input bit, and a next-state function per state bit. This module
+// produces that view from an elaborated, memory-expanded netlist.
+//
+// Multi-clock handling: the LA-1 RTL is clocked by both K and K# (the DDR
+// halves). A symbolic step is one *clock edge*; the caller supplies the
+// repeating edge schedule (for LA-1: posedge K, then posedge K#) and the
+// bit-blaster adds phase state bits selecting which processes fire.
+// Clock nets must not feed combinational logic (checked).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace la1::rtl {
+
+/// Hash-consed boolean DAG. Node 0 is FALSE, node 1 is TRUE.
+class BitGraph {
+ public:
+  enum class Kind : std::uint8_t { kConst, kVar, kNot, kAnd, kOr, kXor, kMux };
+
+  struct Node {
+    Kind kind = Kind::kConst;
+    int a = -1;  // operands (kMux: a = select)
+    int b = -1;
+    int c = -1;
+    int var = -1;  // kVar
+  };
+
+  BitGraph();
+
+  int false_node() const { return 0; }
+  int true_node() const { return 1; }
+  int constant(bool v) const { return v ? 1 : 0; }
+  int var(int var_index);
+  int not_of(int a);
+  int and_of(int a, int b);
+  int or_of(int a, int b);
+  int xor_of(int a, int b);
+  int mux(int sel, int then_n, int else_n);
+
+  const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Evaluates node `id` under a full variable assignment.
+  bool eval(int id, const std::vector<bool>& assignment) const;
+
+  /// Marks the variables node `id` depends on in `out` (sized by var count).
+  void support(int id, std::vector<bool>& out) const;
+
+ private:
+  int intern(Node n);
+  std::vector<Node> nodes_;
+  std::map<std::tuple<int, int, int, int, int>, int> cache_;
+};
+
+/// One edge of the repeating clock schedule.
+struct ClockStep {
+  NetId clock = kInvalidId;
+  Edge edge = Edge::kPos;
+};
+
+/// A named boolean variable of the blasted FSM.
+struct BitVar {
+  std::string name;      // "net[i]" or "__phase[i]"
+  bool is_state = false; // state (register/phase) vs free input
+  bool init = false;     // initial value (state vars only)
+};
+
+struct BitBlast {
+  BitGraph graph;
+  std::vector<BitVar> vars;
+  std::vector<int> state_vars;         // indices into vars
+  std::vector<int> input_vars;         // indices into vars
+  std::vector<int> next_fn;            // per state_vars entry: graph node
+  std::map<std::string, std::vector<int>> net_bits;   // net name -> graph nodes
+  std::map<std::string, int> conflict_bits;           // tristate net -> node
+  int phase_count = 0;                 // schedule length
+};
+
+/// Blasts `flat` (no instances, no memories, X-free register inits) under
+/// the given clock-edge schedule. Throws std::invalid_argument on violations
+/// (X literals, clock feeding comb logic, unsupported structure).
+BitBlast bitblast(const Module& flat, const std::vector<ClockStep>& schedule);
+
+}  // namespace la1::rtl

@@ -1,0 +1,188 @@
+#include "rtl/logic.hpp"
+
+namespace la1::rtl {
+
+char to_char(Logic v) {
+  switch (v) {
+    case Logic::k0: return '0';
+    case Logic::k1: return '1';
+    case Logic::kX: return 'X';
+    case Logic::kZ: return 'Z';
+  }
+  return '?';
+}
+
+Logic logic_from_char(char c) {
+  switch (c) {
+    case '0': return Logic::k0;
+    case '1': return Logic::k1;
+    case 'z': case 'Z': return Logic::kZ;
+    default: return Logic::kX;
+  }
+}
+
+Logic logic_and(Logic a, Logic b) {
+  if (a == Logic::k0 || b == Logic::k0) return Logic::k0;
+  if (a == Logic::k1 && b == Logic::k1) return Logic::k1;
+  return Logic::kX;
+}
+
+Logic logic_or(Logic a, Logic b) {
+  if (a == Logic::k1 || b == Logic::k1) return Logic::k1;
+  if (a == Logic::k0 && b == Logic::k0) return Logic::k0;
+  return Logic::kX;
+}
+
+Logic logic_xor(Logic a, Logic b) {
+  if (!is_01(a) || !is_01(b)) return Logic::kX;
+  return from_bool(a != b);
+}
+
+Logic logic_not(Logic a) {
+  if (!is_01(a)) return Logic::kX;
+  return a == Logic::k0 ? Logic::k1 : Logic::k0;
+}
+
+Logic resolve(Logic a, Logic b) {
+  if (a == Logic::kZ) return b;
+  if (b == Logic::kZ) return a;
+  if (a == b) return a;
+  return Logic::kX;
+}
+
+LVec LVec::from_uint(std::uint64_t value, int width) {
+  LVec v(width, Logic::k0);
+  for (int i = 0; i < width && i < 64; ++i) {
+    v.set_bit(i, from_bool(((value >> i) & 1u) != 0));
+  }
+  return v;
+}
+
+bool LVec::all_01() const {
+  for (Logic b : bits_) {
+    if (!is_01(b)) return false;
+  }
+  return true;
+}
+
+bool LVec::has_x() const {
+  for (Logic b : bits_) {
+    if (b == Logic::kX) return true;
+  }
+  return false;
+}
+
+bool LVec::all_z() const {
+  for (Logic b : bits_) {
+    if (b != Logic::kZ) return false;
+  }
+  return !bits_.empty();
+}
+
+std::optional<std::uint64_t> LVec::to_uint() const {
+  if (!all_01()) return std::nullopt;
+  std::uint64_t out = 0;
+  for (int i = 0; i < width() && i < 64; ++i) {
+    if (bit(i) == Logic::k1) out |= (1ull << i);
+  }
+  return out;
+}
+
+std::string LVec::to_string() const {
+  std::string s;
+  s.reserve(bits_.size());
+  for (int i = width() - 1; i >= 0; --i) s.push_back(to_char(bit(i)));
+  return s;
+}
+
+namespace {
+template <typename F>
+LVec bitwise(const LVec& a, const LVec& b, F f) {
+  LVec out(a.width());
+  for (int i = 0; i < a.width(); ++i) out.set_bit(i, f(a.bit(i), b.bit(i)));
+  return out;
+}
+}  // namespace
+
+LVec vec_and(const LVec& a, const LVec& b) { return bitwise(a, b, logic_and); }
+LVec vec_or(const LVec& a, const LVec& b) { return bitwise(a, b, logic_or); }
+LVec vec_xor(const LVec& a, const LVec& b) { return bitwise(a, b, logic_xor); }
+
+LVec vec_not(const LVec& a) {
+  LVec out(a.width());
+  for (int i = 0; i < a.width(); ++i) out.set_bit(i, logic_not(a.bit(i)));
+  return out;
+}
+
+Logic vec_red_and(const LVec& a) {
+  Logic acc = Logic::k1;
+  for (int i = 0; i < a.width(); ++i) acc = logic_and(acc, a.bit(i));
+  return acc;
+}
+
+Logic vec_red_or(const LVec& a) {
+  Logic acc = Logic::k0;
+  for (int i = 0; i < a.width(); ++i) acc = logic_or(acc, a.bit(i));
+  return acc;
+}
+
+Logic vec_red_xor(const LVec& a) {
+  Logic acc = Logic::k0;
+  for (int i = 0; i < a.width(); ++i) acc = logic_xor(acc, a.bit(i));
+  return acc;
+}
+
+Logic vec_eq(const LVec& a, const LVec& b) {
+  bool unknown = false;
+  for (int i = 0; i < a.width(); ++i) {
+    const Logic x = a.bit(i);
+    const Logic y = b.bit(i);
+    if (is_01(x) && is_01(y)) {
+      if (x != y) return Logic::k0;
+    } else {
+      unknown = true;
+    }
+  }
+  return unknown ? Logic::kX : Logic::k1;
+}
+
+LVec vec_add(const LVec& a, const LVec& b) {
+  if (!a.all_01() || !b.all_01()) return LVec::xs(a.width());
+  const std::uint64_t sum = *a.to_uint() + *b.to_uint();
+  return LVec::from_uint(sum, a.width());
+}
+
+LVec vec_sub(const LVec& a, const LVec& b) {
+  if (!a.all_01() || !b.all_01()) return LVec::xs(a.width());
+  const std::uint64_t diff = *a.to_uint() - *b.to_uint();
+  return LVec::from_uint(diff, a.width());
+}
+
+LVec vec_concat(const LVec& hi, const LVec& lo) {
+  LVec out(hi.width() + lo.width());
+  for (int i = 0; i < lo.width(); ++i) out.set_bit(i, lo.bit(i));
+  for (int i = 0; i < hi.width(); ++i) out.set_bit(lo.width() + i, hi.bit(i));
+  return out;
+}
+
+LVec vec_slice(const LVec& a, int lo, int width) {
+  LVec out(width);
+  for (int i = 0; i < width; ++i) out.set_bit(i, a.bit(lo + i));
+  return out;
+}
+
+LVec vec_resolve(const LVec& a, const LVec& b) { return bitwise(a, b, resolve); }
+
+LVec vec_mux(Logic sel, const LVec& then_v, const LVec& else_v) {
+  if (sel == Logic::k1) return then_v;
+  if (sel == Logic::k0) return else_v;
+  LVec out(then_v.width());
+  for (int i = 0; i < then_v.width(); ++i) {
+    const Logic t = then_v.bit(i);
+    const Logic e = else_v.bit(i);
+    out.set_bit(i, (t == e && is_01(t)) ? t : Logic::kX);
+  }
+  return out;
+}
+
+}  // namespace la1::rtl

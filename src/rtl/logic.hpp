@@ -1,0 +1,90 @@
+// Four-state logic values and bit vectors for the RTL level.
+//
+// The paper's final refinement target is synthesizable Verilog; this module
+// supplies Verilog's value domain: 0, 1, X (unknown) and Z (high impedance),
+// with conservative X-propagation in operators and multi-driver resolution
+// for the tristate-buffered bank interconnect (paper §4.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace la1::rtl {
+
+/// A single four-state logic value.
+enum class Logic : std::uint8_t { k0 = 0, k1 = 1, kX = 2, kZ = 3 };
+
+char to_char(Logic v);
+Logic logic_from_char(char c);
+
+inline Logic from_bool(bool b) { return b ? Logic::k1 : Logic::k0; }
+inline bool is_01(Logic v) { return v == Logic::k0 || v == Logic::k1; }
+
+Logic logic_and(Logic a, Logic b);
+Logic logic_or(Logic a, Logic b);
+Logic logic_xor(Logic a, Logic b);
+Logic logic_not(Logic a);
+
+/// Verilog wire resolution of two simultaneous drivers.
+Logic resolve(Logic a, Logic b);
+
+/// A fixed-width vector of four-state logic, bit 0 = LSB.
+class LVec {
+ public:
+  LVec() = default;
+  explicit LVec(int width, Logic fill = Logic::kX)
+      : bits_(static_cast<std::size_t>(width), fill) {}
+
+  /// Builds a vector from the low `width` bits of `value`.
+  static LVec from_uint(std::uint64_t value, int width);
+  /// All-X / all-Z / all-zero vectors.
+  static LVec xs(int width) { return LVec(width, Logic::kX); }
+  static LVec zs(int width) { return LVec(width, Logic::kZ); }
+  static LVec zeros(int width) { return LVec(width, Logic::k0); }
+
+  int width() const { return static_cast<int>(bits_.size()); }
+  Logic bit(int i) const { return bits_[static_cast<std::size_t>(i)]; }
+  void set_bit(int i, Logic v) { bits_[static_cast<std::size_t>(i)] = v; }
+
+  bool all_01() const;
+  bool has_x() const;
+  bool all_z() const;
+
+  /// Unsigned value; nullopt when any bit is X or Z.
+  std::optional<std::uint64_t> to_uint() const;
+
+  /// MSB-first string, e.g. "10XZ".
+  std::string to_string() const;
+
+  bool operator==(const LVec& other) const { return bits_ == other.bits_; }
+
+ private:
+  std::vector<Logic> bits_;
+};
+
+// Vector operators (operands must have equal width unless noted).
+LVec vec_and(const LVec& a, const LVec& b);
+LVec vec_or(const LVec& a, const LVec& b);
+LVec vec_xor(const LVec& a, const LVec& b);
+LVec vec_not(const LVec& a);
+Logic vec_red_and(const LVec& a);
+Logic vec_red_or(const LVec& a);
+Logic vec_red_xor(const LVec& a);
+/// Equality: k1/k0 when both sides fully defined, kX otherwise — except a
+/// definite mismatch in 0/1 bits yields k0 even in the presence of X.
+Logic vec_eq(const LVec& a, const LVec& b);
+/// Unsigned add/sub modulo 2^width; any X/Z operand bit makes the result all-X.
+LVec vec_add(const LVec& a, const LVec& b);
+LVec vec_sub(const LVec& a, const LVec& b);
+/// Concatenates MSB-part `hi` above `lo`.
+LVec vec_concat(const LVec& hi, const LVec& lo);
+/// Bits [lo, lo+width) of `a`.
+LVec vec_slice(const LVec& a, int lo, int width);
+/// Two-driver resolution, bitwise.
+LVec vec_resolve(const LVec& a, const LVec& b);
+/// Ternary select: sel must be 1 bit; X sel yields X where branches differ.
+LVec vec_mux(Logic sel, const LVec& then_v, const LVec& else_v);
+
+}  // namespace la1::rtl

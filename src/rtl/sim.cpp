@@ -1,0 +1,351 @@
+#include "rtl/sim.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace la1::rtl {
+
+CycleSim::CycleSim(const Module& flat) : module_(&flat) {
+  if (!flat.instances().empty()) {
+    throw std::invalid_argument("CycleSim requires an elaborated module");
+  }
+  net_values_.reserve(static_cast<std::size_t>(flat.net_count()));
+  for (NetId id = 0; id < flat.net_count(); ++id) {
+    const Net& n = flat.net(id);
+    // Registers start at their declared init; everything else at X until
+    // driven (inputs stay X until the testbench writes them).
+    net_values_.push_back(n.kind == NetKind::kReg ? n.init : LVec::xs(n.width));
+  }
+  mem_values_.reserve(flat.memories().size());
+  for (const Memory& m : flat.memories()) {
+    mem_values_.emplace_back(static_cast<std::size_t>(m.depth),
+                             LVec::zeros(m.width));
+  }
+  enabled_drivers_.assign(static_cast<std::size_t>(flat.net_count()), 0);
+  expr_cache_.assign(static_cast<std::size_t>(flat.expr_count()), LVec{});
+  expr_stamp_.assign(static_cast<std::size_t>(flat.expr_count()), 0);
+  levelize();
+  run_comb();
+}
+
+void CycleSim::levelize() {
+  // One comb node per continuous assign, plus one per tristate target group.
+  std::map<NetId, CombNode> tri_groups;
+  std::vector<CombNode> nodes;
+  for (const ContAssign& a : module_->assigns()) {
+    CombNode node;
+    node.target = a.target;
+    node.assign_values.push_back(a.value);
+    nodes.push_back(std::move(node));
+  }
+  for (const TriDriver& t : module_->tristates()) {
+    CombNode& g = tri_groups[t.target];
+    g.target = t.target;
+    g.is_tristate_group = true;
+    g.tri_enables.push_back(t.enable);
+    g.assign_values.push_back(t.value);
+  }
+  for (auto& [net, group] : tri_groups) nodes.push_back(std::move(group));
+
+  std::vector<int> producer(static_cast<std::size_t>(module_->net_count()), -1);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    producer[static_cast<std::size_t>(nodes[i].target)] = static_cast<int>(i);
+  }
+
+  // Nets read by each node (through the expression DAG). Register and
+  // memory state reads are not combinational dependencies.
+  auto collect_nets = [this](ExprId root, std::vector<NetId>& out) {
+    std::vector<ExprId> work{root};
+    while (!work.empty()) {
+      const Expr& e = module_->expr(work.back());
+      work.pop_back();
+      if (e.op == Op::kNet) {
+        out.push_back(e.net);
+        continue;
+      }
+      if (e.a != kInvalidId) work.push_back(e.a);
+      if (e.b != kInvalidId) work.push_back(e.b);
+      if (e.c != kInvalidId) work.push_back(e.c);
+      for (ExprId p : e.parts) work.push_back(p);
+    }
+  };
+
+  std::vector<std::vector<int>> deps(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::vector<NetId> read;
+    for (ExprId e : nodes[i].assign_values) collect_nets(e, read);
+    for (ExprId e : nodes[i].tri_enables) collect_nets(e, read);
+    for (NetId n : read) {
+      if (module_->net(n).kind == NetKind::kReg) continue;
+      const int p = producer[static_cast<std::size_t>(n)];
+      if (p >= 0) deps[i].push_back(p);
+    }
+  }
+
+  // Iterative DFS topological sort with cycle detection.
+  std::vector<int> state(nodes.size(), 0);  // 0 new, 1 on stack, 2 done
+  std::vector<int> topo;
+  topo.reserve(nodes.size());
+  for (std::size_t root = 0; root < nodes.size(); ++root) {
+    if (state[root] != 0) continue;
+    std::vector<std::pair<int, std::size_t>> stack{{static_cast<int>(root), 0}};
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [node, next_dep] = stack.back();
+      if (next_dep < deps[static_cast<std::size_t>(node)].size()) {
+        const int dep = deps[static_cast<std::size_t>(node)][next_dep++];
+        if (state[static_cast<std::size_t>(dep)] == 1) {
+          throw std::invalid_argument(
+              "combinational cycle through net " +
+              module_->net(nodes[static_cast<std::size_t>(dep)].target).name);
+        }
+        if (state[static_cast<std::size_t>(dep)] == 0) {
+          state[static_cast<std::size_t>(dep)] = 1;
+          stack.emplace_back(dep, 0);
+        }
+        continue;
+      }
+      state[static_cast<std::size_t>(node)] = 2;
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  order_.reserve(nodes.size());
+  for (int i : topo) order_.push_back(std::move(nodes[static_cast<std::size_t>(i)]));
+}
+
+LVec CycleSim::eval_expr(ExprId id) {
+  auto& stamp = expr_stamp_[static_cast<std::size_t>(id)];
+  if (stamp == stamp_) return expr_cache_[static_cast<std::size_t>(id)];
+  ++exprs_evaluated_;
+  const Expr& e = module_->expr(id);
+  LVec out;
+  switch (e.op) {
+    case Op::kConst: out = e.literal; break;
+    case Op::kNet: out = net_values_[static_cast<std::size_t>(e.net)]; break;
+    case Op::kNot: out = vec_not(eval_expr(e.a)); break;
+    case Op::kAnd: out = vec_and(eval_expr(e.a), eval_expr(e.b)); break;
+    case Op::kOr: out = vec_or(eval_expr(e.a), eval_expr(e.b)); break;
+    case Op::kXor: out = vec_xor(eval_expr(e.a), eval_expr(e.b)); break;
+    case Op::kRedAnd: {
+      out = LVec(1);
+      out.set_bit(0, vec_red_and(eval_expr(e.a)));
+      break;
+    }
+    case Op::kRedOr: {
+      out = LVec(1);
+      out.set_bit(0, vec_red_or(eval_expr(e.a)));
+      break;
+    }
+    case Op::kRedXor: {
+      out = LVec(1);
+      out.set_bit(0, vec_red_xor(eval_expr(e.a)));
+      break;
+    }
+    case Op::kEq: {
+      out = LVec(1);
+      out.set_bit(0, vec_eq(eval_expr(e.a), eval_expr(e.b)));
+      break;
+    }
+    case Op::kNe: {
+      out = LVec(1);
+      out.set_bit(0, logic_not(vec_eq(eval_expr(e.a), eval_expr(e.b))));
+      break;
+    }
+    case Op::kMux:
+      out = vec_mux(eval_expr(e.a).bit(0), eval_expr(e.b), eval_expr(e.c));
+      break;
+    case Op::kConcat: {
+      out = LVec(0);
+      for (auto it = e.parts.rbegin(); it != e.parts.rend(); ++it) {
+        out = vec_concat(eval_expr(*it), out);
+      }
+      break;
+    }
+    case Op::kSlice: out = vec_slice(eval_expr(e.a), e.lo, e.width); break;
+    case Op::kAdd: out = vec_add(eval_expr(e.a), eval_expr(e.b)); break;
+    case Op::kSub: out = vec_sub(eval_expr(e.a), eval_expr(e.b)); break;
+    case Op::kMemRead: {
+      const LVec addr = eval_expr(e.a);
+      const auto& mem = mem_values_[static_cast<std::size_t>(e.mem)];
+      const auto idx = addr.to_uint();
+      if (!idx.has_value() || *idx >= mem.size()) {
+        out = LVec::xs(e.width);
+      } else {
+        out = mem[static_cast<std::size_t>(*idx)];
+      }
+      break;
+    }
+  }
+  expr_cache_[static_cast<std::size_t>(id)] = out;
+  stamp = stamp_;
+  return out;
+}
+
+void CycleSim::run_comb() {
+  ++stamp_;
+  for (const CombNode& node : order_) {
+    if (!node.is_tristate_group) {
+      net_values_[static_cast<std::size_t>(node.target)] =
+          eval_expr(node.assign_values.front());
+      continue;
+    }
+    const int width = module_->net(node.target).width;
+    LVec resolved = LVec::zs(width);
+    int enabled = 0;
+    for (std::size_t d = 0; d < node.tri_enables.size(); ++d) {
+      const Logic en = eval_expr(node.tri_enables[d]).bit(0);
+      if (en == Logic::k0) continue;
+      if (en == Logic::k1) {
+        resolved = vec_resolve(resolved, eval_expr(node.assign_values[d]));
+        ++enabled;
+      } else {
+        // Unknown enable: the driver may or may not be on — X everywhere it
+        // could disagree, i.e. conservatively everywhere.
+        resolved = vec_resolve(resolved, LVec::xs(width));
+      }
+    }
+    net_values_[static_cast<std::size_t>(node.target)] = resolved;
+    enabled_drivers_[static_cast<std::size_t>(node.target)] = enabled;
+  }
+}
+
+void CycleSim::set_input(NetId net, const LVec& value) {
+  const Net& n = module_->net(net);
+  if (n.kind != NetKind::kInput) {
+    throw std::invalid_argument("set_input on non-input net: " + n.name);
+  }
+  if (value.width() != n.width) {
+    throw std::invalid_argument("set_input width mismatch on " + n.name);
+  }
+  net_values_[static_cast<std::size_t>(net)] = value;
+}
+
+void CycleSim::set_input(const std::string& name, std::uint64_t value) {
+  const NetId id = module_->find_net(name);
+  if (id == kInvalidId) throw std::invalid_argument("no such net: " + name);
+  set_input(id, LVec::from_uint(value, module_->net(id).width));
+}
+
+void CycleSim::set_input_bit(const std::string& name, bool value) {
+  set_input(name, value ? 1u : 0u);
+}
+
+void CycleSim::eval() { run_comb(); }
+
+void CycleSim::edge(NetId clock, Edge e) {
+  run_comb();  // settle pre-edge values
+
+  struct RegCommit {
+    NetId target;
+    LVec value;
+  };
+  struct MemCommit {
+    MemId mem;
+    LVec addr;
+    LVec data;
+    Logic wen;
+    std::vector<Logic> byte_enables;
+  };
+  std::vector<RegCommit> regs;
+  std::vector<MemCommit> mems;
+
+  for (const Process& p : module_->processes()) {
+    if (p.clock != clock || p.edge != e) continue;
+    for (const SeqAssign& sa : p.assigns) {
+      regs.push_back(RegCommit{sa.target, eval_expr(sa.value)});
+    }
+    for (const MemWrite& w : p.mem_writes) {
+      MemCommit c;
+      c.mem = w.mem;
+      c.addr = eval_expr(w.addr);
+      c.data = eval_expr(w.data);
+      c.wen = eval_expr(w.wen).bit(0);
+      for (ExprId be : w.byte_enables) c.byte_enables.push_back(eval_expr(be).bit(0));
+      mems.push_back(std::move(c));
+    }
+  }
+
+  // The clock net itself flips to its post-edge value.
+  net_values_[static_cast<std::size_t>(clock)] =
+      LVec::from_uint(e == Edge::kPos ? 1 : 0, 1);
+
+  for (const RegCommit& c : regs) {
+    net_values_[static_cast<std::size_t>(c.target)] = c.value;
+  }
+  for (const MemCommit& c : mems) {
+    auto& mem = mem_values_[static_cast<std::size_t>(c.mem)];
+    if (c.wen == Logic::k0) continue;
+    const auto idx = c.addr.to_uint();
+    if (!idx.has_value()) {
+      // Unknown address with a (possibly) active write: all state suspect.
+      for (auto& word : mem) word = LVec::xs(word.width());
+      ++x_write_warnings_;
+      continue;
+    }
+    if (*idx >= mem.size()) continue;  // out of range: ignored, like real SRAM decode
+    LVec& word = mem[static_cast<std::size_t>(*idx)];
+    if (c.wen != Logic::k1) {
+      word = LVec::xs(word.width());
+      ++x_write_warnings_;
+      continue;
+    }
+    if (c.byte_enables.empty()) {
+      word = c.data;
+      continue;
+    }
+    const int lw = word.width() / static_cast<int>(c.byte_enables.size());
+    for (std::size_t lane = 0; lane < c.byte_enables.size(); ++lane) {
+      const Logic be = c.byte_enables[lane];
+      for (int b = 0; b < lw; ++b) {
+        const int i = static_cast<int>(lane) * lw + b;
+        if (be == Logic::k1) {
+          word.set_bit(i, c.data.bit(i));
+        } else if (be != Logic::k0) {
+          word.set_bit(i, Logic::kX);
+          ++x_write_warnings_;
+        }
+      }
+    }
+  }
+
+  ++edges_;
+  run_comb();
+}
+
+void CycleSim::edge(const std::string& clock_name, Edge e) {
+  const NetId id = module_->find_net(clock_name);
+  if (id == kInvalidId) throw std::invalid_argument("no such net: " + clock_name);
+  edge(id, e);
+}
+
+const LVec& CycleSim::get(NetId net) const {
+  return net_values_.at(static_cast<std::size_t>(net));
+}
+
+const LVec& CycleSim::get(const std::string& name) const {
+  const NetId id = module_->find_net(name);
+  if (id == kInvalidId) throw std::invalid_argument("no such net: " + name);
+  return get(id);
+}
+
+std::uint64_t CycleSim::get_uint(const std::string& name) const {
+  const auto v = get(name).to_uint();
+  if (!v.has_value()) throw std::runtime_error("net has X/Z bits: " + name);
+  return *v;
+}
+
+int CycleSim::enabled_drivers(NetId net) const {
+  return enabled_drivers_.at(static_cast<std::size_t>(net));
+}
+
+const LVec& CycleSim::mem_word(MemId mem, std::uint64_t addr) const {
+  return mem_values_.at(static_cast<std::size_t>(mem)).at(addr);
+}
+
+void CycleSim::poke_mem(MemId mem, std::uint64_t addr, const LVec& value) {
+  mem_values_.at(static_cast<std::size_t>(mem)).at(addr) = value;
+}
+
+}  // namespace la1::rtl

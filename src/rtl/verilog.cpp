@@ -1,0 +1,196 @@
+#include "rtl/verilog.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace la1::rtl {
+
+namespace {
+
+/// Verilog identifiers cannot contain '.', which flattened names use.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '#') c = '_';
+  }
+  return out;
+}
+
+class Printer {
+ public:
+  explicit Printer(const Module& m) : m_(&m) {}
+
+  std::string expr(ExprId id) {
+    const Expr& e = m_->expr(id);
+    switch (e.op) {
+      case Op::kConst: {
+        std::ostringstream s;
+        s << e.width << "'b" << e.literal.to_string();
+        return s.str();
+      }
+      case Op::kNet: return sanitize(m_->net(e.net).name);
+      case Op::kNot: return "(~" + expr(e.a) + ")";
+      case Op::kAnd: return "(" + expr(e.a) + " & " + expr(e.b) + ")";
+      case Op::kOr: return "(" + expr(e.a) + " | " + expr(e.b) + ")";
+      case Op::kXor: return "(" + expr(e.a) + " ^ " + expr(e.b) + ")";
+      case Op::kRedAnd: return "(&" + expr(e.a) + ")";
+      case Op::kRedOr: return "(|" + expr(e.a) + ")";
+      case Op::kRedXor: return "(^" + expr(e.a) + ")";
+      case Op::kEq: return "(" + expr(e.a) + " == " + expr(e.b) + ")";
+      case Op::kNe: return "(" + expr(e.a) + " != " + expr(e.b) + ")";
+      case Op::kMux:
+        return "(" + expr(e.a) + " ? " + expr(e.b) + " : " + expr(e.c) + ")";
+      case Op::kConcat: {
+        std::string s = "{";
+        for (std::size_t i = 0; i < e.parts.size(); ++i) {
+          if (i != 0) s += ", ";
+          s += expr(e.parts[i]);
+        }
+        return s + "}";
+      }
+      case Op::kSlice: {
+        // Verilog part-select needs a simple name; wrap via a function-free
+        // idiom: emit ((x) >> lo) truncated by the consumer width when the
+        // operand is compound. For net operands use the direct part select.
+        const Expr& src = m_->expr(e.a);
+        if (src.op == Op::kNet) {
+          std::ostringstream s;
+          s << sanitize(m_->net(src.net).name) << '[' << (e.lo + e.width - 1)
+            << ':' << e.lo << ']';
+          return s.str();
+        }
+        std::ostringstream s;
+        s << "((" << expr(e.a) << ") >> " << e.lo << ')';
+        return s.str();
+      }
+      case Op::kAdd: return "(" + expr(e.a) + " + " + expr(e.b) + ")";
+      case Op::kSub: return "(" + expr(e.a) + " - " + expr(e.b) + ")";
+      case Op::kMemRead:
+        return sanitize(m_->memories()[static_cast<std::size_t>(e.mem)].name) +
+               "[" + expr(e.a) + "]";
+    }
+    return "/*?*/";
+  }
+
+ private:
+  const Module* m_;
+};
+
+std::string range_of(int width) {
+  if (width == 1) return "";
+  std::ostringstream s;
+  s << '[' << width - 1 << ":0] ";
+  return s.str();
+}
+
+void emit_module(const Module& m, std::ostringstream& out,
+                 std::set<std::string>& done);
+
+void emit_children(const Module& m, std::ostringstream& out,
+                   std::set<std::string>& done) {
+  for (const Instance& inst : m.instances()) emit_module(*inst.child, out, done);
+}
+
+void emit_module(const Module& m, std::ostringstream& out,
+                 std::set<std::string>& done) {
+  if (!done.insert(m.name()).second) return;
+  emit_children(m, out, done);
+
+  Printer p(m);
+  out << "module " << sanitize(m.name()) << " (";
+  bool first = true;
+  for (const Net& n : m.nets()) {
+    if (n.kind != NetKind::kInput && n.kind != NetKind::kOutput) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << sanitize(n.name);
+  }
+  out << ");\n";
+
+  for (const Net& n : m.nets()) {
+    switch (n.kind) {
+      case NetKind::kInput:
+        out << "  input " << range_of(n.width) << sanitize(n.name) << ";\n";
+        break;
+      case NetKind::kOutput:
+        out << "  output " << range_of(n.width) << sanitize(n.name) << ";\n";
+        break;
+      case NetKind::kWire:
+        out << "  wire " << range_of(n.width) << sanitize(n.name) << ";\n";
+        break;
+      case NetKind::kReg:
+        out << "  reg " << range_of(n.width) << sanitize(n.name) << " = "
+            << n.width << "'b" << n.init.to_string() << ";\n";
+        break;
+    }
+  }
+  for (const Memory& mem : m.memories()) {
+    out << "  reg " << range_of(mem.width) << sanitize(mem.name) << " [0:"
+        << mem.depth - 1 << "];\n";
+  }
+
+  for (const ContAssign& a : m.assigns()) {
+    out << "  assign " << sanitize(m.net(a.target).name) << " = "
+        << p.expr(a.value) << ";\n";
+  }
+  for (const TriDriver& t : m.tristates()) {
+    out << "  assign " << sanitize(m.net(t.target).name) << " = "
+        << p.expr(t.enable) << " ? " << p.expr(t.value) << " : "
+        << m.net(t.target).width << "'bz;\n";
+  }
+
+  for (const Process& proc : m.processes()) {
+    out << "  always @(" << (proc.edge == Edge::kPos ? "posedge " : "negedge ")
+        << sanitize(m.net(proc.clock).name) << ") begin // " << proc.name
+        << "\n";
+    for (const SeqAssign& sa : proc.assigns) {
+      out << "    " << sanitize(m.net(sa.target).name) << " <= "
+          << p.expr(sa.value) << ";\n";
+    }
+    for (const MemWrite& w : proc.mem_writes) {
+      const std::string mem =
+          sanitize(m.memories()[static_cast<std::size_t>(w.mem)].name);
+      if (w.byte_enables.empty()) {
+        out << "    if (" << p.expr(w.wen) << ") " << mem << "[" << p.expr(w.addr)
+            << "] <= " << p.expr(w.data) << ";\n";
+      } else {
+        const int lw = m.memories()[static_cast<std::size_t>(w.mem)].width /
+                       static_cast<int>(w.byte_enables.size());
+        for (std::size_t lane = 0; lane < w.byte_enables.size(); ++lane) {
+          const int lo = static_cast<int>(lane) * lw;
+          out << "    if (" << p.expr(w.wen) << " & "
+              << p.expr(w.byte_enables[lane]) << ") " << mem << "["
+              << p.expr(w.addr) << "][" << lo + lw - 1 << ':' << lo
+              << "] <= " << p.expr(w.data) << " >> " << lo << ";\n";
+        }
+      }
+    }
+    out << "  end\n";
+  }
+
+  for (const Instance& inst : m.instances()) {
+    out << "  " << sanitize(inst.child->name()) << " " << sanitize(inst.name)
+        << " (";
+    bool first_port = true;
+    for (const auto& [port, net] : inst.bindings) {
+      if (!first_port) out << ", ";
+      first_port = false;
+      out << "." << sanitize(port) << "(" << sanitize(m.net(net).name) << ")";
+    }
+    out << ");\n";
+  }
+
+  out << "endmodule\n\n";
+}
+
+}  // namespace
+
+std::string to_verilog(const Module& m) {
+  std::ostringstream out;
+  out << "// Generated by la1kit (refinement target of the LA-1 flow).\n\n";
+  std::set<std::string> done;
+  emit_module(m, out, done);
+  return out.str();
+}
+
+}  // namespace la1::rtl

@@ -1,0 +1,22 @@
+#include "sim/clock.hpp"
+
+namespace la1::sim {
+
+Clock::Clock(Kernel& kernel, std::string name, Time period, Time phase,
+             bool start_high)
+    : wire_(kernel, std::move(name), start_high),
+      kernel_(&kernel),
+      period_(period) {
+  // Schedule the first rising edge at `phase`; subsequent edges self-chain
+  // every half period. phase == 0 raises the clock in the first timestep.
+  kernel_->schedule(phase == 0 ? 1 : phase, [this] { tick(); });
+}
+
+void Clock::tick() {
+  const bool next = !wire_.read();
+  wire_.write(next);
+  if (next) ++rising_;
+  kernel_->schedule(period_ / 2, [this] { tick(); });
+}
+
+}  // namespace la1::sim

@@ -1,0 +1,53 @@
+// Free-running clock generator.
+//
+// The LA-1 interface requires a master clock pair K and K# that are 180
+// degrees out of phase (paper §3); `ClockPair` produces exactly that.
+#pragma once
+
+#include <string>
+
+#include "sim/signal.hpp"
+
+namespace la1::sim {
+
+/// Toggles a Wire with the given period. The first rising edge occurs at
+/// `phase` (default 0 ps, i.e. the first timestep of the run).
+class Clock {
+ public:
+  Clock(Kernel& kernel, std::string name, Time period, Time phase = 0,
+        bool start_high = false);
+
+  Wire& out() { return wire_; }
+  const Wire& out() const { return wire_; }
+  Time period() const { return period_; }
+
+  /// Number of completed rising edges so far.
+  std::uint64_t rising_edges() const { return rising_; }
+
+ private:
+  void tick();
+
+  Wire wire_;
+  Kernel* kernel_;
+  Time period_;
+  std::uint64_t rising_ = 0;
+};
+
+/// The LA-1 master clock pair: K and K#, same period, K# shifted by half a
+/// period so its rising edges fall on K's falling edges.
+class ClockPair {
+ public:
+  ClockPair(Kernel& kernel, std::string name, Time period)
+      : k_(kernel, name + ".K", period, /*phase=*/0),
+        ks_(kernel, name + ".K#", period, /*phase=*/period / 2) {}
+
+  Wire& k() { return k_.out(); }
+  Wire& ks() { return ks_.out(); }
+  Time period() const { return k_.period(); }
+
+ private:
+  Clock k_;
+  Clock ks_;
+};
+
+}  // namespace la1::sim

@@ -1,0 +1,82 @@
+// Bounded FIFO primitive channel (the paper lists FIFOs among SystemC's
+// built-in primitive channels; transactors use one between the host BFM and
+// the traffic generator).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace la1::sim {
+
+/// A bounded FIFO with delta-cycle semantics: writes become visible to
+/// readers in the next delta, mirroring sc_fifo. Only non-blocking access is
+/// offered (method-process world); the data_written/data_read events let a
+/// process retry.
+template <typename T>
+class Fifo : public Object, public UpdateHook {
+ public:
+  Fifo(Kernel& kernel, std::string name, std::size_t capacity)
+      : Object(kernel, std::move(name)),
+        capacity_(capacity),
+        written_(kernel, this->name() + ".written"),
+        read_(kernel, this->name() + ".read") {}
+
+  /// Attempts to enqueue; returns false when full (counting pending writes).
+  bool nb_write(const T& value) {
+    if (committed_.size() + staged_.size() >= capacity_) return false;
+    staged_.push_back(value);
+    request();
+    return true;
+  }
+
+  /// Attempts to dequeue into `out`; returns false when empty.
+  bool nb_read(T& out) {
+    if (committed_.empty()) return false;
+    out = committed_.front();
+    committed_.pop_front();
+    ++reads_pending_;
+    request();
+    return true;
+  }
+
+  std::size_t size() const { return committed_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return committed_.empty(); }
+
+  Event& data_written_event() { return written_; }
+  Event& data_read_event() { return read_; }
+
+  void perform_update() override {
+    update_requested_ = false;
+    if (!staged_.empty()) {
+      for (auto& v : staged_) committed_.push_back(std::move(v));
+      staged_.clear();
+      written_.notify_delta();
+    }
+    if (reads_pending_ > 0) {
+      reads_pending_ = 0;
+      read_.notify_delta();
+    }
+  }
+
+ private:
+  void request() {
+    if (update_requested_) return;
+    update_requested_ = true;
+    kernel().request_update(*this);
+  }
+
+  std::size_t capacity_;
+  std::deque<T> committed_;
+  std::deque<T> staged_;
+  std::size_t reads_pending_ = 0;
+  bool update_requested_ = false;
+  Event written_;
+  Event read_;
+};
+
+}  // namespace la1::sim

@@ -1,0 +1,30 @@
+// Module base class: a named container for processes and channels.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace la1::sim {
+
+/// Behavioural building block. Subclasses register method processes in their
+/// constructor and wire sensitivity with `sensitive`.
+class Module : public Object {
+ public:
+  Module(Kernel& kernel, std::string name) : Object(kernel, std::move(name)) {}
+
+ protected:
+  /// Registers a method process named `<module>.<local_name>`.
+  Process& method(const std::string& local_name, std::function<void()> body) {
+    return kernel().create_process(name() + "." + local_name, std::move(body));
+  }
+
+  /// Adds `event` to the static sensitivity of `process`.
+  static void sensitive(Process& process, Event& event) {
+    event.subscribe(process);
+  }
+};
+
+}  // namespace la1::sim

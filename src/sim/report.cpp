@@ -1,0 +1,35 @@
+#include "sim/report.hpp"
+
+#include <ostream>
+
+namespace la1::sim {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "INFO";
+    case Severity::kWarning: return "WARNING";
+    case Severity::kError: return "ERROR";
+    case Severity::kFatal: return "FATAL";
+  }
+  return "?";
+}
+
+void Reporter::report(Severity severity, const std::string& source,
+                      const std::string& message) {
+  entries_.push_back(ReportEntry{severity, kernel_->now(), source, message});
+  if (echo_ != nullptr && severity >= echo_threshold_) {
+    *echo_ << "[" << to_string(severity) << " @" << kernel_->now() << "ps "
+           << source << "] " << message << '\n';
+  }
+  if (severity == Severity::kFatal && stop_on_fatal_) kernel_->stop();
+}
+
+std::uint64_t Reporter::count(Severity severity) const {
+  std::uint64_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.severity == severity) ++n;
+  }
+  return n;
+}
+
+}  // namespace la1::sim

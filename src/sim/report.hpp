@@ -1,0 +1,56 @@
+// Severity-classified reporting, the sc_report equivalent. Assertion
+// monitors funnel their failures through a Reporter so tests can count and
+// inspect them without scraping stderr.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace la1::sim {
+
+enum class Severity { kInfo, kWarning, kError, kFatal };
+
+const char* to_string(Severity severity);
+
+struct ReportEntry {
+  Severity severity = Severity::kInfo;
+  Time at = 0;
+  std::string source;
+  std::string message;
+};
+
+/// Collects reports; optionally echoes them to a stream and stops the kernel
+/// on fatal reports (the OVL "severity 0" behaviour).
+class Reporter {
+ public:
+  explicit Reporter(Kernel& kernel) : kernel_(&kernel) {}
+
+  void report(Severity severity, const std::string& source,
+              const std::string& message);
+
+  /// When set, entries at or above `severity` are echoed here.
+  void echo_to(std::ostream* stream, Severity threshold = Severity::kWarning) {
+    echo_ = stream;
+    echo_threshold_ = threshold;
+  }
+
+  /// When enabled, a kFatal report calls kernel().stop().
+  void stop_on_fatal(bool enable) { stop_on_fatal_ = enable; }
+
+  std::uint64_t count(Severity severity) const;
+  const std::vector<ReportEntry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+ private:
+  Kernel* kernel_;
+  std::vector<ReportEntry> entries_;
+  std::ostream* echo_ = nullptr;
+  Severity echo_threshold_ = Severity::kWarning;
+  bool stop_on_fatal_ = true;
+};
+
+}  // namespace la1::sim

@@ -1,0 +1,93 @@
+// Primitive signal channels with evaluate/update semantics.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace la1::sim {
+
+/// A single-driver signal of value type T (EqualityComparable, copyable).
+///
+/// Reads return the current value; writes land in the next value and are
+/// committed during the update phase, so every process in a delta observes a
+/// consistent snapshot — the same contract as sc_signal.
+template <typename T>
+class Signal : public Object, public UpdateHook {
+ public:
+  Signal(Kernel& kernel, std::string name, T initial = T{})
+      : Object(kernel, std::move(name)),
+        current_(initial),
+        next_(initial),
+        changed_(kernel, this->name() + ".changed") {}
+
+  const T& read() const { return current_; }
+
+  void write(const T& value) {
+    next_ = value;
+    if (!update_requested_) {
+      update_requested_ = true;
+      kernel().request_update(*this);
+    }
+  }
+
+  /// Notified (delta) whenever the committed value differs from the old one.
+  Event& changed_event() { return changed_; }
+
+  /// True during the delta immediately after a value change committed.
+  bool event() const { return last_change_ == kernel().now() && changed_now_; }
+
+  void perform_update() override {
+    update_requested_ = false;
+    if (next_ == current_) {
+      changed_now_ = false;
+      return;
+    }
+    on_commit(current_, next_);
+    current_ = next_;
+    last_change_ = kernel().now();
+    changed_now_ = true;
+    changed_.notify_delta();
+  }
+
+ protected:
+  /// Hook for subclasses (edge detection); runs before the commit.
+  virtual void on_commit(const T& /*old_value*/, const T& /*new_value*/) {}
+
+ private:
+  T current_;
+  T next_;
+  Event changed_;
+  bool update_requested_ = false;
+  bool changed_now_ = false;
+  Time last_change_ = ~Time{0};
+};
+
+/// A boolean signal with rising/falling-edge events — the clock and control
+/// line type used throughout the LA-1 models.
+class Wire : public Signal<bool> {
+ public:
+  Wire(Kernel& kernel, std::string name, bool initial = false)
+      : Signal<bool>(kernel, std::move(name), initial),
+        posedge_(kernel, this->name() + ".pos"),
+        negedge_(kernel, this->name() + ".neg") {}
+
+  Event& posedge_event() { return posedge_; }
+  Event& negedge_event() { return negedge_; }
+
+  bool posedge() const { return event() && read(); }
+  bool negedge() const { return event() && !read(); }
+
+ protected:
+  void on_commit(const bool& old_value, const bool& new_value) override {
+    if (!old_value && new_value) posedge_.notify_delta();
+    if (old_value && !new_value) negedge_.notify_delta();
+  }
+
+ private:
+  Event posedge_;
+  Event negedge_;
+};
+
+}  // namespace la1::sim

@@ -1,0 +1,65 @@
+// Mutex and semaphore primitive channels (paper §2.1 lists semaphores among
+// SystemC's built-in channels). Non-blocking, event-signalled, matching the
+// method-process model of this kernel.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace la1::sim {
+
+/// A non-blocking mutex: trylock/unlock with a `freed` event for retries.
+class Mutex : public Object {
+ public:
+  Mutex(Kernel& kernel, std::string name)
+      : Object(kernel, std::move(name)), freed_(kernel, this->name() + ".freed") {}
+
+  bool trylock() {
+    if (locked_) return false;
+    locked_ = true;
+    return true;
+  }
+
+  void unlock() {
+    locked_ = false;
+    freed_.notify_delta();
+  }
+
+  bool locked() const { return locked_; }
+  Event& freed_event() { return freed_; }
+
+ private:
+  bool locked_ = false;
+  Event freed_;
+};
+
+/// A counting semaphore with trywait/post.
+class Semaphore : public Object {
+ public:
+  Semaphore(Kernel& kernel, std::string name, int initial)
+      : Object(kernel, std::move(name)),
+        count_(initial),
+        posted_(kernel, this->name() + ".posted") {}
+
+  bool trywait() {
+    if (count_ <= 0) return false;
+    --count_;
+    return true;
+  }
+
+  void post() {
+    ++count_;
+    posted_.notify_delta();
+  }
+
+  int value() const { return count_; }
+  Event& posted_event() { return posted_; }
+
+ private:
+  int count_;
+  Event posted_;
+};
+
+}  // namespace la1::sim

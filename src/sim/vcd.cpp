@@ -1,0 +1,83 @@
+#include "sim/vcd.hpp"
+
+#include "util/strings.hpp"
+
+namespace la1::sim {
+
+VcdTracer::VcdTracer(Kernel& kernel, const std::string& path)
+    : kernel_(&kernel), out_(path) {
+  kernel_->set_on_time_advance([this](Time at) { dump(at); });
+}
+
+VcdTracer::~VcdTracer() { close(); }
+
+std::string VcdTracer::next_id() {
+  // VCD identifier codes: printable ASCII 33..126, base-94 counter.
+  int n = id_counter_++;
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(33 + n % 94));
+    n /= 94;
+  } while (n > 0);
+  return id;
+}
+
+void VcdTracer::trace(Wire& wire, const std::string& display_name) {
+  Var var;
+  var.id = next_id();
+  var.name = display_name;
+  var.width = 1;
+  var.sample = [&wire] { return std::string(wire.read() ? "1" : "0"); };
+  vars_.push_back(std::move(var));
+}
+
+void VcdTracer::trace(Signal<std::uint32_t>& signal,
+                      const std::string& display_name, int width) {
+  Var var;
+  var.id = next_id();
+  var.name = display_name;
+  var.width = width;
+  var.sample = [&signal, width] {
+    return "b" + util::to_binary(signal.read(), width) + " ";
+  };
+  vars_.push_back(std::move(var));
+}
+
+void VcdTracer::write_header() {
+  header_written_ = true;
+  out_ << "$timescale 1ps $end\n$scope module la1 $end\n";
+  for (const auto& var : vars_) {
+    out_ << "$var wire " << var.width << ' ' << var.id << ' ' << var.name
+         << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdTracer::dump(Time at) {
+  if (closed_) return;
+  if (!header_written_) write_header();
+  bool stamped = false;
+  for (auto& var : vars_) {
+    std::string now = var.sample();
+    if (now == var.last) continue;
+    if (!stamped) {
+      out_ << '#' << at << '\n';
+      stamped = true;
+    }
+    if (var.width == 1) {
+      out_ << now << var.id << '\n';
+    } else {
+      out_ << now << var.id << '\n';
+    }
+    var.last = std::move(now);
+  }
+}
+
+void VcdTracer::close() {
+  if (closed_) return;
+  closed_ = true;
+  kernel_->set_on_time_advance({});
+  out_.flush();
+}
+
+}  // namespace la1::sim

@@ -1,0 +1,59 @@
+// VCD (Value Change Dump) tracing for kernel-level models. Waveforms from
+// the LA-1 behavioural model can be inspected in any VCD viewer; the Figure-3
+// bench uses the same sampling machinery to print the read-mode timing trace.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/signal.hpp"
+
+namespace la1::sim {
+
+/// Streams value changes of registered signals to a VCD file. Register all
+/// signals before the first `Kernel::run`; the tracer hooks the kernel's
+/// time-advance callback.
+class VcdTracer {
+ public:
+  VcdTracer(Kernel& kernel, const std::string& path);
+  ~VcdTracer();
+
+  VcdTracer(const VcdTracer&) = delete;
+  VcdTracer& operator=(const VcdTracer&) = delete;
+
+  /// Traces a boolean wire as a 1-bit var.
+  void trace(Wire& wire, const std::string& display_name);
+
+  /// Traces an unsigned signal as a `width`-bit vector var.
+  void trace(Signal<std::uint32_t>& signal, const std::string& display_name,
+             int width);
+
+  /// Finalizes the header + flushes; called automatically on destruction.
+  void close();
+
+ private:
+  struct Var {
+    std::string id;
+    std::string name;
+    int width = 1;
+    std::function<std::string()> sample;
+    std::string last;
+  };
+
+  void write_header();
+  void dump(Time at);
+  std::string next_id();
+
+  Kernel* kernel_;
+  std::ofstream out_;
+  std::vector<Var> vars_;
+  bool header_written_ = false;
+  bool closed_ = false;
+  int id_counter_ = 0;
+};
+
+}  // namespace la1::sim

@@ -1,0 +1,101 @@
+#include "uml/derive.hpp"
+
+#include <sstream>
+
+namespace la1::uml {
+
+std::vector<DerivedProperty> derive_latency_properties(
+    const SequenceDiagram& sd, const SignalNamer& signal_of) {
+  std::vector<DerivedProperty> out;
+  const auto& msgs = sd.messages();
+  for (std::size_t i = 0; i + 1 < msgs.size(); ++i) {
+    const Message& a = msgs[i];
+    const Message& b = msgs[i + 1];
+    const int dt = SequenceDiagram::tick_of(b) - SequenceDiagram::tick_of(a);
+    if (dt < 0) continue;  // validate() reports these
+    DerivedProperty d;
+    d.name = sd.name() + "." + a.operation + "_to_" + b.operation;
+    d.prop = psl::p_impl_next(psl::b_sig(signal_of(a)), dt,
+                              psl::b_sig(signal_of(b)));
+    d.source = SequenceDiagram::annotation(a) + " => " +
+               SequenceDiagram::annotation(b);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, psl::SerePtr>> derive_covers(
+    const SequenceDiagram& sd, const SignalNamer& signal_of) {
+  std::vector<std::pair<std::string, psl::SerePtr>> out;
+  for (const Message& m : sd.messages()) {
+    out.emplace_back(sd.name() + ".cover_" + m.operation,
+                     psl::s_bool(psl::b_sig(signal_of(m))));
+  }
+  return out;
+}
+
+asml::Machine derive_asm_skeleton(const ClassDiagram& cd) {
+  asml::Machine machine(cd.name());
+  machine.initial().set("SystemFlag", asml::Value::symbol("CREATED"));
+  for (const Class& c : cd.classes()) {
+    machine.initial().set(c.name + ".state", asml::Value::symbol("UNINIT"));
+  }
+
+  // Init rules: each class initializes once; the system starts only after
+  // every object is initialized (the paper's exploration constraint).
+  for (const Class& c : cd.classes()) {
+    const std::string loc = c.name + ".state";
+    asml::Rule rule;
+    rule.name = "Init_" + c.name;
+    rule.require = [loc](const asml::State& s, const asml::Args&) {
+      return s.get_symbol(loc) == "UNINIT";
+    };
+    rule.update = [loc](const asml::State&, const asml::Args&,
+                        asml::UpdateSet& u) {
+      u.set(loc, asml::Value::symbol("READY"));
+    };
+    machine.add_rule(std::move(rule));
+  }
+
+  std::vector<std::string> locs;
+  for (const Class& c : cd.classes()) locs.push_back(c.name + ".state");
+  asml::Rule start;
+  start.name = "SystemStart";
+  start.require = [locs](const asml::State& s, const asml::Args&) {
+    if (s.get_symbol("SystemFlag") != "CREATED") return false;
+    for (const std::string& loc : locs) {
+      if (s.get_symbol(loc) != "READY") return false;
+    }
+    return true;
+  };
+  start.update = [](const asml::State&, const asml::Args&, asml::UpdateSet& u) {
+    u.set("SystemFlag", asml::Value::symbol("STARTED"));
+  };
+  machine.add_rule(std::move(start));
+  return machine;
+}
+
+std::string derive_module_skeletons(const ClassDiagram& cd) {
+  std::ostringstream out;
+  out << "// Module skeletons derived from UML class diagram '" << cd.name()
+      << "'.\n\n";
+  for (const Class& c : cd.classes()) {
+    out << "class " << c.name << " {\n public:\n";
+    for (const Operation& op : c.operations) {
+      out << "  void " << op.name << "(";
+      for (std::size_t i = 0; i < op.params.size(); ++i) {
+        if (i != 0) out << ", ";
+        out << op.params[i];
+      }
+      out << ");\n";
+    }
+    if (!c.attributes.empty()) out << "\n private:\n";
+    for (const Attribute& a : c.attributes) {
+      out << "  " << a.type << " " << a.name << "_;\n";
+    }
+    out << "};\n\n";
+  }
+  return out.str();
+}
+
+}  // namespace la1::uml

@@ -1,0 +1,87 @@
+#include "uml/model.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace la1::uml {
+
+Class& ClassDiagram::add_class(const std::string& name) {
+  for (const Class& c : classes_) {
+    if (c.name == name) {
+      throw std::invalid_argument("duplicate class: " + name);
+    }
+  }
+  classes_.push_back(Class{name, {}, {}});
+  return classes_.back();
+}
+
+const Class* ClassDiagram::find(const std::string& name) const {
+  for (const Class& c : classes_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ClassDiagram::validate() const {
+  std::vector<std::string> issues;
+  for (const Relation& r : relations_) {
+    if (find(r.from) == nullptr) {
+      issues.push_back("relation references unknown class: " + r.from);
+    }
+    if (find(r.to) == nullptr) {
+      issues.push_back("relation references unknown class: " + r.to);
+    }
+  }
+  // Generalization cycles.
+  std::map<std::string, std::string> parent;
+  for (const Relation& r : relations_) {
+    if (r.kind == RelationKind::kGeneralization) parent[r.from] = r.to;
+  }
+  for (const auto& [start, _] : parent) {
+    std::set<std::string> seen{start};
+    std::string at = start;
+    while (parent.count(at) != 0) {
+      at = parent[at];
+      if (!seen.insert(at).second) {
+        issues.push_back("generalization cycle through: " + at);
+        break;
+      }
+    }
+  }
+  return issues;
+}
+
+const char* to_string(ClockRef c) { return c == ClockRef::kK ? "K" : "K#"; }
+
+std::string SequenceDiagram::annotation(const Message& m) {
+  std::string out = m.operation + "[" + std::to_string(m.cycle) + "]()@";
+  out += to_string(m.clock);
+  if (m.duration > 0) out += "/" + std::to_string(m.duration);
+  return out;
+}
+
+std::vector<std::string> SequenceDiagram::validate() const {
+  std::vector<std::string> issues;
+  std::set<std::string> lanes(lifelines_.begin(), lifelines_.end());
+  int last_tick = -1;
+  for (const Message& m : messages_) {
+    if (lanes.count(m.from) == 0) {
+      issues.push_back("message from unknown lifeline: " + m.from);
+    }
+    if (lanes.count(m.to) == 0) {
+      issues.push_back("message to unknown lifeline: " + m.to);
+    }
+    if (m.cycle < 0) {
+      issues.push_back("negative cycle on " + annotation(m));
+    }
+    const int tick = tick_of(m);
+    if (tick < last_tick) {
+      issues.push_back("message order violates time: " + annotation(m));
+    }
+    last_tick = tick;
+  }
+  return issues;
+}
+
+}  // namespace la1::uml

@@ -1,0 +1,123 @@
+// UML spec layer: class diagrams and clock-annotated sequence diagrams.
+//
+// The paper's flow starts from an informal UML specification (§4.1) with a
+// *modified sequence diagram* notation: each message carries the activation
+// cycle and the clock it is bound to — `OnReadRequest[0]()@K` means the
+// operation fires at relative cycle 0 on a rising edge of K (Figure 3).
+// This module is that specification layer as data: diagrams are built
+// programmatically, validated for well-formedness, rendered to PlantUML/DOT
+// (render.hpp) and *derived from* — PSL properties and ASM/class skeletons
+// (derive.hpp) — which is exactly the role UML plays in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace la1::uml {
+
+// --- class diagram -----------------------------------------------------
+
+struct Attribute {
+  std::string name;
+  std::string type;
+};
+
+struct Operation {
+  std::string name;
+  std::vector<std::string> params;
+};
+
+struct Class {
+  std::string name;
+  std::vector<Attribute> attributes;
+  std::vector<Operation> operations;
+};
+
+enum class RelationKind {
+  kAssociation,
+  kAggregation,
+  kComposition,
+  kGeneralization
+};
+
+struct Relation {
+  std::string from;
+  std::string to;
+  RelationKind kind = RelationKind::kAssociation;
+  std::string label;
+  std::string multiplicity;  // e.g. "1..4" banks
+};
+
+class ClassDiagram {
+ public:
+  explicit ClassDiagram(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Class& add_class(const std::string& name);
+  void add_relation(Relation r) { relations_.push_back(std::move(r)); }
+
+  const Class* find(const std::string& name) const;
+  const std::vector<Class>& classes() const { return classes_; }
+  const std::vector<Relation>& relations() const { return relations_; }
+
+  /// Well-formedness issues (duplicate classes, dangling relation ends,
+  /// generalization cycles). Empty = valid.
+  std::vector<std::string> validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Class> classes_;
+  std::vector<Relation> relations_;
+};
+
+// --- modified sequence diagram ----------------------------------------
+
+/// Which master clock an activation is bound to.
+enum class ClockRef { kK, kKs };
+
+const char* to_string(ClockRef c);
+
+/// One message with the paper's `op[cycle]()@clock` annotation.
+struct Message {
+  std::string from;
+  std::string to;
+  std::string operation;
+  int cycle = 0;          // the [n] annotation, relative to the scenario start
+  ClockRef clock = ClockRef::kK;
+  int duration = 0;       // execution cycles (the paper's duration extension)
+};
+
+class SequenceDiagram {
+ public:
+  explicit SequenceDiagram(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void add_lifeline(std::string name) { lifelines_.push_back(std::move(name)); }
+  void add_message(Message m) { messages_.push_back(std::move(m)); }
+
+  const std::vector<std::string>& lifelines() const { return lifelines_; }
+  const std::vector<Message>& messages() const { return messages_; }
+
+  /// The message annotation as text, e.g. "OnReadRequest[0]()@K".
+  static std::string annotation(const Message& m);
+
+  /// Converts a (cycle, clock) annotation to a half-cycle tick index: rising
+  /// K edges are even ticks, rising K# edges odd ticks. This is the common
+  /// time base the derived properties and the simulation monitors share.
+  static int tick_of(const Message& m) {
+    return 2 * m.cycle + (m.clock == ClockRef::kKs ? 1 : 0);
+  }
+
+  /// Well-formedness issues (unknown lifelines, ticks not monotone in
+  /// message order, negative cycles). Empty = valid.
+  std::vector<std::string> validate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> lifelines_;
+  std::vector<Message> messages_;
+};
+
+}  // namespace la1::uml

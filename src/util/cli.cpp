@@ -1,0 +1,66 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace la1::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  queried_[name] = true;
+  return options_.count(name) != 0;
+}
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  queried_[name] = true;
+  auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  queried_[name] = true;
+  auto it = options_.find(name);
+  return it == options_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  auto it = options_.find(name);
+  return it == options_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : options_) {
+    if (queried_.find(name) == queried_.end()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace la1::util

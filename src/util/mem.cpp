@@ -1,0 +1,28 @@
+#include "util/mem.hpp"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace la1::util {
+
+std::size_t current_rss_bytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long pages_total = 0;
+  long pages_resident = 0;
+  const int got = std::fscanf(f, "%ld %ld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::size_t>(pages_resident) * 4096u;
+}
+
+std::size_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is in kilobytes on Linux.
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024u;
+}
+
+}  // namespace la1::util

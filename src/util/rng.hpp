@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// All stochastic behaviour in la1kit (stimulus generation, exploration tie
+// breaking, property sweeps) goes through Xoshiro256** seeded explicitly, so
+// every experiment in EXPERIMENTS.md is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace la1::util {
+
+/// Xoshiro256** by Blackman & Vigna. Small, fast, and good enough for
+/// workload generation; not for cryptography.
+class Rng {
+ public:
+  /// Seeds the four lanes from a single 64-bit seed via SplitMix64 so that
+  /// nearby seeds produce unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& lane : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool chance(double p) {
+    return static_cast<double>(next_u64()) /
+               static_cast<double>(std::numeric_limits<std::uint64_t>::max()) <
+           p;
+  }
+
+  bool next_bool() { return (next_u64() & 1u) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace la1::util

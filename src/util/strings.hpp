@@ -1,0 +1,28 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace la1::util {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True when `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Renders an unsigned value as a fixed-width binary string, MSB first.
+std::string to_binary(std::uint64_t value, int bits);
+
+/// Escapes a string for inclusion in a DOT/PlantUML label.
+std::string escape_label(std::string_view text);
+
+}  // namespace la1::util

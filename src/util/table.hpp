@@ -1,0 +1,47 @@
+// ASCII table rendering for the benchmark harnesses. Every bench binary
+// prints rows in the same layout as the paper's tables so EXPERIMENTS.md can
+// put "paper" and "measured" side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace la1::util {
+
+/// A simple left/right-aligned ASCII table with a header row.
+///
+/// Usage:
+///   Table t({"Number of Banks", "CPU Time (s)"});
+///   t.add_row({"1", "0.02"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a ruled header, one line per row.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming the noise
+/// benchmark output does not need.
+std::string fmt_double(double v, int digits = 3);
+
+/// Formats a double in scientific notation (e.g. 1.23e-06), matching the
+/// paper's "time/cycle in seconds" columns.
+std::string fmt_sci(double v, int digits = 2);
+
+/// Formats an integer with thousands separators for readability.
+std::string fmt_count(std::uint64_t v);
+
+}  // namespace la1::util

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "la1/rtl_model.hpp"
+#include "la1/spec.hpp"
+#include "rtl/sim.hpp"
+#include "rtl/verilog.hpp"
+#include "util/rng.hpp"
+
+namespace la1::core {
+namespace {
+
+/// Drives one edge of the flattened device.
+struct RtlDriver {
+  rtl::CycleSim sim;
+  const RtlConfig cfg;
+  int tick = 0;
+
+  explicit RtlDriver(const rtl::Module& flat, const RtlConfig& c)
+      : sim(flat), cfg(c) {
+    idle();
+  }
+
+  void idle() {
+    sim.set_input_bit("R_n", true);
+    sim.set_input_bit("W_n", true);
+    sim.set_input("A", 0);
+    sim.set_input("D", 0);
+    sim.set_input("BWE_n", (1u << cfg.lanes()) - 1);
+  }
+
+  void step() {
+    sim.edge(tick % 2 == 0 ? "K" : "KS", rtl::Edge::kPos);
+    ++tick;
+  }
+
+  bool tap(const std::string& name) {
+    return sim.get(name).bit(0) == rtl::Logic::k1;
+  }
+};
+
+RtlConfig test_config(int banks) {
+  RtlConfig cfg;
+  cfg.banks = banks;
+  cfg.data_bits = 16;
+  cfg.mem_addr_bits = 3;
+  return cfg;
+}
+
+TEST(RtlModel, BankModuleStructure) {
+  const rtl::Module bank = build_bank_module(test_config(1), 0);
+  const auto s = bank.stats();
+  EXPECT_GT(s.regs, 15);
+  EXPECT_EQ(s.memories, 1);
+  EXPECT_EQ(s.processes, 2);  // K and K# domains
+  EXPECT_NE(bank.find_net("read_start_q"), rtl::kInvalidId);
+}
+
+TEST(RtlModel, DevicePinCountMatchesSpec) {
+  const RtlConfig cfg = test_config(4);
+  const RtlDevice dev = build_device(cfg);
+  // 18-pin data-in and data-out paths at full width.
+  EXPECT_EQ(cfg.beat_pins(), 18);
+  EXPECT_EQ(dev.top->net(dev.top->find_net("D")).width, 18);
+  EXPECT_EQ(dev.top->net(dev.top->find_net("DOUT")).width, 18);
+  // One tristate driver per bank on the shared bus.
+  EXPECT_EQ(dev.top->tristates().size(), 4u);
+  EXPECT_EQ(dev.top->instances().size(), 4u);
+}
+
+TEST(RtlModel, ReadModeTiming) {
+  const RtlConfig cfg = test_config(1);
+  RtlDevice dev = build_device(cfg);
+  const rtl::Module flat = dev.flatten();
+  RtlDriver d(flat, cfg);
+
+  // Preload the SRAM.
+  const rtl::MemId mem = 0;
+  d.sim.poke_mem(mem, 2, rtl::LVec::from_uint(0xBEEF1234, 32));
+
+  // Read at K(0).
+  d.sim.set_input_bit("R_n", false);
+  d.sim.set_input("A", 2);
+  d.step();  // K(0)
+  EXPECT_TRUE(d.tap("bank0.read_start_q"));
+  d.idle();
+  d.step();  // K#(0)
+  d.step();  // K(1): fetch
+  EXPECT_TRUE(d.tap("bank0.fetch_q"));
+  d.step();  // K#(1)
+  d.step();  // K(2): first beat
+  EXPECT_TRUE(d.tap("bank0.dout_valid_k_q"));
+  const auto beat0 = d.sim.get("DOUT").to_uint();
+  ASSERT_TRUE(beat0.has_value());
+  EXPECT_EQ(beat_data(static_cast<std::uint32_t>(*beat0), 16), 0x1234u);
+  EXPECT_TRUE(parity_ok(static_cast<std::uint32_t>(*beat0), 16));
+  d.step();  // K#(2): second beat
+  EXPECT_TRUE(d.tap("bank0.dout_valid_ks_q"));
+  const auto beat1 = d.sim.get("DOUT").to_uint();
+  ASSERT_TRUE(beat1.has_value());
+  EXPECT_EQ(beat_data(static_cast<std::uint32_t>(*beat1), 16), 0xBEEFu);
+}
+
+TEST(RtlModel, WriteModeCommitsWithByteEnables) {
+  const RtlConfig cfg = test_config(1);
+  RtlDevice dev = build_device(cfg);
+  const rtl::Module flat = dev.flatten();
+  RtlDriver d(flat, cfg);
+  const rtl::MemId mem = 0;
+  d.sim.poke_mem(mem, 1, rtl::LVec::from_uint(0x11223344, 32));
+
+  // W# + low beat (lanes 0,1 enabled) at K(0).
+  d.sim.set_input_bit("W_n", false);
+  d.sim.set_input("D", pack_beat(0xAABB, 16));
+  d.sim.set_input("BWE_n", 0b00);  // both low-beat lanes on (active low)
+  d.step();                        // K(0)
+  EXPECT_TRUE(d.tap("bank0.write_start_q"));
+  // Address + high beat at K#(0), lanes off.
+  d.idle();
+  d.sim.set_input("A", 1);
+  d.sim.set_input("D", pack_beat(0xCCDD, 16));
+  d.sim.set_input("BWE_n", 0b11);  // high-beat lanes disabled
+  d.step();                        // K#(0)
+  EXPECT_TRUE(d.tap("bank0.addr_captured_q"));
+  d.idle();
+  d.step();  // K(1): commit
+  EXPECT_TRUE(d.tap("bank0.write_commit_q"));
+  EXPECT_EQ(*d.sim.mem_word(mem, 1).to_uint(), 0x1122AABBu);
+}
+
+TEST(RtlModel, DeselectedBankStaysQuiet) {
+  const RtlConfig cfg = test_config(2);
+  RtlDevice dev = build_device(cfg);
+  const rtl::Module flat = dev.flatten();
+  RtlDriver d(flat, cfg);
+  // Read bank 1's region.
+  d.sim.set_input_bit("R_n", false);
+  d.sim.set_input("A", 1u << cfg.mem_addr_bits);
+  d.step();
+  EXPECT_FALSE(d.tap("bank0.read_start_q"));
+  EXPECT_TRUE(d.tap("bank1.read_start_q"));
+  d.idle();
+  for (int i = 0; i < 5; ++i) d.step();
+  // Bank 0 never drove.
+  EXPECT_FALSE(d.tap("bank0.driving_q"));
+}
+
+TEST(RtlModel, BusIsZWhenIdle) {
+  const RtlConfig cfg = test_config(2);
+  RtlDevice dev = build_device(cfg);
+  const rtl::Module flat = dev.flatten();
+  RtlDriver d(flat, cfg);
+  for (int i = 0; i < 6; ++i) d.step();
+  EXPECT_TRUE(d.sim.get("DOUT").all_z());
+}
+
+TEST(RtlModel, BackToBackReadsDifferentBanks) {
+  const RtlConfig cfg = test_config(2);
+  RtlDevice dev = build_device(cfg);
+  const rtl::Module flat = dev.flatten();
+  RtlDriver d(flat, cfg);
+  d.sim.poke_mem(0, 0, rtl::LVec::from_uint(0x0000AAAA, 32));
+  d.sim.poke_mem(1, 0, rtl::LVec::from_uint(0x0000BBBB, 32));
+
+  // Read bank0 at K(0), bank1 at K(1).
+  d.sim.set_input_bit("R_n", false);
+  d.sim.set_input("A", 0);
+  d.step();  // K(0)
+  d.step();  // K#(0)
+  d.sim.set_input("A", 1u << cfg.mem_addr_bits);
+  d.step();  // K(1)
+  d.idle();
+  d.step();  // K#(1)
+  d.step();  // K(2): bank0 beat0
+  EXPECT_EQ(beat_data(static_cast<std::uint32_t>(*d.sim.get("DOUT").to_uint()), 16),
+            0xAAAAu);
+  d.step();  // K#(2): bank0 beat1
+  d.step();  // K(3): bank1 beat0 — clean handoff, no conflict
+  EXPECT_EQ(beat_data(static_cast<std::uint32_t>(*d.sim.get("DOUT").to_uint()), 16),
+            0xBBBBu);
+  EXPECT_FALSE(d.sim.get("DOUT").has_x());
+}
+
+TEST(RtlModel, VerilogEmission) {
+  const RtlConfig cfg = test_config(4);
+  const RtlDevice dev = build_device(cfg);
+  const std::string v = rtl::to_verilog(*dev.top);
+  EXPECT_NE(v.find("module la1_device"), std::string::npos);
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_NE(v.find("module la1_bank" + std::to_string(b)), std::string::npos);
+  }
+  EXPECT_NE(v.find("18'bz"), std::string::npos);  // tristate bus
+}
+
+TEST(RtlModel, ClockScheduleResolved) {
+  const RtlConfig cfg = test_config(1);
+  RtlDevice dev = build_device(cfg);
+  const rtl::Module flat = dev.flatten();
+  const auto schedule = clock_schedule(flat);
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule[0].clock, flat.find_net("K"));
+  EXPECT_EQ(schedule[1].clock, flat.find_net("KS"));
+}
+
+TEST(RtlModel, McGeometryBitblasts) {
+  const RtlConfig cfg = RtlConfig::model_checking(2);
+  RtlDevice dev = build_device(cfg);
+  const rtl::Module flat = rtl::expand_memories(dev.flatten());
+  const rtl::BitBlast bb = rtl::bitblast(flat, clock_schedule(flat));
+  EXPECT_GT(bb.state_vars.size(), 10u);
+  EXPECT_EQ(bb.phase_count, 2);
+  EXPECT_EQ(bb.conflict_bits.count("DOUT"), 1u);
+}
+
+TEST(RtlModel, PropertiesNameExistingNets) {
+  const RtlConfig cfg = test_config(2);
+  RtlDevice dev = build_device(cfg);
+  const rtl::Module flat = dev.flatten();
+  for (const auto& [name, prop] : rtl_properties(cfg)) {
+    std::set<std::string> sigs;
+    psl::collect_signals(*prop, sigs);
+    for (const std::string& sig : sigs) {
+      if (sig.find(".__conflict") != std::string::npos) continue;
+      EXPECT_NE(flat.find_net(sig), rtl::kInvalidId)
+          << name << " references missing net " << sig;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace la1::core

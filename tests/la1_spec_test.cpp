@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "la1/spec.hpp"
+#include "util/rng.hpp"
+
+namespace la1::core {
+namespace {
+
+TEST(Config, DefaultsMatchStandard) {
+  Config cfg;
+  cfg.validate();
+  EXPECT_EQ(cfg.lanes(), 2);
+  EXPECT_EQ(cfg.parity_bits(), 2);
+  EXPECT_EQ(cfg.beat_pins(), 18);  // the LA-1 18-pin DDR data path
+  EXPECT_EQ(cfg.word_bits(), 32);
+}
+
+TEST(Config, BankDecoding) {
+  Config cfg;
+  cfg.banks = 4;
+  cfg.addr_bits = 8;
+  cfg.validate();
+  EXPECT_EQ(cfg.bank_bits(), 2);
+  EXPECT_EQ(cfg.mem_addr_bits(), 6);
+  EXPECT_EQ(cfg.bank_of(0x00), 0);
+  EXPECT_EQ(cfg.bank_of(0x40), 1);
+  EXPECT_EQ(cfg.bank_of(0xFF), 3);
+  EXPECT_EQ(cfg.mem_addr_of(0x41), 1u);
+}
+
+TEST(Config, NonPowerOfTwoBanks) {
+  Config cfg;
+  cfg.banks = 3;
+  cfg.addr_bits = 6;
+  cfg.validate();
+  EXPECT_EQ(cfg.bank_bits(), 2);  // ceil(log2 3)
+}
+
+TEST(Config, ValidationErrors) {
+  Config cfg;
+  cfg.banks = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = Config{};
+  cfg.data_bits = 12;  // not a byte multiple
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = Config{};
+  cfg.banks = 4;
+  cfg.addr_bits = 2;  // nothing left for the SRAM
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Parity, EvenByteParity) {
+  // Parity bit makes each 9-bit group (byte + parity) even.
+  EXPECT_EQ(parity_of(0x00, 16), 0u);
+  EXPECT_EQ(parity_of(0x01, 16), 0x1u);   // one bit set in low byte
+  EXPECT_EQ(parity_of(0x03, 16), 0x0u);   // two bits: even already
+  EXPECT_EQ(parity_of(0x0100, 16), 0x2u); // one bit in high byte
+}
+
+TEST(Parity, PackAndCheckRoundTrip) {
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const auto data = static_cast<std::uint32_t>(rng.below(1u << 16));
+    const std::uint32_t beat = pack_beat(data, 16);
+    EXPECT_TRUE(parity_ok(beat, 16));
+    EXPECT_EQ(beat_data(beat, 16), data);
+    // Any single-bit flip breaks parity.
+    const int flip = static_cast<int>(rng.below(18));
+    EXPECT_FALSE(parity_ok(beat ^ (1u << flip), 16)) << "flip " << flip;
+  }
+}
+
+TEST(Beats, SplitAndJoin) {
+  const std::uint64_t word = 0xABCD1234;
+  EXPECT_EQ(word_low_beat(word, 16), 0x1234u);
+  EXPECT_EQ(word_high_beat(word, 16), 0xABCDu);
+  EXPECT_EQ(word_of_beats(0x1234, 0xABCD, 16), word);
+}
+
+TEST(Beats, RoundTripRandom) {
+  util::Rng rng(17);
+  for (int db : {8, 16}) {
+    const std::uint64_t mask = (1ull << (2 * db)) - 1;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t w = rng.next_u64() & mask;
+      EXPECT_EQ(word_of_beats(word_low_beat(w, db), word_high_beat(w, db), db), w);
+    }
+  }
+}
+
+TEST(Merge, ByteLanes) {
+  // 32-bit word, lanes 0..3.
+  const std::uint64_t old_word = 0x11223344;
+  const std::uint64_t new_word = 0xAABBCCDD;
+  EXPECT_EQ(merge_bytes(old_word, new_word, 0b0001, 16), 0x112233DDull);
+  EXPECT_EQ(merge_bytes(old_word, new_word, 0b1000, 16), 0xAA223344ull);
+  EXPECT_EQ(merge_bytes(old_word, new_word, 0b1111, 16), new_word);
+  EXPECT_EQ(merge_bytes(old_word, new_word, 0b0000, 16), old_word);
+}
+
+TEST(Merge, Idempotent) {
+  util::Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next_u64() & 0xffffffff;
+    const std::uint64_t b = rng.next_u64() & 0xffffffff;
+    const auto mask = static_cast<std::uint32_t>(rng.below(16));
+    const std::uint64_t once = merge_bytes(a, b, mask, 16);
+    EXPECT_EQ(merge_bytes(once, b, mask, 16), once);
+    // Full mask is replacement; empty mask is identity.
+  }
+}
+
+TEST(Merge, ComplementaryMasksPartition) {
+  const std::uint64_t a = 0xDEADBEEF;
+  const std::uint64_t b = 0x01020304;
+  for (std::uint32_t mask = 0; mask < 16; ++mask) {
+    const std::uint64_t m1 = merge_bytes(a, b, mask, 16);
+    const std::uint64_t m2 = merge_bytes(m1, b, ~mask & 0xF, 16);
+    EXPECT_EQ(m2, b);
+  }
+}
+
+TEST(Latency, PaperContract) {
+  EXPECT_EQ(kReadLatencyCycles, 2);
+  EXPECT_EQ(kReadLatencyTicks, 4);
+}
+
+}  // namespace
+}  // namespace la1::core

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "mc/symbolic.hpp"
+#include "psl/parse.hpp"
+#include "rtl/netlist.hpp"
+
+namespace la1::mc {
+namespace {
+
+using rtl::ClockStep;
+using rtl::Edge;
+using rtl::Module;
+using rtl::NetId;
+using rtl::ProcId;
+
+/// Counter with saturation at `top` and a registered "saturated" tap.
+Module saturating_counter(int width, std::uint64_t top) {
+  Module m("sat");
+  const NetId clk = m.input("clk", 1);
+  const NetId en = m.input("en", 1);
+  const NetId r = m.reg("r", width, 0u);
+  const NetId sat = m.reg("saturated", 1, 0u);
+  const ProcId p = m.process("p", clk, Edge::kPos);
+  const auto at_top = m.eq(m.ref(r), m.lit_uint(top, width));
+  m.nonblocking(
+      p, r,
+      m.mux(m.op_and(m.ref(en), m.op_not(at_top)),
+            m.add(m.ref(r), m.lit_uint(1, width)), m.ref(r)));
+  m.nonblocking(p, sat, at_top);
+  return m;
+}
+
+TEST(Observer, AlwaysBooleanObserver) {
+  const Observer obs = build_observer(psl::parse_property("always (a)"));
+  ASSERT_EQ(obs.atoms.size(), 1u);
+  EXPECT_EQ(obs.atoms[0], "a");
+  // a=1 keeps the good state; a=0 moves to an absorbing bad state.
+  int s = obs.init_state;
+  s = obs.step(s, 1u);
+  EXPECT_FALSE(obs.bad[static_cast<std::size_t>(s)]);
+  s = obs.step(s, 0u);
+  EXPECT_TRUE(obs.bad[static_cast<std::size_t>(s)]);
+  s = obs.step(s, 1u);
+  EXPECT_TRUE(obs.bad[static_cast<std::size_t>(s)]) << "bad must absorb";
+}
+
+TEST(Observer, LatencyObserverCountsCycles) {
+  const Observer obs =
+      build_observer(psl::parse_property("always (a -> next[2] b)"));
+  EXPECT_EQ(obs.atoms.size(), 2u);
+  EXPECT_GE(obs.state_count, 3);
+}
+
+TEST(Symbolic, InvariantHolds) {
+  const Module m = saturating_counter(3, 5);
+  const rtl::BitBlast bb =
+      rtl::bitblast(m, {ClockStep{m.find_net("clk"), Edge::kPos}});
+  // r never exceeds 5 => bit pattern 6 (110) and 7 (111) unreachable:
+  // check "never (r[1] && r[2])" (6 and 7 both have bits 1 and 2 set).
+  const auto prop = psl::parse_property("never {r[1] && r[2]}");
+  const SymbolicResult r = check(bb, prop);
+  EXPECT_EQ(r.outcome, SymbolicResult::Outcome::kHolds);
+  EXPECT_GT(r.iterations, 0);
+  // Reachable: r in {0..5} x sat x en... states counted over state bits:
+  // r (6 values reachable) x saturated (correlated).
+  EXPECT_GT(r.reachable_states, 5.0);
+}
+
+TEST(Symbolic, ViolationFoundWithTrace) {
+  const Module m = saturating_counter(3, 5);
+  const rtl::BitBlast bb =
+      rtl::bitblast(m, {ClockStep{m.find_net("clk"), Edge::kPos}});
+  // False property: the counter never reaches 5 <=> never saturated.
+  const auto prop = psl::parse_property("never {saturated}");
+  const SymbolicResult r = check(bb, prop);
+  EXPECT_EQ(r.outcome, SymbolicResult::Outcome::kFails);
+  // Trace: needs 5 increments + 1 edge to latch the tap; initial state
+  // included, so at least 7 entries.
+  EXPECT_GE(r.trace.size(), 7u);
+  // Final state must have the tap set.
+  EXPECT_TRUE(r.trace.back().at("saturated[0]"));
+  // First state is the all-zero init.
+  EXPECT_FALSE(r.trace.front().at("r[0]"));
+}
+
+TEST(Symbolic, LatencyPropertyOnPipeline) {
+  // Two-stage pipeline: out_q = in delayed by 2.
+  Module m("pipe");
+  const NetId clk = m.input("clk", 1);
+  const NetId in = m.input("in", 1);
+  const NetId s1 = m.reg("s1", 1, 0u);
+  const NetId s2 = m.reg("s2", 1, 0u);
+  const ProcId p = m.process("p", clk, Edge::kPos);
+  m.nonblocking(p, s1, m.ref(in));
+  m.nonblocking(p, s2, m.ref(s1));
+  const rtl::BitBlast bb = rtl::bitblast(m, {ClockStep{clk, Edge::kPos}});
+  const SymbolicResult good =
+      check(bb, psl::parse_property("always (s1 -> next[1] s2)"));
+  EXPECT_EQ(good.outcome, SymbolicResult::Outcome::kHolds);
+  const SymbolicResult bad =
+      check(bb, psl::parse_property("always (s1 -> next[2] s2)"));
+  EXPECT_EQ(bad.outcome, SymbolicResult::Outcome::kFails);
+}
+
+TEST(Symbolic, NodeLimitReportsExplosion) {
+  const Module m = saturating_counter(3, 5);
+  const rtl::BitBlast bb =
+      rtl::bitblast(m, {ClockStep{m.find_net("clk"), Edge::kPos}});
+  SymbolicOptions opt;
+  opt.node_limit = 8;  // absurdly small
+  const SymbolicResult r =
+      check(bb, psl::parse_property("never {saturated}"), opt);
+  EXPECT_EQ(r.outcome, SymbolicResult::Outcome::kStateExplosion);
+}
+
+TEST(Symbolic, MonolithicMatchesPartitioned) {
+  const Module m = saturating_counter(3, 4);
+  const rtl::BitBlast bb =
+      rtl::bitblast(m, {ClockStep{m.find_net("clk"), Edge::kPos}});
+  for (const char* text : {"never {saturated}", "never {r[1] && r[2]}"}) {
+    SymbolicOptions part;
+    part.partitioned = true;
+    SymbolicOptions mono;
+    mono.partitioned = false;
+    const SymbolicResult a = check(bb, psl::parse_property(text), part);
+    const SymbolicResult b = check(bb, psl::parse_property(text), mono);
+    EXPECT_EQ(a.outcome, b.outcome) << text;
+    EXPECT_DOUBLE_EQ(a.reachable_states, b.reachable_states) << text;
+  }
+}
+
+TEST(Symbolic, AtomOnInputRejected) {
+  Module m("t");
+  const NetId clk = m.input("clk", 1);
+  const NetId in = m.input("in", 1);
+  const NetId r = m.reg("r", 1, 0u);
+  const ProcId p = m.process("p", clk, Edge::kPos);
+  m.nonblocking(p, r, m.ref(in));
+  const rtl::BitBlast bb = rtl::bitblast(m, {ClockStep{clk, Edge::kPos}});
+  EXPECT_THROW(check(bb, psl::parse_property("always (in)")),
+               std::invalid_argument);
+}
+
+TEST(Symbolic, UnknownAtomRejected) {
+  const Module m = saturating_counter(2, 2);
+  const rtl::BitBlast bb =
+      rtl::bitblast(m, {ClockStep{m.find_net("clk"), Edge::kPos}});
+  EXPECT_THROW(check(bb, psl::parse_property("never {nonexistent}")),
+               std::invalid_argument);
+}
+
+TEST(Symbolic, TwoPhaseScheduleCounts) {
+  // DDR toggles: a on K, b on K#; b always lags a by one edge.
+  Module m("ddr");
+  const NetId k = m.input("k", 1);
+  const NetId ks = m.input("ks", 1);
+  const NetId a = m.reg("a", 1, 0u);
+  const NetId b = m.reg("b", 1, 0u);
+  const ProcId pk = m.process("pk", k, Edge::kPos);
+  m.nonblocking(pk, a, m.op_not(m.ref(a)));
+  const ProcId pks = m.process("pks", ks, Edge::kPos);
+  m.nonblocking(pks, b, m.ref(a));
+  const rtl::BitBlast bb = rtl::bitblast(
+      m, {ClockStep{k, Edge::kPos}, ClockStep{ks, Edge::kPos}});
+  // After every K# edge, b equals a (copied); a changes only at K edges, so
+  // "b != a" can hold only in the post-K half. The invariant "a -> next[1]
+  // (b)" holds: a high at any edge implies b high after the following edge?
+  // Precisely: after K raises a, the next K# copies it into b.
+  const SymbolicResult r =
+      check(bb, psl::parse_property("always (a && __phase[0] -> next[1] b)"));
+  // __phase[0] == 1 right after a K edge (next step is K#).
+  EXPECT_EQ(r.outcome, SymbolicResult::Outcome::kHolds);
+}
+
+}  // namespace
+}  // namespace la1::mc

@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include "ovl/ovl.hpp"
+#include "rtl/netlist.hpp"
+#include "rtl/sim.hpp"
+
+namespace la1::ovl {
+namespace {
+
+using rtl::CycleSim;
+using rtl::Edge;
+using rtl::Module;
+using rtl::NetId;
+
+/// A module with a clock and a few driveable inputs for monitor tests.
+struct Fixture {
+  Module m{"dut"};
+  NetId clk;
+  NetId a;
+  NetId b;
+  NetId vec;
+
+  Fixture() {
+    clk = m.input("clk", 1);
+    a = m.input("a", 1);
+    b = m.input("b", 1);
+    vec = m.input("vec", 4);
+  }
+};
+
+TEST(Ovl, AssertAlwaysFiresOnFalse) {
+  Fixture f;
+  OvlBank bank;
+  assert_always(f.m, bank, "a_high", f.clk, f.m.ref(f.a),
+                {"a must stay high", Severity::kMajor});
+  CycleSim sim(f.m);
+  sim.set_input_bit("a", true);
+  sim.set_input_bit("b", false);
+  sim.set_input("vec", 1);
+  sim.edge("clk", Edge::kPos);
+  EXPECT_EQ(bank.failures(sim), 0u);
+  sim.set_input_bit("a", false);
+  sim.edge("clk", Edge::kPos);
+  EXPECT_EQ(bank.failures(sim), 1u);
+  // Sticky: recovering does not clear the flag.
+  sim.set_input_bit("a", true);
+  sim.edge("clk", Edge::kPos);
+  EXPECT_EQ(bank.failures(sim), 1u);
+  EXPECT_EQ(bank.entries()[0].options.message, "a must stay high");
+}
+
+TEST(Ovl, AssertNeverAndImplication) {
+  Fixture f;
+  OvlBank bank;
+  assert_never(f.m, bank, "no_b", f.clk, f.m.ref(f.b));
+  assert_implication(f.m, bank, "a_implies_b", f.clk, f.m.ref(f.a),
+                     f.m.ref(f.b));
+  CycleSim sim(f.m);
+  sim.set_input_bit("a", false);
+  sim.set_input_bit("b", false);
+  sim.set_input("vec", 1);
+  sim.edge("clk", Edge::kPos);
+  EXPECT_EQ(bank.failures(sim), 0u);
+  sim.set_input_bit("a", true);  // a without b: implication fires
+  sim.edge("clk", Edge::kPos);
+  EXPECT_TRUE(bank.fired(sim, 1));
+  EXPECT_FALSE(bank.fired(sim, 0));
+  sim.set_input_bit("b", true);  // b: never fires
+  sim.edge("clk", Edge::kPos);
+  EXPECT_TRUE(bank.fired(sim, 0));
+}
+
+TEST(Ovl, AssertNextChecksExactDelay) {
+  Fixture f;
+  OvlBank bank;
+  assert_next(f.m, bank, "a_then_b", f.clk, f.m.ref(f.a), f.m.ref(f.b), 2);
+  CycleSim sim(f.m);
+  auto tick = [&](bool a, bool b) {
+    sim.set_input_bit("a", a);
+    sim.set_input_bit("b", b);
+    sim.set_input("vec", 1);
+    sim.edge("clk", Edge::kPos);
+  };
+  // start, idle, test-ok
+  tick(true, false);
+  tick(false, false);
+  tick(false, true);
+  EXPECT_EQ(bank.failures(sim), 0u);
+  // start, idle, test-missing -> fires
+  tick(true, false);
+  tick(false, false);
+  tick(false, false);
+  EXPECT_EQ(bank.failures(sim), 1u);
+}
+
+TEST(Ovl, AssertFrameWindow) {
+  Fixture f;
+  OvlBank bank;
+  assert_frame(f.m, bank, "win", f.clk, f.m.ref(f.a), f.m.ref(f.b), 1, 3);
+  CycleSim sim(f.m);
+  auto tick = [&](bool a, bool b) {
+    sim.set_input_bit("a", a);
+    sim.set_input_bit("b", b);
+    sim.set_input("vec", 1);
+    sim.edge("clk", Edge::kPos);
+  };
+  // test arrives 2 cycles after start: inside [1,3].
+  tick(true, false);
+  tick(false, false);
+  tick(false, true);
+  EXPECT_EQ(bank.failures(sim), 0u);
+  // too late: no test within 3.
+  tick(true, false);
+  tick(false, false);
+  tick(false, false);
+  tick(false, false);
+  tick(false, false);
+  EXPECT_EQ(bank.failures(sim), 1u);
+}
+
+TEST(Ovl, AssertFrameTooEarly) {
+  Fixture f;
+  OvlBank bank;
+  assert_frame(f.m, bank, "win", f.clk, f.m.ref(f.a), f.m.ref(f.b), 2, 4);
+  CycleSim sim(f.m);
+  auto tick = [&](bool a, bool b) {
+    sim.set_input_bit("a", a);
+    sim.set_input_bit("b", b);
+    sim.set_input("vec", 1);
+    sim.edge("clk", Edge::kPos);
+  };
+  tick(true, false);
+  tick(false, true);  // 1 cycle after start: earlier than min 2
+  EXPECT_EQ(bank.failures(sim), 1u);
+}
+
+TEST(Ovl, CycleSequence) {
+  Fixture f;
+  OvlBank bank;
+  assert_cycle_sequence(f.m, bank, "seq", f.clk,
+                        {f.m.ref(f.a), f.m.ref(f.b), f.m.ref(f.a)});
+  CycleSim sim(f.m);
+  auto tick = [&](bool a, bool b) {
+    sim.set_input_bit("a", a);
+    sim.set_input_bit("b", b);
+    sim.set_input("vec", 1);
+    sim.edge("clk", Edge::kPos);
+  };
+  // a, b, a: complete sequence, no fire.
+  tick(true, false);
+  tick(false, true);
+  tick(true, false);
+  EXPECT_EQ(bank.failures(sim), 0u);
+  // a, b, !a: prefix obliges the final event.
+  tick(true, false);
+  tick(false, true);
+  tick(false, false);
+  EXPECT_EQ(bank.failures(sim), 1u);
+}
+
+TEST(Ovl, OneHotCheckers) {
+  Fixture f;
+  OvlBank bank;
+  assert_one_hot(f.m, bank, "oh", f.clk, f.m.ref(f.vec));
+  assert_zero_one_hot(f.m, bank, "zoh", f.clk, f.m.ref(f.vec));
+  CycleSim sim(f.m);
+  sim.set_input_bit("a", false);
+  sim.set_input_bit("b", false);
+  sim.set_input("vec", 0b0100);
+  sim.edge("clk", Edge::kPos);
+  EXPECT_EQ(bank.failures(sim), 0u);
+  sim.set_input("vec", 0b0000);  // zero: one_hot fires, zero_one_hot fine
+  sim.edge("clk", Edge::kPos);
+  EXPECT_TRUE(bank.fired(sim, 0));
+  EXPECT_FALSE(bank.fired(sim, 1));
+  sim.set_input("vec", 0b0110);  // two bits: both fire
+  sim.edge("clk", Edge::kPos);
+  EXPECT_TRUE(bank.fired(sim, 1));
+}
+
+TEST(Ovl, AssertRange) {
+  Fixture f;
+  OvlBank bank;
+  assert_range(f.m, bank, "rng", f.clk, f.m.ref(f.vec), 2, 10);
+  CycleSim sim(f.m);
+  sim.set_input_bit("a", false);
+  sim.set_input_bit("b", false);
+  for (std::uint64_t v : {2u, 7u, 10u}) {
+    sim.set_input("vec", v);
+    sim.edge("clk", Edge::kPos);
+  }
+  EXPECT_EQ(bank.failures(sim), 0u);
+  sim.set_input("vec", 11);
+  sim.edge("clk", Edge::kPos);
+  EXPECT_EQ(bank.failures(sim), 1u);
+}
+
+TEST(Ovl, AssertRangeLowViolation) {
+  Fixture f;
+  OvlBank bank;
+  assert_range(f.m, bank, "rng", f.clk, f.m.ref(f.vec), 3, 12);
+  CycleSim sim(f.m);
+  sim.set_input_bit("a", false);
+  sim.set_input_bit("b", false);
+  sim.set_input("vec", 1);
+  sim.edge("clk", Edge::kPos);
+  EXPECT_EQ(bank.failures(sim), 1u);
+}
+
+TEST(Ovl, Handshake) {
+  Fixture f;
+  OvlBank bank;
+  assert_handshake(f.m, bank, "hs", f.clk, f.m.ref(f.a), f.m.ref(f.b), 4);
+  CycleSim sim(f.m);
+  auto tick = [&](bool req, bool ack) {
+    sim.set_input_bit("a", req);
+    sim.set_input_bit("b", ack);
+    sim.set_input("vec", 1);
+    sim.edge("clk", Edge::kPos);
+  };
+  // Clean handshake.
+  tick(true, false);
+  tick(true, false);
+  tick(true, true);
+  EXPECT_EQ(bank.failures(sim), 0u);
+  // Dropped request before ack.
+  tick(true, false);
+  tick(false, false);
+  EXPECT_EQ(bank.failures(sim), 1u);
+}
+
+TEST(Ovl, HandshakeTimeout) {
+  Fixture f;
+  OvlBank bank;
+  assert_handshake(f.m, bank, "hs", f.clk, f.m.ref(f.a), f.m.ref(f.b), 2);
+  CycleSim sim(f.m);
+  auto tick = [&](bool req, bool ack) {
+    sim.set_input_bit("a", req);
+    sim.set_input_bit("b", ack);
+    sim.set_input("vec", 1);
+    sim.edge("clk", Edge::kPos);
+  };
+  tick(true, false);
+  tick(true, false);
+  tick(true, false);
+  tick(true, false);
+  EXPECT_EQ(bank.failures(sim), 1u);
+}
+
+TEST(Ovl, ResolveAfterElaboration) {
+  // Monitors added to a child module keep working after flattening.
+  Module child("child");
+  const NetId cclk = child.input("clk", 1);
+  const NetId ca = child.input("a", 1);
+  OvlBank bank;
+  assert_always(child, bank, "child_a", cclk, child.ref(ca));
+
+  Module top("top");
+  const NetId clk = top.input("clk", 1);
+  const NetId a = top.input("a", 1);
+  top.instantiate("u0", child, {{"clk", clk}, {"a", a}});
+  const Module flat = rtl::elaborate(top);
+  bank.resolve(flat, "u0.");
+  CycleSim sim(flat);
+  sim.set_input_bit("a", false);
+  sim.edge("clk", Edge::kPos);
+  EXPECT_EQ(bank.failures(sim), 1u);
+}
+
+TEST(Ovl, MonitorsAddSimulatedLogic) {
+  // The paper's cost model: each OVL monitor loads extra modules into the
+  // simulated design. Adding monitors must grow the netlist.
+  Fixture bare;
+  const auto before = bare.m.stats();
+  OvlBank bank;
+  assert_next(bare.m, bank, "m1", bare.clk, bare.m.ref(bare.a),
+              bare.m.ref(bare.b), 3);
+  assert_frame(bare.m, bank, "m2", bare.clk, bare.m.ref(bare.a),
+               bare.m.ref(bare.b), 1, 5);
+  const auto after = bare.m.stats();
+  EXPECT_GT(after.regs, before.regs);
+  EXPECT_GT(after.processes, before.processes);
+}
+
+TEST(Ovl, AssertWidthBounds) {
+  Fixture f;
+  OvlBank bank;
+  assert_width(f.m, bank, "pw", f.clk, f.m.ref(f.a), 2, 3);
+  CycleSim sim(f.m);
+  auto tick = [&](bool a) {
+    sim.set_input_bit("a", a);
+    sim.set_input_bit("b", false);
+    sim.set_input("vec", 1);
+    sim.edge("clk", Edge::kPos);
+  };
+  // 2-cycle pulse: legal.
+  tick(true);
+  tick(true);
+  tick(false);
+  EXPECT_EQ(bank.failures(sim), 0u);
+  // 1-cycle pulse: too short.
+  tick(true);
+  tick(false);
+  EXPECT_EQ(bank.failures(sim), 1u);
+}
+
+TEST(Ovl, AssertWidthTooLong) {
+  Fixture f;
+  OvlBank bank;
+  assert_width(f.m, bank, "pw", f.clk, f.m.ref(f.a), 1, 2);
+  CycleSim sim(f.m);
+  auto tick = [&](bool a) {
+    sim.set_input_bit("a", a);
+    sim.set_input_bit("b", false);
+    sim.set_input("vec", 1);
+    sim.edge("clk", Edge::kPos);
+  };
+  tick(true);
+  tick(true);
+  EXPECT_EQ(bank.failures(sim), 0u);
+  tick(true);  // 3rd consecutive: exceeds max 2
+  EXPECT_EQ(bank.failures(sim), 1u);
+}
+
+TEST(Ovl, AssertNoTransition) {
+  Fixture f;
+  OvlBank bank;
+  assert_no_transition(f.m, bank, "stable", f.clk, f.m.ref(f.vec),
+                       f.m.ref(f.a));
+  CycleSim sim(f.m);
+  auto tick = [&](bool hold, std::uint64_t v) {
+    sim.set_input_bit("a", hold);
+    sim.set_input_bit("b", false);
+    sim.set_input("vec", v);
+    sim.edge("clk", Edge::kPos);
+  };
+  tick(false, 5);  // arm; changes allowed without hold
+  tick(false, 7);
+  tick(true, 7);   // hold with stable value: fine
+  EXPECT_EQ(bank.failures(sim), 0u);
+  tick(true, 9);   // change under hold
+  EXPECT_EQ(bank.failures(sim), 1u);
+}
+
+TEST(Ovl, AssertEvenParity) {
+  Fixture f;
+  OvlBank bank;
+  assert_even_parity(f.m, bank, "par", f.clk, f.m.ref(f.vec));
+  CycleSim sim(f.m);
+  sim.set_input_bit("a", false);
+  sim.set_input_bit("b", false);
+  sim.set_input("vec", 0b0011);  // even
+  sim.edge("clk", Edge::kPos);
+  EXPECT_EQ(bank.failures(sim), 0u);
+  sim.set_input("vec", 0b0111);  // odd
+  sim.edge("clk", Edge::kPos);
+  EXPECT_EQ(bank.failures(sim), 1u);
+}
+
+TEST(Ovl, ValidationErrors) {
+  Fixture f;
+  OvlBank bank;
+  EXPECT_THROW(
+      assert_always(f.m, bank, "wide", f.clk, f.m.ref(f.vec)),
+      std::invalid_argument);
+  EXPECT_THROW(assert_next(f.m, bank, "zero", f.clk, f.m.ref(f.a),
+                           f.m.ref(f.b), 0),
+               std::invalid_argument);
+  EXPECT_THROW(assert_frame(f.m, bank, "badwin", f.clk, f.m.ref(f.a),
+                            f.m.ref(f.b), 3, 2),
+               std::invalid_argument);
+  EXPECT_THROW(assert_cycle_sequence(f.m, bank, "short", f.clk, {f.m.ref(f.a)}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace la1::ovl

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "psl/dfa.hpp"
+#include "psl/parse.hpp"
+#include "util/rng.hpp"
+
+namespace la1::psl {
+namespace {
+
+class PairEnv : public Env {
+ public:
+  PairEnv(bool a, bool b) : a_(a), b_(b) {}
+  bool sample(const std::string& s) const override {
+    if (s == "a") return a_;
+    if (s == "b") return b_;
+    throw std::invalid_argument("unknown " + s);
+  }
+
+ private:
+  bool a_, b_;
+};
+
+TEST(Dfa, TableShape) {
+  const DfaTable t = determinize(parse_property("always (a)"));
+  EXPECT_EQ(t.atoms.size(), 1u);
+  EXPECT_GE(t.state_count, 2);
+  EXPECT_EQ(t.next.size(),
+            static_cast<std::size_t>(t.state_count) * 2u);
+  EXPECT_EQ(t.verdict.size(), static_cast<std::size_t>(t.state_count));
+}
+
+TEST(Dfa, TooManyAtomsRejected) {
+  std::string text = "always (s0";
+  for (int i = 1; i < 18; ++i) text += " && s" + std::to_string(i);
+  text += ")";
+  EXPECT_THROW(determinize(parse_property(text)), std::invalid_argument);
+}
+
+/// Property sweep: the DFA monitor agrees with the NFA monitor on random
+/// traces, for a spread of properties.
+class DfaVsNfa : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DfaVsNfa, VerdictsAgree) {
+  const PropPtr prop = parse_property(GetParam());
+  auto nfa_monitor = compile(prop);
+  auto dfa_monitor = compile_dfa(prop);
+  util::Rng rng(4711);
+  for (int round = 0; round < 40; ++round) {
+    nfa_monitor->reset();
+    dfa_monitor->reset();
+    for (int t = 0; t < 15; ++t) {
+      const bool a = rng.next_bool();
+      const bool b = rng.next_bool();
+      nfa_monitor->step(PairEnv(a, b));
+      dfa_monitor->step(PairEnv(a, b));
+      ASSERT_EQ(nfa_monitor->current(), dfa_monitor->current())
+          << GetParam() << " diverged at round " << round << " t " << t;
+      ASSERT_EQ(nfa_monitor->at_end(), dfa_monitor->at_end())
+          << GetParam() << " (at_end) round " << round << " t " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Properties, DfaVsNfa,
+    ::testing::Values("always (a -> next[2] b)", "never {a ; a ; b}",
+                      "always ({a ; b} |-> {true ; a})", "a until b",
+                      "a until! b", "eventually! b", "a before b",
+                      "never {a[*2]}", "always (a -> b)"));
+
+TEST(Dfa, CloneAndEncode) {
+  auto m = compile_dfa(parse_property("always (a -> next[1] b)"));
+  m->reset();
+  m->step(PairEnv(true, false));
+  auto copy = m->clone();
+  EXPECT_EQ(m->encode(), copy->encode());
+  m->step(PairEnv(false, false));   // violation
+  copy->step(PairEnv(false, true)); // satisfied
+  EXPECT_EQ(m->current(), Verdict::kFailed);
+  EXPECT_EQ(copy->current(), Verdict::kHolds);
+  EXPECT_EQ(m->failure_cycle(), 1u);
+}
+
+TEST(NextEvent, HoldsAtNthOccurrence) {
+  class TriEnv : public Env {
+   public:
+    TriEnv(bool t, bool b, bool c) : t_(t), b_(b), c_(c) {}
+    bool sample(const std::string& s) const override {
+      if (s == "t") return t_;
+      if (s == "b") return b_;
+      if (s == "c") return c_;
+      throw std::invalid_argument("unknown " + s);
+    }
+
+   private:
+    bool t_, b_, c_;
+  };
+
+  // next_event(b)[2](c) after each trigger t: c holds at the 2nd b.
+  const PropPtr prop = p_next_event(b_sig("t"), b_sig("b"), 2, b_sig("c"));
+  auto m = compile(prop);
+  auto run = [&](std::vector<std::tuple<bool, bool, bool>> trace) {
+    m->reset();
+    for (auto [t, b, c] : trace) m->step(TriEnv(t, b, c));
+    return m->current();
+  };
+  // trigger at 0; b at 1 and 3; c at 3 -> holds.
+  EXPECT_EQ(run({{true, false, false},
+                 {false, true, false},
+                 {false, false, false},
+                 {false, true, true}}),
+            Verdict::kHolds);
+  // c absent at the 2nd b -> fails.
+  EXPECT_EQ(run({{true, false, false},
+                 {false, true, false},
+                 {false, false, false},
+                 {false, true, false}}),
+            Verdict::kFailed);
+  // second b never arrives -> still pending.
+  EXPECT_EQ(run({{true, false, false}, {false, true, false}}),
+            Verdict::kPending);
+}
+
+TEST(VUnitParse, FullUnit) {
+  const VUnit vunit = parse_vunit(R"(
+    vunit la1_read {
+      // the Figure-3 contract
+      assert P1 : always (a -> next[2] b);
+      assume env : never {a && b};
+      cover C1 : {a ; true ; b};
+    }
+  )");
+  EXPECT_EQ(vunit.name(), "la1_read");
+  ASSERT_EQ(vunit.directives().size(), 3u);
+  EXPECT_EQ(vunit.directives()[0].kind, DirectiveKind::kAssert);
+  EXPECT_EQ(vunit.directives()[0].name, "P1");
+  EXPECT_EQ(vunit.directives()[1].kind, DirectiveKind::kAssume);
+  EXPECT_EQ(vunit.directives()[2].kind, DirectiveKind::kCover);
+  // The parsed unit runs.
+  VUnitRunner runner(vunit);
+  runner.step(PairEnv(true, false));
+  runner.step(PairEnv(false, false));
+  runner.step(PairEnv(false, true));
+  EXPECT_EQ(runner.failures(), 0u);
+  EXPECT_EQ(runner.cover_count(2), 1u);
+}
+
+TEST(VUnitParse, Errors) {
+  EXPECT_THROW(parse_vunit("vunit x { assert }"), ParseError);
+  EXPECT_THROW(parse_vunit("unit x {}"), ParseError);
+  EXPECT_THROW(parse_vunit("vunit x { expect P : a; }"), ParseError);
+  EXPECT_THROW(parse_vunit("vunit x { assert P : a }"), ParseError);  // no ';'
+}
+
+TEST(VUnitParse, CommentsAnywhere) {
+  const VUnit vunit = parse_vunit(
+      "// header\nvunit v { assert P : // mid\n always (a); }");
+  EXPECT_EQ(vunit.directives().size(), 1u);
+}
+
+}  // namespace
+}  // namespace la1::psl

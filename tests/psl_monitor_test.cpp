@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "psl/monitor.hpp"
+#include "psl/parse.hpp"
+
+namespace la1::psl {
+namespace {
+
+/// Steps a monitor through a trace of (a, b) letters and returns verdicts.
+struct Trace {
+  std::vector<std::pair<bool, bool>> letters;
+};
+
+class PairEnv : public Env {
+ public:
+  PairEnv(bool a, bool b) : a_(a), b_(b) {}
+  bool sample(const std::string& s) const override {
+    if (s == "a") return a_;
+    if (s == "b") return b_;
+    throw std::invalid_argument("unknown signal " + s);
+  }
+
+ private:
+  bool a_;
+  bool b_;
+};
+
+Verdict run(Monitor& m, const Trace& t) {
+  m.reset();
+  for (const auto& [a, b] : t.letters) m.step(PairEnv(a, b));
+  return m.current();
+}
+
+Verdict run_to_end(Monitor& m, const Trace& t) {
+  m.reset();
+  for (const auto& [a, b] : t.letters) m.step(PairEnv(a, b));
+  return m.at_end();
+}
+
+TEST(Monitor, AlwaysBooleanHoldsAndFails) {
+  auto m = compile(p_always(p_bool(b_sig("a"))));
+  EXPECT_EQ(run(*m, {{{true, false}, {true, true}}}), Verdict::kHolds);
+  EXPECT_EQ(run(*m, {{{true, false}, {false, false}}}), Verdict::kFailed);
+  EXPECT_EQ(m->failure_cycle(), 1u);
+}
+
+TEST(Monitor, NeverSere) {
+  // never {a ; b}
+  auto m = compile(p_never(s_concat(s_bool(b_sig("a")), s_bool(b_sig("b")))));
+  EXPECT_EQ(run(*m, {{{true, false}, {false, false}, {true, false}}}),
+            Verdict::kHolds);
+  EXPECT_EQ(run(*m, {{{false, true}, {true, false}, {false, true}}}),
+            Verdict::kFailed);
+}
+
+TEST(Monitor, ImplNextLatency) {
+  // always (a -> next[2] b)
+  auto m = compile(p_impl_next(b_sig("a"), 2, b_sig("b")));
+  EXPECT_EQ(run(*m, {{{true, false}, {false, false}, {false, true}}}),
+            Verdict::kHolds);
+  EXPECT_EQ(run(*m, {{{true, false}, {false, false}, {false, false}}}),
+            Verdict::kFailed);
+  // Overlapping obligations: a at 0 and 1 -> b at 2 and 3.
+  EXPECT_EQ(run(*m, {{{true, false},
+                      {true, false},
+                      {false, true},
+                      {false, true}}}),
+            Verdict::kHolds);
+  EXPECT_EQ(run(*m, {{{true, false},
+                      {true, false},
+                      {false, true},
+                      {false, false}}}),
+            Verdict::kFailed);
+}
+
+TEST(Monitor, PendingWhileObligationOpen) {
+  auto m = compile(p_impl_next(b_sig("a"), 2, b_sig("b")));
+  m->reset();
+  m->step(PairEnv(true, false));
+  EXPECT_EQ(m->current(), Verdict::kPending);
+  EXPECT_FALSE(m->p_status());  // paper encoding: still under verification
+  m->step(PairEnv(false, false));
+  m->step(PairEnv(false, true));
+  EXPECT_EQ(m->current(), Verdict::kHolds);
+  EXPECT_TRUE(m->p_status());
+  EXPECT_TRUE(m->p_value());
+}
+
+TEST(Monitor, SuffixImplicationOverlap) {
+  // {a ; b} |-> {b} : after a;b, b must hold at the same cycle as the match
+  // end (it does by construction) — always holds.
+  auto m = compile(p_always(
+      p_suffix_impl(s_concat(s_bool(b_sig("a")), s_bool(b_sig("b"))),
+                    s_bool(b_sig("b")), /*overlap=*/true)));
+  EXPECT_EQ(run(*m, {{{true, false}, {false, true}, {false, false}}}),
+            Verdict::kHolds);
+}
+
+TEST(Monitor, SuffixImplicationNonOverlap) {
+  // {a} |=> {b}: b one cycle after each a.
+  auto m = compile(p_always(
+      p_suffix_impl(s_bool(b_sig("a")), s_bool(b_sig("b")), /*overlap=*/false)));
+  EXPECT_EQ(run(*m, {{{true, false}, {false, true}}}), Verdict::kHolds);
+  EXPECT_EQ(run(*m, {{{true, false}, {false, false}}}), Verdict::kFailed);
+}
+
+TEST(Monitor, StrongConsequentFailsAtEnd) {
+  // {a} |-> {true ; b}! — strong: pending at trace end fails.
+  auto m = compile(p_always(p_suffix_impl(
+      s_bool(b_sig("a")), s_concat(s_bool(b_true()), s_bool(b_sig("b"))),
+      /*overlap=*/true, /*strong=*/true)));
+  EXPECT_EQ(run(*m, {{{true, false}}}), Verdict::kPending);
+  EXPECT_EQ(run_to_end(*m, {{{true, false}}}), Verdict::kFailed);
+  // Weak version holds at end.
+  auto weak = compile(p_always(p_suffix_impl(
+      s_bool(b_sig("a")), s_concat(s_bool(b_true()), s_bool(b_sig("b"))),
+      /*overlap=*/true, /*strong=*/false)));
+  EXPECT_EQ(run_to_end(*weak, {{{true, false}}}), Verdict::kHolds);
+}
+
+TEST(Monitor, UntilWeakAndStrong) {
+  auto weak = compile(p_until(b_sig("a"), b_sig("b"), false));
+  auto strong = compile(p_until(b_sig("a"), b_sig("b"), true));
+  const Trace released{{{true, false}, {true, false}, {false, true}}};
+  EXPECT_EQ(run_to_end(*weak, released), Verdict::kHolds);
+  EXPECT_EQ(run_to_end(*strong, released), Verdict::kHolds);
+  const Trace never_released{{{true, false}, {true, false}}};
+  EXPECT_EQ(run_to_end(*weak, never_released), Verdict::kHolds);
+  EXPECT_EQ(run_to_end(*strong, never_released), Verdict::kFailed);
+  const Trace broken{{{true, false}, {false, false}, {false, true}}};
+  EXPECT_EQ(run(*weak, broken), Verdict::kFailed);
+}
+
+TEST(Monitor, Before) {
+  auto m = compile(p_before(b_sig("a"), b_sig("b"), false));
+  EXPECT_EQ(run(*m, {{{false, false}, {true, false}, {false, true}}}),
+            Verdict::kHolds);
+  EXPECT_EQ(run(*m, {{{false, false}, {false, true}}}), Verdict::kFailed);
+  // Simultaneous counts as "not before".
+  EXPECT_EQ(run(*m, {{{true, true}}}), Verdict::kFailed);
+  // Strong: must eventually occur.
+  auto strong = compile(p_before(b_sig("a"), b_sig("b"), true));
+  EXPECT_EQ(run_to_end(*strong, {{{false, false}}}), Verdict::kFailed);
+}
+
+TEST(Monitor, Eventually) {
+  auto m = compile(p_eventually(b_sig("b")));
+  EXPECT_EQ(run(*m, {{{false, false}, {false, false}}}), Verdict::kPending);
+  EXPECT_EQ(run_to_end(*m, {{{false, false}}}), Verdict::kFailed);
+  EXPECT_EQ(run(*m, {{{false, false}, {false, true}}}), Verdict::kHolds);
+}
+
+TEST(Monitor, NextAnchored) {
+  auto m = compile(p_next(b_sig("b"), 2));
+  EXPECT_EQ(run(*m, {{{false, false}, {false, false}, {false, true}}}),
+            Verdict::kHolds);
+  EXPECT_EQ(run(*m, {{{false, true}, {false, false}, {false, false}}}),
+            Verdict::kFailed);
+}
+
+TEST(Monitor, ConjunctionCombines) {
+  auto m = compile(p_and({p_always(p_bool(b_sig("a"))), p_eventually(b_sig("b"))}));
+  EXPECT_EQ(run(*m, {{{true, false}, {true, true}}}), Verdict::kHolds);
+  EXPECT_EQ(run(*m, {{{true, false}, {true, false}}}), Verdict::kPending);
+  EXPECT_EQ(run(*m, {{{false, false}}}), Verdict::kFailed);
+}
+
+TEST(Monitor, CloneCopiesRuntimeState) {
+  auto m = compile(p_impl_next(b_sig("a"), 2, b_sig("b")));
+  m->reset();
+  m->step(PairEnv(true, false));  // obligation opened
+  auto copy = m->clone();
+  // Diverge: original satisfies, copy violates.
+  m->step(PairEnv(false, false));
+  m->step(PairEnv(false, true));
+  copy->step(PairEnv(false, false));
+  copy->step(PairEnv(false, false));
+  EXPECT_EQ(m->current(), Verdict::kHolds);
+  EXPECT_EQ(copy->current(), Verdict::kFailed);
+}
+
+TEST(Monitor, EncodeDistinguishesStates) {
+  auto m = compile(p_impl_next(b_sig("a"), 2, b_sig("b")));
+  m->reset();
+  const std::string s0 = m->encode();
+  m->step(PairEnv(true, false));
+  const std::string s1 = m->encode();
+  EXPECT_NE(s0, s1);
+}
+
+TEST(Monitor, FailureLatches) {
+  auto m = compile(p_always(p_bool(b_sig("a"))));
+  m->reset();
+  m->step(PairEnv(false, false));
+  EXPECT_EQ(m->current(), Verdict::kFailed);
+  m->step(PairEnv(true, true));  // later good cycles cannot un-fail
+  EXPECT_EQ(m->current(), Verdict::kFailed);
+  EXPECT_EQ(m->failure_cycle(), 0u);
+}
+
+TEST(CoverMonitorTest, CountsMatches) {
+  CoverMonitor cover(s_concat(s_bool(b_sig("a")), s_bool(b_sig("b"))));
+  cover.reset();
+  const std::vector<std::pair<bool, bool>> letters{
+      {true, false}, {false, true}, {true, false}, {false, true}};
+  for (const auto& [a, b] : letters) cover.step(PairEnv(a, b));
+  EXPECT_EQ(cover.matches(), 2u);
+  EXPECT_TRUE(cover.covered());
+}
+
+TEST(VUnitRunnerTest, RunsDirectives) {
+  VUnit vunit("v");
+  vunit.add_assert("a_holds", p_always(p_bool(b_sig("a"))));
+  vunit.add_cover("b_seen", s_bool(b_sig("b")));
+  VUnitRunner runner(vunit);
+  runner.reset();
+  runner.step(PairEnv(true, false));
+  runner.step(PairEnv(true, true));
+  EXPECT_EQ(runner.failures(), 0u);
+  EXPECT_EQ(runner.verdict(0), Verdict::kHolds);
+  EXPECT_EQ(runner.cover_count(1), 1u);
+  EXPECT_EQ(runner.cycles(), 2u);
+  EXPECT_THROW(runner.verdict(1), std::invalid_argument);
+  EXPECT_THROW(runner.cover_count(0), std::invalid_argument);
+}
+
+TEST(Monitor, UnsupportedFragmentRejected) {
+  // always (a until b) is outside the monitored fragment.
+  EXPECT_THROW(compile(p_always(p_until(b_sig("a"), b_sig("b"), false))),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace la1::psl

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "rtl/logic.hpp"
+#include "util/rng.hpp"
+
+namespace la1::rtl {
+namespace {
+
+TEST(Logic, AndTruthTable) {
+  EXPECT_EQ(logic_and(Logic::k0, Logic::k0), Logic::k0);
+  EXPECT_EQ(logic_and(Logic::k0, Logic::k1), Logic::k0);
+  EXPECT_EQ(logic_and(Logic::k1, Logic::k1), Logic::k1);
+  EXPECT_EQ(logic_and(Logic::k0, Logic::kX), Logic::k0);  // controlling value
+  EXPECT_EQ(logic_and(Logic::k1, Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_and(Logic::kZ, Logic::k1), Logic::kX);
+}
+
+TEST(Logic, OrTruthTable) {
+  EXPECT_EQ(logic_or(Logic::k1, Logic::kX), Logic::k1);  // controlling value
+  EXPECT_EQ(logic_or(Logic::k0, Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_or(Logic::k0, Logic::k0), Logic::k0);
+}
+
+TEST(Logic, XorAndNotPropagateX) {
+  EXPECT_EQ(logic_xor(Logic::k1, Logic::k0), Logic::k1);
+  EXPECT_EQ(logic_xor(Logic::k1, Logic::k1), Logic::k0);
+  EXPECT_EQ(logic_xor(Logic::k1, Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_not(Logic::kZ), Logic::kX);
+  EXPECT_EQ(logic_not(Logic::k0), Logic::k1);
+}
+
+TEST(Logic, Resolution) {
+  EXPECT_EQ(resolve(Logic::kZ, Logic::k1), Logic::k1);
+  EXPECT_EQ(resolve(Logic::k0, Logic::kZ), Logic::k0);
+  EXPECT_EQ(resolve(Logic::k0, Logic::k1), Logic::kX);
+  EXPECT_EQ(resolve(Logic::k1, Logic::k1), Logic::k1);
+  EXPECT_EQ(resolve(Logic::kZ, Logic::kZ), Logic::kZ);
+}
+
+TEST(LVec, RoundTripUint) {
+  for (std::uint64_t v : {0ull, 1ull, 0xa5ull, 0xffffull, 0x12345ull}) {
+    const LVec vec = LVec::from_uint(v, 20);
+    ASSERT_TRUE(vec.to_uint().has_value());
+    EXPECT_EQ(*vec.to_uint(), v & 0xfffff);
+  }
+}
+
+TEST(LVec, XBlocksToUint) {
+  LVec v = LVec::from_uint(3, 4);
+  v.set_bit(2, Logic::kX);
+  EXPECT_FALSE(v.to_uint().has_value());
+  EXPECT_TRUE(v.has_x());
+  EXPECT_FALSE(v.all_01());
+}
+
+TEST(LVec, ToStringMsbFirst) {
+  EXPECT_EQ(LVec::from_uint(0b0110, 4).to_string(), "0110");
+  LVec v(3, Logic::kZ);
+  EXPECT_EQ(v.to_string(), "ZZZ");
+  EXPECT_TRUE(v.all_z());
+}
+
+TEST(LVec, ConcatAndSlice) {
+  const LVec hi = LVec::from_uint(0b101, 3);
+  const LVec lo = LVec::from_uint(0b01, 2);
+  const LVec joined = vec_concat(hi, lo);
+  EXPECT_EQ(joined.width(), 5);
+  EXPECT_EQ(*joined.to_uint(), 0b10101u);
+  EXPECT_EQ(*vec_slice(joined, 2, 3).to_uint(), 0b101u);
+  EXPECT_EQ(*vec_slice(joined, 0, 2).to_uint(), 0b01u);
+}
+
+TEST(LVec, MuxWithXSelect) {
+  const LVec a = LVec::from_uint(0b11, 2);
+  const LVec b = LVec::from_uint(0b01, 2);
+  EXPECT_EQ(*vec_mux(Logic::k1, a, b).to_uint(), 0b11u);
+  EXPECT_EQ(*vec_mux(Logic::k0, a, b).to_uint(), 0b01u);
+  const LVec m = vec_mux(Logic::kX, a, b);
+  EXPECT_EQ(m.bit(0), Logic::k1);  // branches agree
+  EXPECT_EQ(m.bit(1), Logic::kX);  // branches differ
+}
+
+TEST(LVec, EqSemantics) {
+  const LVec a = LVec::from_uint(5, 4);
+  const LVec b = LVec::from_uint(5, 4);
+  EXPECT_EQ(vec_eq(a, b), Logic::k1);
+  LVec c = a;
+  c.set_bit(0, Logic::kX);
+  EXPECT_EQ(vec_eq(a, c), Logic::kX);
+  // Definite mismatch dominates an X elsewhere.
+  LVec d = LVec::from_uint(13, 4);  // differs in defined bit 3
+  d.set_bit(0, Logic::kX);
+  EXPECT_EQ(vec_eq(a, d), Logic::k0);
+}
+
+/// Property sweep: vector ops agree with 64-bit arithmetic on random data.
+class LVecArithmetic : public ::testing::TestWithParam<int> {};
+
+TEST_P(LVecArithmetic, MatchesUintSemantics) {
+  const int width = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(width) * 977);
+  const std::uint64_t mask =
+      width == 64 ? ~0ull : ((1ull << width) - 1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next_u64() & mask;
+    const std::uint64_t b = rng.next_u64() & mask;
+    const LVec va = LVec::from_uint(a, width);
+    const LVec vb = LVec::from_uint(b, width);
+    EXPECT_EQ(*vec_add(va, vb).to_uint(), (a + b) & mask);
+    EXPECT_EQ(*vec_sub(va, vb).to_uint(), (a - b) & mask);
+    EXPECT_EQ(*vec_and(va, vb).to_uint(), a & b);
+    EXPECT_EQ(*vec_or(va, vb).to_uint(), a | b);
+    EXPECT_EQ(*vec_xor(va, vb).to_uint(), a ^ b);
+    EXPECT_EQ(*vec_not(va).to_uint(), ~a & mask);
+    EXPECT_EQ(vec_eq(va, vb), from_bool(a == b));
+    EXPECT_EQ(vec_red_or(va), from_bool(a != 0));
+    EXPECT_EQ(vec_red_and(va), from_bool(a == mask));
+    EXPECT_EQ(vec_red_xor(va), from_bool(__builtin_parityll(a) != 0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LVecArithmetic,
+                         ::testing::Values(1, 2, 7, 8, 16, 18, 32, 63));
+
+TEST(LVec, AddWithXIsAllX) {
+  LVec a = LVec::from_uint(1, 4);
+  a.set_bit(1, Logic::kX);
+  const LVec sum = vec_add(a, LVec::from_uint(1, 4));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(sum.bit(i), Logic::kX);
+}
+
+TEST(LVec, ResolveBitwise) {
+  LVec a = LVec::zs(3);
+  a.set_bit(0, Logic::k1);
+  LVec b = LVec::zs(3);
+  b.set_bit(0, Logic::k0);
+  b.set_bit(1, Logic::k1);
+  const LVec r = vec_resolve(a, b);
+  EXPECT_EQ(r.bit(0), Logic::kX);  // conflict
+  EXPECT_EQ(r.bit(1), Logic::k1);  // single driver
+  EXPECT_EQ(r.bit(2), Logic::kZ);  // undriven
+}
+
+TEST(Logic, CharConversions) {
+  EXPECT_EQ(to_char(Logic::kZ), 'Z');
+  EXPECT_EQ(logic_from_char('1'), Logic::k1);
+  EXPECT_EQ(logic_from_char('z'), Logic::kZ);
+  EXPECT_EQ(logic_from_char('q'), Logic::kX);
+}
+
+}  // namespace
+}  // namespace la1::rtl

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "la1/uml_spec.hpp"
+#include "uml/derive.hpp"
+#include "uml/model.hpp"
+#include "uml/render.hpp"
+
+namespace la1::uml {
+namespace {
+
+TEST(ClassDiagramTest, BuildAndFind) {
+  ClassDiagram cd("d");
+  Class& c = cd.add_class("Port");
+  c.attributes.push_back({"m_state", "int"});
+  c.operations.push_back({"Step", {"cycle"}});
+  EXPECT_NE(cd.find("Port"), nullptr);
+  EXPECT_EQ(cd.find("Nope"), nullptr);
+  EXPECT_THROW(cd.add_class("Port"), std::invalid_argument);
+}
+
+TEST(ClassDiagramTest, ValidateDanglingRelation) {
+  ClassDiagram cd("d");
+  cd.add_class("A");
+  cd.add_relation({"A", "Missing", RelationKind::kAssociation, "", ""});
+  const auto issues = cd.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("Missing"), std::string::npos);
+}
+
+TEST(ClassDiagramTest, ValidateGeneralizationCycle) {
+  ClassDiagram cd("d");
+  cd.add_class("A");
+  cd.add_class("B");
+  cd.add_relation({"A", "B", RelationKind::kGeneralization, "", ""});
+  cd.add_relation({"B", "A", RelationKind::kGeneralization, "", ""});
+  EXPECT_FALSE(cd.validate().empty());
+}
+
+TEST(SequenceDiagramTest, AnnotationFormat) {
+  Message m{"NP", "RP", "OnReadRequest", 2, ClockRef::kKs, 0};
+  EXPECT_EQ(SequenceDiagram::annotation(m), "OnReadRequest[2]()@K#");
+  EXPECT_EQ(SequenceDiagram::tick_of(m), 5);
+  Message k{"NP", "RP", "X", 1, ClockRef::kK, 0};
+  EXPECT_EQ(SequenceDiagram::tick_of(k), 2);
+}
+
+TEST(SequenceDiagramTest, ValidateOrderAndLifelines) {
+  SequenceDiagram sd("s");
+  sd.add_lifeline("A");
+  sd.add_message({"A", "B", "op", 0, ClockRef::kK, 0});  // unknown B
+  sd.add_message({"A", "A", "late", 0, ClockRef::kK, 0});
+  EXPECT_FALSE(sd.validate().empty());
+
+  SequenceDiagram ordered("o");
+  ordered.add_lifeline("A");
+  ordered.add_message({"A", "A", "second", 1, ClockRef::kK, 0});
+  ordered.add_message({"A", "A", "first", 0, ClockRef::kK, 0});  // goes back
+  bool found_order_issue = false;
+  for (const auto& issue : ordered.validate()) {
+    if (issue.find("order") != std::string::npos) found_order_issue = true;
+  }
+  EXPECT_TRUE(found_order_issue);
+}
+
+TEST(DeriveTest, LatencyPropertiesFromFigure3) {
+  const SequenceDiagram sd = core::read_mode_sequence();
+  EXPECT_TRUE(sd.validate().empty());
+  const auto props = derive_latency_properties(sd, core::tap_namer(0));
+  ASSERT_EQ(props.size(), 3u);
+  // Request -> fetch is 2 ticks (1 K cycle).
+  EXPECT_NE(props[0].source.find("OnReadRequest[0]()@K"), std::string::npos);
+  // The derived property strings mention the tap names.
+  std::set<std::string> sigs;
+  psl::collect_signals(*props[0].prop, sigs);
+  EXPECT_TRUE(sigs.count("b0.read_start"));
+  EXPECT_TRUE(sigs.count("b0.fetch"));
+}
+
+TEST(DeriveTest, CoversPerMessage) {
+  const SequenceDiagram sd = core::read_mode_sequence();
+  const auto covers = derive_covers(sd, core::tap_namer(0));
+  EXPECT_EQ(covers.size(), sd.messages().size());
+}
+
+TEST(DeriveTest, AsmSkeletonEnforcesInitOrder) {
+  ClassDiagram cd("d");
+  cd.add_class("A");
+  cd.add_class("B");
+  asml::Machine m = derive_asm_skeleton(cd);
+  // SystemStart requires every class initialized.
+  asml::State s = m.initial();
+  EXPECT_FALSE(m.rule("SystemStart").enabled(s, {}));
+  s = m.fire(m.rule("Init_A"), {}, s);
+  EXPECT_FALSE(m.rule("SystemStart").enabled(s, {}));
+  s = m.fire(m.rule("Init_B"), {}, s);
+  ASSERT_TRUE(m.rule("SystemStart").enabled(s, {}));
+  s = m.fire(m.rule("SystemStart"), {}, s);
+  EXPECT_EQ(s.get_symbol("SystemFlag"), "STARTED");
+  // Init rules fire at most once.
+  EXPECT_FALSE(m.rule("Init_A").enabled(s, {}));
+}
+
+TEST(DeriveTest, ModuleSkeletons) {
+  const std::string code = derive_module_skeletons(core::la1_class_diagram());
+  EXPECT_NE(code.find("class ReadPort"), std::string::npos);
+  EXPECT_NE(code.find("void OnReadRequest("), std::string::npos);
+}
+
+TEST(RenderTest, PlantUmlClassDiagram) {
+  const std::string uml = to_plantuml(core::la1_class_diagram());
+  EXPECT_NE(uml.find("@startuml"), std::string::npos);
+  EXPECT_NE(uml.find("class SRAM_Memory"), std::string::npos);
+  EXPECT_NE(uml.find("*--"), std::string::npos);  // composition
+  EXPECT_NE(uml.find("1..4"), std::string::npos);  // bank multiplicity
+}
+
+TEST(RenderTest, PlantUmlSequenceDiagram) {
+  const std::string uml = to_plantuml(core::read_mode_sequence());
+  EXPECT_NE(uml.find("OnReadRequest[0]()@K"), std::string::npos);
+  EXPECT_NE(uml.find("participant ReadPort"), std::string::npos);
+}
+
+TEST(RenderTest, DotClassDiagram) {
+  const std::string dot = to_dot(core::la1_class_diagram());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("ReadPort"), std::string::npos);
+}
+
+TEST(La1Spec, ClassDiagramMatchesPaper) {
+  const ClassDiagram cd = core::la1_class_diagram();
+  EXPECT_TRUE(cd.validate().empty());
+  // The paper's four principal classes plus the light simulator.
+  EXPECT_NE(cd.find("WritePort"), nullptr);
+  EXPECT_NE(cd.find("ReadPort"), nullptr);
+  EXPECT_NE(cd.find("SRAM_Memory"), nullptr);
+  EXPECT_NE(cd.find("LightSimulator"), nullptr);
+}
+
+TEST(La1Spec, ReadModeTicksMatchFigure3) {
+  const SequenceDiagram sd = core::read_mode_sequence();
+  const auto& msgs = sd.messages();
+  ASSERT_EQ(msgs.size(), 4u);
+  EXPECT_EQ(SequenceDiagram::tick_of(msgs[0]), 0);  // request at K(0)
+  EXPECT_EQ(SequenceDiagram::tick_of(msgs[1]), 2);  // SRAM at K(1)
+  EXPECT_EQ(SequenceDiagram::tick_of(msgs[2]), 4);  // beat0 at K(2)
+  EXPECT_EQ(SequenceDiagram::tick_of(msgs[3]), 5);  // beat1 at K#(2)
+}
+
+TEST(La1Spec, WriteModeValidates) {
+  EXPECT_TRUE(core::write_mode_sequence().validate().empty());
+}
+
+}  // namespace
+}  // namespace la1::uml

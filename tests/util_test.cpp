@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace la1::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a"), "a");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, ToBinary) {
+  EXPECT_EQ(to_binary(5, 4), "0101");
+  EXPECT_EQ(to_binary(0, 3), "000");
+  EXPECT_EQ(to_binary(255, 8), "11111111");
+}
+
+TEST(Table, RenderContainsCells) {
+  Table t({"Banks", "Time"});
+  t.add_row({"1", "0.5"});
+  t.add_row({"2", "1.25"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Banks"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.row(0).size(), 3u);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_NE(fmt_sci(0.000012, 2).find("e-05"), std::string::npos);
+}
+
+TEST(Cli, ParsesForms) {
+  // Note: a bare "--flag" greedily takes a following non-option token as
+  // its value, so positionals come first.
+  const char* argv[] = {"prog", "pos", "--a=1", "--b", "2", "--flag"};
+  Cli cli(6, argv);
+  EXPECT_EQ(cli.get_int("a", 0), 1);
+  EXPECT_EQ(cli.get("b", ""), "2");
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos");
+  EXPECT_TRUE(cli.unused().empty());
+}
+
+TEST(Cli, UnusedReported) {
+  const char* argv[] = {"prog", "--typo=3"};
+  Cli cli(2, argv);
+  EXPECT_EQ(cli.unused().size(), 1u);
+}
+
+TEST(Cli, Defaults) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_EQ(cli.get_double("d", 1.5), 1.5);
+  EXPECT_FALSE(cli.has("x"));
+}
+
+TEST(Stopwatch, MeasuresNonNegative) {
+  Stopwatch w;
+  CpuStopwatch c;
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(w.seconds(), 0.0);
+  EXPECT_GE(c.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace la1::util

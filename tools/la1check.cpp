@@ -1,0 +1,217 @@
+// la1check — command-line driver for the LA-1 verification stack.
+//
+// Runs a PSL property (given as text) against a chosen level of the flow:
+//
+//   la1check sim --prop "always (b0.read_start -> next[4] b0.dout_valid_k)"
+//       assertion-based verification: random traffic on the behavioural
+//       model, the property as a runtime monitor.
+//   la1check sim --vunit-file suite.psl
+//       runs a whole vunit file (assert/assume/cover directives).
+//   la1check asm --prop "never {bus_conflict}"
+//       explicit-state model checking over the ASM model (AsmL style);
+//       prints the counterexample rule path on violation.
+//   la1check rtl --prop "always (bank0.read_start_q -> next[4] bank0.dout_valid_k_q)"
+//       symbolic (BDD) model checking on the synthesizable RTL; prints a
+//       state/input trace on violation.
+//   la1check verilog [--out la1.v]
+//       emits the synthesizable Verilog for the configured device.
+//   la1check flow
+//       runs the full Figure-2 refinement flow.
+//
+// Common options: --banks N (default 1), --seed S, --ticks T (sim),
+// --max-states N (asm), --node-limit N / --no-coi (rtl).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "la1/asm_model.hpp"
+#include "la1/behavioral.hpp"
+#include "la1/host_bfm.hpp"
+#include "la1/rtl_model.hpp"
+#include "mc/explicit.hpp"
+#include "mc/symbolic.hpp"
+#include "psl/parse.hpp"
+#include "refine/flow.hpp"
+#include "rtl/verilog.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace la1;
+
+int usage() {
+  std::fputs(
+      "usage: la1check <sim|asm|rtl|verilog|flow> [options]\n"
+      "  common:  --banks N  --seed S\n"
+      "  sim:     --prop \"<psl>\" | --vunit-file F   --ticks T\n"
+      "  asm:     --prop \"<psl>\"   --max-states N\n"
+      "  rtl:     --prop \"<psl>\"   --node-limit N  --no-coi\n"
+      "  verilog: --out FILE\n",
+      stderr);
+  return 2;
+}
+
+int run_sim(const util::Cli& cli) {
+  core::Config cfg;
+  cfg.banks = static_cast<int>(cli.get_int("banks", 1));
+  cfg.addr_bits = static_cast<int>(cli.get_int("addr-bits", 6));
+  const int ticks = static_cast<int>(cli.get_int("ticks", 4000));
+
+  psl::VUnit vunit("cli");
+  if (cli.has("vunit-file")) {
+    std::ifstream in(cli.get("vunit-file", ""));
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   cli.get("vunit-file", "").c_str());
+      return 2;
+    }
+    std::stringstream text;
+    text << in.rdbuf();
+    vunit = psl::parse_vunit(text.str());
+  } else if (cli.has("prop")) {
+    vunit.add_assert("cli_prop", psl::parse_property(cli.get("prop", "")));
+  } else {
+    return usage();
+  }
+
+  core::KernelHarness h(cfg);
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  h.host().push_random(rng, ticks / 2);
+  psl::VUnitRunner monitors(vunit);
+  h.run_ticks(ticks, [&](int) { monitors.step(h.env()); });
+
+  std::printf("simulated %d half-cycles on %d bank(s)\n", ticks, cfg.banks);
+  bool failed = false;
+  for (std::size_t i = 0; i < vunit.directives().size(); ++i) {
+    const auto& d = vunit.directives()[i];
+    if (d.kind == psl::DirectiveKind::kCover) {
+      std::printf("  cover  %-24s %llu match(es)\n", d.name.c_str(),
+                  static_cast<unsigned long long>(monitors.cover_count(i)));
+    } else {
+      const psl::Verdict v = monitors.verdict(i);
+      std::printf("  %s %-24s %s\n",
+                  d.kind == psl::DirectiveKind::kAssume ? "assume" : "assert",
+                  d.name.c_str(), psl::to_string(v));
+      failed = failed || v == psl::Verdict::kFailed;
+    }
+  }
+  std::printf("scoreboard: %llu reads checked, %llu mismatches\n",
+              static_cast<unsigned long long>(h.host().reads_checked()),
+              static_cast<unsigned long long>(h.host().data_mismatches()));
+  return failed ? 1 : 0;
+}
+
+int run_asm(const util::Cli& cli) {
+  core::AsmConfig cfg;
+  cfg.banks = static_cast<int>(cli.get_int("banks", 1));
+  if (!cli.has("prop")) return usage();
+  const auto prop = psl::parse_property(cli.get("prop", ""));
+
+  mc::ExplicitOptions opt;
+  opt.max_states = static_cast<std::size_t>(cli.get_int("max-states", 200000));
+  const mc::ExplicitResult r =
+      mc::check(core::build_asm_model(cfg), prop, opt);
+  std::printf("explored %llu product states (%llu ASM states), %.2fs\n",
+              static_cast<unsigned long long>(r.product_states),
+              static_cast<unsigned long long>(r.fsm_states), r.cpu_seconds);
+  if (r.violated) {
+    std::puts("VIOLATED; counterexample (rule path from the initial state):");
+    for (const std::string& step : r.counterexample) {
+      std::printf("  %s\n", step.c_str());
+    }
+    return 1;
+  }
+  std::printf("property %s%s\n", r.holds ? "holds" : "UNDECIDED",
+              r.complete ? "" : " (bounded exploration)");
+  return 0;
+}
+
+int run_rtl(const util::Cli& cli) {
+  const core::RtlConfig cfg =
+      core::RtlConfig::model_checking(static_cast<int>(cli.get_int("banks", 1)));
+  if (!cli.has("prop")) return usage();
+  const auto prop = psl::parse_property(cli.get("prop", ""));
+
+  core::RtlDevice dev = core::build_device(cfg);
+  const rtl::Module flat = rtl::expand_memories(dev.flatten());
+  const rtl::BitBlast bb = rtl::bitblast(flat, core::clock_schedule(flat));
+
+  mc::SymbolicOptions opt;
+  opt.node_limit = static_cast<std::uint64_t>(cli.get_int("node-limit", 8000000));
+  opt.cone_of_influence = !cli.get_bool("no-coi", false);
+  const mc::SymbolicResult r = mc::check(bb, prop, opt);
+  std::printf("%d state bits, %d iterations, %llu peak BDD nodes, %.2fs\n",
+              r.state_bits, r.iterations,
+              static_cast<unsigned long long>(r.peak_bdd_nodes),
+              r.cpu_seconds);
+  switch (r.outcome) {
+    case mc::SymbolicResult::Outcome::kHolds:
+      std::printf("property holds (%.0f reachable states)\n",
+                  r.reachable_states);
+      return 0;
+    case mc::SymbolicResult::Outcome::kFails: {
+      std::puts("VIOLATED; counterexample trace (changed state bits per step):");
+      std::map<std::string, bool> prev;
+      for (std::size_t i = 0; i < r.trace.size(); ++i) {
+        std::printf("  step %zu:", i);
+        for (const auto& [name, value] : r.trace[i]) {
+          auto it = prev.find(name);
+          if (it == prev.end() ? value : it->second != value) {
+            std::printf(" %s=%d", name.c_str(), value ? 1 : 0);
+          }
+        }
+        prev = r.trace[i];
+        std::puts("");
+      }
+      return 1;
+    }
+    case mc::SymbolicResult::Outcome::kStateExplosion:
+      std::puts("state explosion (node budget exceeded)");
+      return 3;
+  }
+  return 0;
+}
+
+int run_verilog(const util::Cli& cli) {
+  core::RtlConfig cfg;
+  cfg.banks = static_cast<int>(cli.get_int("banks", 1));
+  const core::RtlDevice dev = core::build_device(cfg);
+  const std::string verilog = rtl::to_verilog(*dev.top);
+  const std::string out = cli.get("out", "");
+  if (out.empty()) {
+    std::fputs(verilog.c_str(), stdout);
+  } else {
+    std::ofstream f(out);
+    f << verilog;
+    std::printf("wrote %zu bytes to %s\n", verilog.size(), out.c_str());
+  }
+  return 0;
+}
+
+int run_flow(const util::Cli& cli) {
+  refine::FlowOptions opt;
+  opt.banks = static_cast<int>(cli.get_int("banks", 1));
+  const refine::FlowReport report = refine::run_flow(opt);
+  std::fputs(report.render().c_str(), stdout);
+  return report.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.positional().size() != 1) return usage();
+  const std::string mode = cli.positional()[0];
+  try {
+    if (mode == "sim") return run_sim(cli);
+    if (mode == "asm") return run_asm(cli);
+    if (mode == "rtl") return run_rtl(cli);
+    if (mode == "verilog") return run_verilog(cli);
+    if (mode == "flow") return run_flow(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}

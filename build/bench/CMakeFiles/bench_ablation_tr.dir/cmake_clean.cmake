@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tr.dir/bench_ablation_tr.cpp.o"
+  "CMakeFiles/bench_ablation_tr.dir/bench_ablation_tr.cpp.o.d"
+  "bench_ablation_tr"
+  "bench_ablation_tr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_asm_mc.dir/bench_table1_asm_mc.cpp.o"
+  "CMakeFiles/bench_table1_asm_mc.dir/bench_table1_asm_mc.cpp.o.d"
+  "bench_table1_asm_mc"
+  "bench_table1_asm_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_asm_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_symbolic_mc.dir/bench_table2_symbolic_mc.cpp.o"
+  "CMakeFiles/bench_table2_symbolic_mc.dir/bench_table2_symbolic_mc.cpp.o.d"
+  "bench_table2_symbolic_mc"
+  "bench_table2_symbolic_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_symbolic_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_abv_sim.cpp" "bench/CMakeFiles/bench_table3_abv_sim.dir/bench_table3_abv_sim.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_abv_sim.dir/bench_table3_abv_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/refine/CMakeFiles/la1_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/la1/CMakeFiles/la1_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/la1_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ovl/CMakeFiles/la1_ovl.dir/DependInfo.cmake"
+  "/root/repo/build/src/uml/CMakeFiles/la1_uml.dir/DependInfo.cmake"
+  "/root/repo/build/src/psl/CMakeFiles/la1_psl.dir/DependInfo.cmake"
+  "/root/repo/build/src/asml/CMakeFiles/la1_asml.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/la1_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/la1_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/la1_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/la1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

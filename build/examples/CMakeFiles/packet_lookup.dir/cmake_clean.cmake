@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_lookup.dir/packet_lookup.cpp.o"
+  "CMakeFiles/packet_lookup.dir/packet_lookup.cpp.o.d"
+  "packet_lookup"
+  "packet_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

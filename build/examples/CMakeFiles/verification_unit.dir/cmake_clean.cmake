@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verification_unit.dir/verification_unit.cpp.o"
+  "CMakeFiles/verification_unit.dir/verification_unit.cpp.o.d"
+  "verification_unit"
+  "verification_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verification_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asml/explore.cpp" "src/asml/CMakeFiles/la1_asml.dir/explore.cpp.o" "gcc" "src/asml/CMakeFiles/la1_asml.dir/explore.cpp.o.d"
+  "/root/repo/src/asml/fsm.cpp" "src/asml/CMakeFiles/la1_asml.dir/fsm.cpp.o" "gcc" "src/asml/CMakeFiles/la1_asml.dir/fsm.cpp.o.d"
+  "/root/repo/src/asml/machine.cpp" "src/asml/CMakeFiles/la1_asml.dir/machine.cpp.o" "gcc" "src/asml/CMakeFiles/la1_asml.dir/machine.cpp.o.d"
+  "/root/repo/src/asml/testgen.cpp" "src/asml/CMakeFiles/la1_asml.dir/testgen.cpp.o" "gcc" "src/asml/CMakeFiles/la1_asml.dir/testgen.cpp.o.d"
+  "/root/repo/src/asml/value.cpp" "src/asml/CMakeFiles/la1_asml.dir/value.cpp.o" "gcc" "src/asml/CMakeFiles/la1_asml.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/la1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

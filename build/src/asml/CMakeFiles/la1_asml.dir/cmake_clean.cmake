@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_asml.dir/explore.cpp.o"
+  "CMakeFiles/la1_asml.dir/explore.cpp.o.d"
+  "CMakeFiles/la1_asml.dir/fsm.cpp.o"
+  "CMakeFiles/la1_asml.dir/fsm.cpp.o.d"
+  "CMakeFiles/la1_asml.dir/machine.cpp.o"
+  "CMakeFiles/la1_asml.dir/machine.cpp.o.d"
+  "CMakeFiles/la1_asml.dir/testgen.cpp.o"
+  "CMakeFiles/la1_asml.dir/testgen.cpp.o.d"
+  "CMakeFiles/la1_asml.dir/value.cpp.o"
+  "CMakeFiles/la1_asml.dir/value.cpp.o.d"
+  "libla1_asml.a"
+  "libla1_asml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_asml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/la1_bdd.dir/bdd.cpp.o.d"
+  "libla1_bdd.a"
+  "libla1_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

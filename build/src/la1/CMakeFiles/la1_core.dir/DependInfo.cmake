@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la1/asm_model.cpp" "src/la1/CMakeFiles/la1_core.dir/asm_model.cpp.o" "gcc" "src/la1/CMakeFiles/la1_core.dir/asm_model.cpp.o.d"
+  "/root/repo/src/la1/behavioral.cpp" "src/la1/CMakeFiles/la1_core.dir/behavioral.cpp.o" "gcc" "src/la1/CMakeFiles/la1_core.dir/behavioral.cpp.o.d"
+  "/root/repo/src/la1/host_bfm.cpp" "src/la1/CMakeFiles/la1_core.dir/host_bfm.cpp.o" "gcc" "src/la1/CMakeFiles/la1_core.dir/host_bfm.cpp.o.d"
+  "/root/repo/src/la1/properties.cpp" "src/la1/CMakeFiles/la1_core.dir/properties.cpp.o" "gcc" "src/la1/CMakeFiles/la1_core.dir/properties.cpp.o.d"
+  "/root/repo/src/la1/rtl_model.cpp" "src/la1/CMakeFiles/la1_core.dir/rtl_model.cpp.o" "gcc" "src/la1/CMakeFiles/la1_core.dir/rtl_model.cpp.o.d"
+  "/root/repo/src/la1/spec.cpp" "src/la1/CMakeFiles/la1_core.dir/spec.cpp.o" "gcc" "src/la1/CMakeFiles/la1_core.dir/spec.cpp.o.d"
+  "/root/repo/src/la1/uml_spec.cpp" "src/la1/CMakeFiles/la1_core.dir/uml_spec.cpp.o" "gcc" "src/la1/CMakeFiles/la1_core.dir/uml_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/la1_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/la1_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/asml/CMakeFiles/la1_asml.dir/DependInfo.cmake"
+  "/root/repo/build/src/psl/CMakeFiles/la1_psl.dir/DependInfo.cmake"
+  "/root/repo/build/src/uml/CMakeFiles/la1_uml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/la1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_core.dir/asm_model.cpp.o"
+  "CMakeFiles/la1_core.dir/asm_model.cpp.o.d"
+  "CMakeFiles/la1_core.dir/behavioral.cpp.o"
+  "CMakeFiles/la1_core.dir/behavioral.cpp.o.d"
+  "CMakeFiles/la1_core.dir/host_bfm.cpp.o"
+  "CMakeFiles/la1_core.dir/host_bfm.cpp.o.d"
+  "CMakeFiles/la1_core.dir/properties.cpp.o"
+  "CMakeFiles/la1_core.dir/properties.cpp.o.d"
+  "CMakeFiles/la1_core.dir/rtl_model.cpp.o"
+  "CMakeFiles/la1_core.dir/rtl_model.cpp.o.d"
+  "CMakeFiles/la1_core.dir/spec.cpp.o"
+  "CMakeFiles/la1_core.dir/spec.cpp.o.d"
+  "CMakeFiles/la1_core.dir/uml_spec.cpp.o"
+  "CMakeFiles/la1_core.dir/uml_spec.cpp.o.d"
+  "libla1_core.a"
+  "libla1_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/explicit.cpp" "src/mc/CMakeFiles/la1_mc.dir/explicit.cpp.o" "gcc" "src/mc/CMakeFiles/la1_mc.dir/explicit.cpp.o.d"
+  "/root/repo/src/mc/symbolic.cpp" "src/mc/CMakeFiles/la1_mc.dir/symbolic.cpp.o" "gcc" "src/mc/CMakeFiles/la1_mc.dir/symbolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asml/CMakeFiles/la1_asml.dir/DependInfo.cmake"
+  "/root/repo/build/src/psl/CMakeFiles/la1_psl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/la1_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/la1_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/la1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

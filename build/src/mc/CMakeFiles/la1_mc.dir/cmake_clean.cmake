@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_mc.dir/explicit.cpp.o"
+  "CMakeFiles/la1_mc.dir/explicit.cpp.o.d"
+  "CMakeFiles/la1_mc.dir/symbolic.cpp.o"
+  "CMakeFiles/la1_mc.dir/symbolic.cpp.o.d"
+  "libla1_mc.a"
+  "libla1_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_ovl.dir/ovl.cpp.o"
+  "CMakeFiles/la1_ovl.dir/ovl.cpp.o.d"
+  "libla1_ovl.a"
+  "libla1_ovl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_ovl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

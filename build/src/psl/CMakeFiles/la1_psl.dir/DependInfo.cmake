@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psl/boolean.cpp" "src/psl/CMakeFiles/la1_psl.dir/boolean.cpp.o" "gcc" "src/psl/CMakeFiles/la1_psl.dir/boolean.cpp.o.d"
+  "/root/repo/src/psl/dfa.cpp" "src/psl/CMakeFiles/la1_psl.dir/dfa.cpp.o" "gcc" "src/psl/CMakeFiles/la1_psl.dir/dfa.cpp.o.d"
+  "/root/repo/src/psl/monitor.cpp" "src/psl/CMakeFiles/la1_psl.dir/monitor.cpp.o" "gcc" "src/psl/CMakeFiles/la1_psl.dir/monitor.cpp.o.d"
+  "/root/repo/src/psl/parse.cpp" "src/psl/CMakeFiles/la1_psl.dir/parse.cpp.o" "gcc" "src/psl/CMakeFiles/la1_psl.dir/parse.cpp.o.d"
+  "/root/repo/src/psl/sere.cpp" "src/psl/CMakeFiles/la1_psl.dir/sere.cpp.o" "gcc" "src/psl/CMakeFiles/la1_psl.dir/sere.cpp.o.d"
+  "/root/repo/src/psl/temporal.cpp" "src/psl/CMakeFiles/la1_psl.dir/temporal.cpp.o" "gcc" "src/psl/CMakeFiles/la1_psl.dir/temporal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/la1_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/asml/CMakeFiles/la1_asml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

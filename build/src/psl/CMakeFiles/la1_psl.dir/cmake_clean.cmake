@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_psl.dir/boolean.cpp.o"
+  "CMakeFiles/la1_psl.dir/boolean.cpp.o.d"
+  "CMakeFiles/la1_psl.dir/dfa.cpp.o"
+  "CMakeFiles/la1_psl.dir/dfa.cpp.o.d"
+  "CMakeFiles/la1_psl.dir/monitor.cpp.o"
+  "CMakeFiles/la1_psl.dir/monitor.cpp.o.d"
+  "CMakeFiles/la1_psl.dir/parse.cpp.o"
+  "CMakeFiles/la1_psl.dir/parse.cpp.o.d"
+  "CMakeFiles/la1_psl.dir/sere.cpp.o"
+  "CMakeFiles/la1_psl.dir/sere.cpp.o.d"
+  "CMakeFiles/la1_psl.dir/temporal.cpp.o"
+  "CMakeFiles/la1_psl.dir/temporal.cpp.o.d"
+  "libla1_psl.a"
+  "libla1_psl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_psl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

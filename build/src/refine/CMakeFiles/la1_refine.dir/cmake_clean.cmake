@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_refine.dir/conformance.cpp.o"
+  "CMakeFiles/la1_refine.dir/conformance.cpp.o.d"
+  "CMakeFiles/la1_refine.dir/flow.cpp.o"
+  "CMakeFiles/la1_refine.dir/flow.cpp.o.d"
+  "CMakeFiles/la1_refine.dir/lockstep.cpp.o"
+  "CMakeFiles/la1_refine.dir/lockstep.cpp.o.d"
+  "libla1_refine.a"
+  "libla1_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

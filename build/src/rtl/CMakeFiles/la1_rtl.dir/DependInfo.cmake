@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/bitblast.cpp" "src/rtl/CMakeFiles/la1_rtl.dir/bitblast.cpp.o" "gcc" "src/rtl/CMakeFiles/la1_rtl.dir/bitblast.cpp.o.d"
+  "/root/repo/src/rtl/elaborate.cpp" "src/rtl/CMakeFiles/la1_rtl.dir/elaborate.cpp.o" "gcc" "src/rtl/CMakeFiles/la1_rtl.dir/elaborate.cpp.o.d"
+  "/root/repo/src/rtl/logic.cpp" "src/rtl/CMakeFiles/la1_rtl.dir/logic.cpp.o" "gcc" "src/rtl/CMakeFiles/la1_rtl.dir/logic.cpp.o.d"
+  "/root/repo/src/rtl/netlist.cpp" "src/rtl/CMakeFiles/la1_rtl.dir/netlist.cpp.o" "gcc" "src/rtl/CMakeFiles/la1_rtl.dir/netlist.cpp.o.d"
+  "/root/repo/src/rtl/sim.cpp" "src/rtl/CMakeFiles/la1_rtl.dir/sim.cpp.o" "gcc" "src/rtl/CMakeFiles/la1_rtl.dir/sim.cpp.o.d"
+  "/root/repo/src/rtl/verilog.cpp" "src/rtl/CMakeFiles/la1_rtl.dir/verilog.cpp.o" "gcc" "src/rtl/CMakeFiles/la1_rtl.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/la1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_rtl.dir/bitblast.cpp.o"
+  "CMakeFiles/la1_rtl.dir/bitblast.cpp.o.d"
+  "CMakeFiles/la1_rtl.dir/elaborate.cpp.o"
+  "CMakeFiles/la1_rtl.dir/elaborate.cpp.o.d"
+  "CMakeFiles/la1_rtl.dir/logic.cpp.o"
+  "CMakeFiles/la1_rtl.dir/logic.cpp.o.d"
+  "CMakeFiles/la1_rtl.dir/netlist.cpp.o"
+  "CMakeFiles/la1_rtl.dir/netlist.cpp.o.d"
+  "CMakeFiles/la1_rtl.dir/sim.cpp.o"
+  "CMakeFiles/la1_rtl.dir/sim.cpp.o.d"
+  "CMakeFiles/la1_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/la1_rtl.dir/verilog.cpp.o.d"
+  "libla1_rtl.a"
+  "libla1_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

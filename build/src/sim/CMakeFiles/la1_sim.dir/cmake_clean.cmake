@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_sim.dir/clock.cpp.o"
+  "CMakeFiles/la1_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/la1_sim.dir/kernel.cpp.o"
+  "CMakeFiles/la1_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/la1_sim.dir/report.cpp.o"
+  "CMakeFiles/la1_sim.dir/report.cpp.o.d"
+  "CMakeFiles/la1_sim.dir/vcd.cpp.o"
+  "CMakeFiles/la1_sim.dir/vcd.cpp.o.d"
+  "libla1_sim.a"
+  "libla1_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uml/derive.cpp" "src/uml/CMakeFiles/la1_uml.dir/derive.cpp.o" "gcc" "src/uml/CMakeFiles/la1_uml.dir/derive.cpp.o.d"
+  "/root/repo/src/uml/model.cpp" "src/uml/CMakeFiles/la1_uml.dir/model.cpp.o" "gcc" "src/uml/CMakeFiles/la1_uml.dir/model.cpp.o.d"
+  "/root/repo/src/uml/render.cpp" "src/uml/CMakeFiles/la1_uml.dir/render.cpp.o" "gcc" "src/uml/CMakeFiles/la1_uml.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/psl/CMakeFiles/la1_psl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/la1_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/asml/CMakeFiles/la1_asml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_uml.dir/derive.cpp.o"
+  "CMakeFiles/la1_uml.dir/derive.cpp.o.d"
+  "CMakeFiles/la1_uml.dir/model.cpp.o"
+  "CMakeFiles/la1_uml.dir/model.cpp.o.d"
+  "CMakeFiles/la1_uml.dir/render.cpp.o"
+  "CMakeFiles/la1_uml.dir/render.cpp.o.d"
+  "libla1_uml.a"
+  "libla1_uml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_uml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

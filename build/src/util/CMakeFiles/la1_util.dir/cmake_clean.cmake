@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_util.dir/cli.cpp.o"
+  "CMakeFiles/la1_util.dir/cli.cpp.o.d"
+  "CMakeFiles/la1_util.dir/mem.cpp.o"
+  "CMakeFiles/la1_util.dir/mem.cpp.o.d"
+  "CMakeFiles/la1_util.dir/strings.cpp.o"
+  "CMakeFiles/la1_util.dir/strings.cpp.o.d"
+  "CMakeFiles/la1_util.dir/table.cpp.o"
+  "CMakeFiles/la1_util.dir/table.cpp.o.d"
+  "libla1_util.a"
+  "libla1_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asml_test.dir/asml_test.cpp.o"
+  "CMakeFiles/asml_test.dir/asml_test.cpp.o.d"
+  "asml_test"
+  "asml_test.pdb"
+  "asml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

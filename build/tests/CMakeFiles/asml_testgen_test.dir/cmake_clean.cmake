@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asml_testgen_test.dir/asml_testgen_test.cpp.o"
+  "CMakeFiles/asml_testgen_test.dir/asml_testgen_test.cpp.o.d"
+  "asml_testgen_test"
+  "asml_testgen_test.pdb"
+  "asml_testgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asml_testgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

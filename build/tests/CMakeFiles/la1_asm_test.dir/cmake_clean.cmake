@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_asm_test.dir/la1_asm_test.cpp.o"
+  "CMakeFiles/la1_asm_test.dir/la1_asm_test.cpp.o.d"
+  "la1_asm_test"
+  "la1_asm_test.pdb"
+  "la1_asm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_asm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_behavioral_test.dir/la1_behavioral_test.cpp.o"
+  "CMakeFiles/la1_behavioral_test.dir/la1_behavioral_test.cpp.o.d"
+  "la1_behavioral_test"
+  "la1_behavioral_test.pdb"
+  "la1_behavioral_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_behavioral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

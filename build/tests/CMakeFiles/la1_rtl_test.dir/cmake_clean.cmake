@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_rtl_test.dir/la1_rtl_test.cpp.o"
+  "CMakeFiles/la1_rtl_test.dir/la1_rtl_test.cpp.o.d"
+  "la1_rtl_test"
+  "la1_rtl_test.pdb"
+  "la1_rtl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_rtl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

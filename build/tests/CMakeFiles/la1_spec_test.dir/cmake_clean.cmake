@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1_spec_test.dir/la1_spec_test.cpp.o"
+  "CMakeFiles/la1_spec_test.dir/la1_spec_test.cpp.o.d"
+  "la1_spec_test"
+  "la1_spec_test.pdb"
+  "la1_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_symbolic_test.dir/mc_symbolic_test.cpp.o"
+  "CMakeFiles/mc_symbolic_test.dir/mc_symbolic_test.cpp.o.d"
+  "mc_symbolic_test"
+  "mc_symbolic_test.pdb"
+  "mc_symbolic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_symbolic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovl_test.dir/ovl_test.cpp.o"
+  "CMakeFiles/ovl_test.dir/ovl_test.cpp.o.d"
+  "ovl_test"
+  "ovl_test.pdb"
+  "ovl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psl_dfa_test.dir/psl_dfa_test.cpp.o"
+  "CMakeFiles/psl_dfa_test.dir/psl_dfa_test.cpp.o.d"
+  "psl_dfa_test"
+  "psl_dfa_test.pdb"
+  "psl_dfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psl_dfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

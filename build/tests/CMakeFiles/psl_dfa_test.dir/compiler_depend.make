@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for psl_dfa_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psl_monitor_test.dir/psl_monitor_test.cpp.o"
+  "CMakeFiles/psl_monitor_test.dir/psl_monitor_test.cpp.o.d"
+  "psl_monitor_test"
+  "psl_monitor_test.pdb"
+  "psl_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psl_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

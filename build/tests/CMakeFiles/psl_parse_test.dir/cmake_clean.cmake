@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psl_parse_test.dir/psl_parse_test.cpp.o"
+  "CMakeFiles/psl_parse_test.dir/psl_parse_test.cpp.o.d"
+  "psl_parse_test"
+  "psl_parse_test.pdb"
+  "psl_parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psl_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psl_sere_test.dir/psl_sere_test.cpp.o"
+  "CMakeFiles/psl_sere_test.dir/psl_sere_test.cpp.o.d"
+  "psl_sere_test"
+  "psl_sere_test.pdb"
+  "psl_sere_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psl_sere_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_bitblast_test.dir/rtl_bitblast_test.cpp.o"
+  "CMakeFiles/rtl_bitblast_test.dir/rtl_bitblast_test.cpp.o.d"
+  "rtl_bitblast_test"
+  "rtl_bitblast_test.pdb"
+  "rtl_bitblast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_bitblast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

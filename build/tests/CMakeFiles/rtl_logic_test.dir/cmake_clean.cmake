@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_logic_test.dir/rtl_logic_test.cpp.o"
+  "CMakeFiles/rtl_logic_test.dir/rtl_logic_test.cpp.o.d"
+  "rtl_logic_test"
+  "rtl_logic_test.pdb"
+  "rtl_logic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_logic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

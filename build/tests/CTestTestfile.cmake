@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_logic_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_bitblast_test[1]_include.cmake")
+include("/root/repo/build/tests/bdd_test[1]_include.cmake")
+include("/root/repo/build/tests/asml_test[1]_include.cmake")
+include("/root/repo/build/tests/asml_testgen_test[1]_include.cmake")
+include("/root/repo/build/tests/psl_sere_test[1]_include.cmake")
+include("/root/repo/build/tests/psl_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/psl_parse_test[1]_include.cmake")
+include("/root/repo/build/tests/psl_dfa_test[1]_include.cmake")
+include("/root/repo/build/tests/ovl_test[1]_include.cmake")
+include("/root/repo/build/tests/mc_explicit_test[1]_include.cmake")
+include("/root/repo/build/tests/mc_symbolic_test[1]_include.cmake")
+include("/root/repo/build/tests/uml_test[1]_include.cmake")
+include("/root/repo/build/tests/la1_spec_test[1]_include.cmake")
+include("/root/repo/build/tests/la1_behavioral_test[1]_include.cmake")
+include("/root/repo/build/tests/la1_latency_test[1]_include.cmake")
+include("/root/repo/build/tests/la1_asm_test[1]_include.cmake")
+include("/root/repo/build/tests/la1_rtl_test[1]_include.cmake")
+include("/root/repo/build/tests/refine_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

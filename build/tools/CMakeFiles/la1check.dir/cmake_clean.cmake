@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la1check.dir/la1check.cpp.o"
+  "CMakeFiles/la1check.dir/la1check.cpp.o.d"
+  "la1check"
+  "la1check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la1check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

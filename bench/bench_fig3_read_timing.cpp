@@ -1,20 +1,27 @@
 // Figure 3 — Sequence Diagram for the Reading Mode, reproduced as a
-// cycle-annotated trace of the behavioural model and checked against the
-// UML sequence diagram's tick annotations.
+// cycle-annotated trace of the behavioural model (run as a harness
+// DeviceModel) and checked against the UML sequence diagram's tick
+// annotations. The edge-by-edge observations go through a TraceRecorder,
+// so the run can be exported as JSON (--json) or VCD (--vcd).
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "harness/adapters.hpp"
+#include "harness/trace.hpp"
 #include "la1/behavioral.hpp"
-#include "la1/host_bfm.hpp"
 #include "la1/uml_spec.hpp"
 #include "uml/render.hpp"
+#include "util/bench_report.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace la1;
   const util::Cli cli(argc, argv);
   const bool show_plantuml = cli.get_bool("plantuml", false);
+  const std::string vcd_path = cli.get("vcd", "");
+  util::BenchReport report("bench_fig3_read_timing");
+  cli.get("json", "");
   for (const auto& unused : cli.unused()) {
     std::fprintf(stderr, "unknown option --%s\n", unused.c_str());
     return 2;
@@ -37,12 +44,22 @@ int main(int argc, char** argv) {
   core::Config cfg;
   cfg.banks = 1;
   cfg.addr_bits = 4;
-  core::KernelHarness h(cfg);
-  // Seed the word through the front door so the host scoreboard stays
-  // coherent, then wait out the write before the measured read.
-  h.host().push({core::Transaction::Kind::kWrite, 3, 0xCAFE1234, ~0u});
-  h.run_ticks(4);
-  h.host().push({core::Transaction::Kind::kRead, 3});
+  harness::BehavioralDeviceModel model(cfg);
+  harness::TraceRecorder recorder(model.geometry(),
+                                  harness::bank_read_taps(1));
+
+  // Seed the word through the front door, wait out the write, then issue
+  // the measured read.
+  harness::Stimulus write;
+  write.write = true;
+  write.write_addr = 3;
+  write.write_word = 0xCAFE1234;
+  model.enqueue(write);
+  for (int t = 0; t < 4; ++t) model.tick(harness::edge_of_tick(t));
+  harness::Stimulus read;
+  read.read = true;
+  read.read_addr = 3;
+  model.enqueue(read);
 
   struct Event {
     int tick;
@@ -50,29 +67,33 @@ int main(int argc, char** argv) {
   };
   std::vector<Event> events;
   int base_tick = -1;
-  h.run_ticks(8, [&](int tick) {
-    const core::BankTaps& t = h.device().bank(0).taps();
-    if (t.read_start && base_tick < 0) base_tick = tick;
-    if (base_tick < 0) return;
-    const char* clock = tick % 2 == 0 ? "K" : "K#";
-    const int cycle = (tick - base_tick) / 2;
+  std::uint64_t last_beat = 0;
+  for (int t = 4; t < 12; ++t) {
+    const harness::EdgePins pins = model.tick(harness::edge_of_tick(t));
+    recorder.record(t, pins, model);
+    if (model.dout().valid) last_beat = model.dout().beat;
+    if (model.tap("b0.read_start") && base_tick < 0) base_tick = t;
+    if (base_tick < 0) continue;
+    const char* clock = t % 2 == 0 ? "K" : "K#";
+    const int cycle = (t - base_tick) / 2;
     auto log = [&](const char* what) {
       events.push_back(
-          {tick - base_tick, std::string(what) + "[" + std::to_string(cycle) +
-                                 "]()@" + clock});
+          {t - base_tick, std::string(what) + "[" + std::to_string(cycle) +
+                              "]()@" + clock});
     };
-    if (t.read_start) log("OnReadRequest");
-    if (t.fetch) log("LA1_SRAM_OnReadRequest");
-    if (t.dout_valid_k) log("ReleaseBeat0");
-    if (t.dout_valid_ks) log("ReleaseBeat1");
-  });
+    if (model.tap("b0.read_start")) log("OnReadRequest");
+    if (model.tap("b0.fetch")) log("LA1_SRAM_OnReadRequest");
+    if (model.tap("b0.dout_valid_k")) log("ReleaseBeat0");
+    if (model.tap("b0.dout_valid_ks")) log("ReleaseBeat1");
+  }
 
   std::puts("\nBehavioural-model trace of one read (ticks relative to the"
             " request):");
   for (const Event& e : events) {
     std::printf("  tick %d : %s\n", e.tick, e.what.c_str());
   }
-  std::printf("  last DOUT beat = 0x%05x\n", h.pins().dout.read());
+  std::printf("  last DOUT beat = 0x%05llx\n",
+              static_cast<unsigned long long>(last_beat));
 
   // Cross-check the trace against the diagram's annotations.
   bool ok = events.size() == sd.messages().size();
@@ -83,10 +104,29 @@ int main(int argc, char** argv) {
   }
   std::printf("\n%s: the executed trace %s the Figure-3 annotations\n",
               ok ? "PASS" : "FAIL", ok ? "matches" : "DIVERGES FROM");
-  std::printf("scoreboard: %llu read(s) checked, %llu mismatches, %llu parity"
-              " errors\n",
-              static_cast<unsigned long long>(h.host().reads_checked()),
-              static_cast<unsigned long long>(h.host().data_mismatches()),
-              static_cast<unsigned long long>(h.host().parity_errors()));
+
+  if (!vcd_path.empty()) {
+    if (recorder.write_vcd(vcd_path)) {
+      std::printf("VCD trace written to %s\n", vcd_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write VCD trace to %s\n", vcd_path.c_str());
+      return 1;
+    }
+  }
+
+  report.param("messages",
+               util::Json(static_cast<std::int64_t>(sd.messages().size())));
+  for (const Event& e : events) {
+    util::Json row = util::Json::object();
+    row.set("tick", util::Json(e.tick));
+    row.set("event", util::Json(e.what));
+    report.metric(std::move(row));
+  }
+  util::Json verdict = util::Json::object();
+  verdict.set("matches_figure3", util::Json(ok));
+  verdict.set("last_dout_beat", util::Json(last_beat));
+  report.metric(std::move(verdict));
+  report.param("trace", recorder.to_json());
+  if (!report.finish(cli)) return 1;
   return ok ? 0 : 1;
 }

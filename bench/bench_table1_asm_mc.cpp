@@ -9,12 +9,14 @@
 //   --max-banks N      highest bank count (default 4)
 //   --max-states N     exploration budget per run (default 120000)
 //   --max-transitions N  transition budget (default 1200000)
+//   --json PATH        write the {bench, params, metrics} report
 #include <cstdio>
 
 #include "asml/explore.hpp"
 #include "la1/asm_model.hpp"
 #include "mc/explicit.hpp"
 #include "psl/temporal.hpp"
+#include "util/bench_report.hpp"
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -27,6 +29,12 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("max-states", 120000));
   const std::size_t max_transitions =
       static_cast<std::size_t>(cli.get_int("max-transitions", 1200000));
+  util::BenchReport report("bench_table1_asm_mc");
+  report.param("max_banks", util::Json(max_banks))
+      .param("max_states", util::Json(static_cast<std::int64_t>(max_states)))
+      .param("max_transitions",
+             util::Json(static_cast<std::int64_t>(max_transitions)));
+  cli.get("json", "");
   for (const auto& unused : cli.unused()) {
     std::fprintf(stderr, "unknown option --%s\n", unused.c_str());
     return 2;
@@ -63,11 +71,20 @@ int main(int argc, char** argv) {
                    util::fmt_count(r.fsm_states),
                    util::fmt_count(r.product_transitions),
                    std::to_string(props.size()), result});
+    util::Json row = util::Json::object();
+    row.set("banks", util::Json(banks));
+    row.set("cpu_seconds", util::Json(seconds));
+    row.set("fsm_states", util::Json(static_cast<std::int64_t>(r.fsm_states)));
+    row.set("fsm_transitions",
+            util::Json(static_cast<std::int64_t>(r.product_transitions)));
+    row.set("properties", util::Json(static_cast<std::int64_t>(props.size())));
+    row.set("result", util::Json(result));
+    report.metric(std::move(row));
   }
 
   std::fputs(table.render().c_str(), stdout);
   std::puts(
       "\nShape check (paper): the ASM-level checker handles every bank count;"
       "\nnodes/transitions and CPU time grow with banks but stay tractable.");
-  return 0;
+  return report.finish(cli) ? 0 : 1;
 }

@@ -16,11 +16,13 @@
 //   --max-banks N     highest bank count (default 4)
 //   --node-limit N    live-BDD-node budget (default 2000000)
 //   --monolithic      use the single transition-relation BDD
+//   --json PATH       write the {bench, params, metrics} report
 #include <cstdio>
 
 #include "la1/rtl_model.hpp"
 #include "mc/symbolic.hpp"
 #include "rtl/bitblast.hpp"
+#include "util/bench_report.hpp"
 #include "util/cli.hpp"
 #include "util/mem.hpp"
 #include "util/table.hpp"
@@ -32,6 +34,11 @@ int main(int argc, char** argv) {
   const std::uint64_t node_limit =
       static_cast<std::uint64_t>(cli.get_int("node-limit", 2000000));
   const bool monolithic = cli.get_bool("monolithic", false);
+  util::BenchReport report("bench_table2_symbolic_mc");
+  report.param("max_banks", util::Json(max_banks))
+      .param("node_limit", util::Json(node_limit))
+      .param("monolithic", util::Json(monolithic));
+  cli.get("json", "");
   for (const auto& unused : cli.unused()) {
     std::fprintf(stderr, "unknown option --%s\n", unused.c_str());
     return 2;
@@ -71,6 +78,15 @@ int main(int argc, char** argv) {
                    util::fmt_double(r.memory_mb, 1),
                    util::fmt_count(r.peak_bdd_nodes),
                    std::to_string(r.iterations), result});
+    util::Json row = util::Json::object();
+    row.set("banks", util::Json(banks));
+    row.set("cpu_seconds", util::Json(r.cpu_seconds));
+    row.set("memory_mb", util::Json(r.memory_mb));
+    row.set("peak_bdd_nodes",
+            util::Json(static_cast<std::int64_t>(r.peak_bdd_nodes)));
+    row.set("iterations", util::Json(static_cast<std::int64_t>(r.iterations)));
+    row.set("result", util::Json(result));
+    report.metric(std::move(row));
     std::fflush(stdout);
     if (r.outcome == mc::SymbolicResult::Outcome::kStateExplosion) {
       // Larger configurations only get worse; report them as exploded too,
@@ -78,6 +94,10 @@ int main(int argc, char** argv) {
       for (int b = banks + 1; b <= max_banks; ++b) {
         table.add_row({std::to_string(b), "-", "-", "-", "-",
                        "State Explosion"});
+        util::Json extra = util::Json::object();
+        extra.set("banks", util::Json(b));
+        extra.set("result", util::Json("State Explosion"));
+        report.metric(std::move(extra));
       }
       break;
     }
@@ -89,5 +109,5 @@ int main(int argc, char** argv) {
       "\nbank count until the checker hits its resource wall, while Table 1's"
       "\nASM-level run still verifies every configuration — model checking"
       "\npays off at the early design stages.");
-  return 0;
+  return report.finish(cli) ? 0 : 1;
 }

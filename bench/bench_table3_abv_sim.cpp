@@ -6,24 +6,30 @@
 //   * RTL level: the synthesizable netlist in the cycle simulator with
 //     OVL monitors instantiated as additional design logic — the paper's
 //     "Verilog + OVL" configuration.
-// Reports the average execution time per clock cycle for each and the
-// ratio. The paper's claims: the system-level simulation is >= ~20x
-// faster per cycle, and the gap widens with the number of banks.
+// Both levels run as harness DeviceModels on the same seeded
+// StimulusStream, so the measured work differs only in the level (and its
+// monitors), not in the traffic. Reports the average CPU time per clock
+// cycle for each and the ratio. The paper's claims: the system-level
+// simulation is >= ~20x faster per cycle, and the gap widens with the
+// number of banks.
 //
 //   --banks-list a,b,c   bank counts (default 1,2,4,8)
 //   --sc-ticks N         kernel-model half-cycles (default 40000)
 //   --rtl-ticks N        RTL half-cycles (default 4000)
+//   --seed N             stimulus seed (default 7)
+//   --json PATH          write the {bench, params, metrics} report
 #include <cstdio>
 
+#include "harness/adapters.hpp"
+#include "harness/stimulus.hpp"
 #include "la1/behavioral.hpp"
-#include "la1/host_bfm.hpp"
 #include "la1/rtl_model.hpp"
 #include "ovl/ovl.hpp"
 #include "psl/monitor.hpp"
 #include "psl/parse.hpp"
 #include "rtl/sim.hpp"
+#include "util/bench_report.hpp"
 #include "util/cli.hpp"
-#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -31,6 +37,32 @@
 namespace {
 
 using namespace la1;
+
+constexpr int kAddrBits = 8;
+
+harness::StimulusStream make_stream(int banks, int data_bits,
+                                    std::uint64_t seed) {
+  harness::StimulusOptions so;
+  so.banks = banks;
+  so.mem_addr_bits = kAddrBits - harness::Geometry{banks, 0, 0}.bank_bits();
+  so.data_bits = data_bits;
+  return harness::StimulusStream(so, seed);
+}
+
+/// Drives `ticks` half-cycles of stream traffic through the model's
+/// transactor, timing only the simulate+monitor loop.
+template <typename OnTick>
+double drive(harness::DeviceModel& model, harness::StimulusStream& stream,
+             int ticks, OnTick&& on_tick) {
+  util::CpuStopwatch watch;
+  for (int t = 0; t < ticks; ++t) {
+    const harness::Edge edge = harness::edge_of_tick(t);
+    if (edge == harness::Edge::kK) model.enqueue(stream.next());
+    model.tick(edge);
+    on_tick();
+  }
+  return watch.seconds() / (static_cast<double>(ticks) / 2.0);
+}
 
 /// Read-mode PSL assertions for the behavioural model.
 psl::VUnit read_mode_vunit(int banks) {
@@ -50,88 +82,62 @@ psl::VUnit read_mode_vunit(int banks) {
   return vunit;
 }
 
-/// Seconds per clock cycle for the behavioural model + compiled PSL
+/// CPU seconds per clock cycle for the behavioural model + compiled PSL
 /// monitors (the paper compiles its PSL to C# monitor modules; the DFA
 /// backend is the equivalent compiled form).
-double run_system_level(int banks, int ticks, std::size_t* failures) {
+double run_system_level(int banks, int ticks, std::uint64_t seed,
+                        std::size_t* failures) {
   core::Config cfg;
   cfg.banks = banks;
-  cfg.addr_bits = 8;
-  core::KernelHarness h(cfg);
-  util::Rng rng(7);
-  h.host().push_random(rng, ticks / 2);
+  cfg.addr_bits = kAddrBits;
+  harness::BehavioralDeviceModel model(cfg);
+  harness::StimulusStream stream = make_stream(banks, cfg.data_bits, seed);
   const psl::VUnit vunit = read_mode_vunit(banks);
   psl::VUnitRunner monitors(vunit, psl::MonitorBackend::kDfa);
-  util::Stopwatch watch;
-  h.run_ticks(ticks, [&](int) { monitors.step(h.env()); });
-  const double seconds = watch.seconds();
+  const double per_cycle =
+      drive(model, stream, ticks, [&] { monitors.step(model.env()); });
   *failures = monitors.failures();
-  return seconds / (static_cast<double>(ticks) / 2.0);
+  return per_cycle;
 }
 
-/// Seconds per clock cycle for the RTL model + OVL monitors.
-double run_rtl_level(int banks, int ticks, std::size_t* failures) {
+/// CPU seconds per clock cycle for the RTL model + OVL monitors.
+double run_rtl_level(int banks, int ticks, std::uint64_t seed,
+                     std::size_t* failures) {
   core::RtlConfig cfg;
   cfg.banks = banks;
   cfg.data_bits = 16;
-  cfg.mem_addr_bits = 8 - cfg.bank_bits();
-  core::RtlDevice dev = core::build_device(cfg);
-  rtl::Module flat = dev.flatten();
+  cfg.mem_addr_bits = kAddrBits - cfg.bank_bits();
 
   // The same Reading-Mode assertions, as OVL monitor logic inside the
   // simulated design (one latency + one burst monitor per bank, plus the
   // bus-exclusivity checker) — the paper's "every OVL call loads the
-  // corresponding module into the simulated design".
+  // corresponding module into the simulated design". The monitors attach
+  // through the adapter's instrument hook, before the simulator is built.
   ovl::OvlBank bank;
-  const rtl::NetId k = flat.find_net("K");
-  const rtl::NetId ks = flat.find_net("KS");
-  std::vector<rtl::ExprId> enables;
-  for (int b = 0; b < banks; ++b) {
-    const std::string p = "bank" + std::to_string(b) + ".";
-    const std::string sb = std::to_string(b);
-    ovl::assert_next(flat, bank, "read_latency_b" + sb, ks,
-                     flat.ref(p + "read_start_q"),
-                     flat.ref(p + "dout_valid_k_q"), 2);
-    ovl::assert_implication(flat, bank, "read_burst_b" + sb, ks,
-                            flat.ref(p + "dout_valid_k_q"),
-                            flat.ref(p + "beat1_pend"));
-    enables.push_back(flat.ref(p + "en_q"));
-  }
-  ovl::assert_zero_one_hot(flat, bank, "exclusive", banks > 1 ? ks : k,
-                           banks > 1 ? flat.concat(enables) : enables.front());
-
-  rtl::CycleSim sim(flat);
-  util::Rng rng(7);
-  const std::uint32_t lane_idle = (1u << cfg.lanes()) - 1;
-  util::Stopwatch watch;
-  bool write_pending = false;
-  std::uint64_t waddr = 0;
-  for (int t = 0; t < ticks; ++t) {
-    if (t % 2 == 0) {
-      const bool rd = rng.chance(0.5);
-      const bool wr = rng.chance(0.5);
-      sim.set_input_bit("R_n", !rd);
-      sim.set_input_bit("W_n", !wr);
-      sim.set_input("A", rng.below(1u << cfg.addr_bits()));
-      sim.set_input("D", core::pack_beat(
-                             static_cast<std::uint32_t>(rng.below(1u << 16)), 16));
-      sim.set_input("BWE_n", wr ? 0 : lane_idle);
-      write_pending = wr;
-      waddr = rng.below(1u << cfg.addr_bits());
-      sim.edge("K", rtl::Edge::kPos);
-    } else {
-      if (write_pending) {
-        sim.set_input("A", waddr);
-        sim.set_input("D", core::pack_beat(static_cast<std::uint32_t>(
-                                               rng.below(1u << 16)),
-                                           16));
-      }
-      sim.edge("KS", rtl::Edge::kPos);
+  harness::RtlDeviceModel model(cfg, [&](rtl::Module& flat) {
+    const rtl::NetId k = flat.find_net("K");
+    const rtl::NetId ks = flat.find_net("KS");
+    std::vector<rtl::ExprId> enables;
+    for (int b = 0; b < banks; ++b) {
+      const std::string p = "bank" + std::to_string(b) + ".";
+      const std::string sb = std::to_string(b);
+      ovl::assert_next(flat, bank, "read_latency_b" + sb, ks,
+                       flat.ref(p + "read_start_q"),
+                       flat.ref(p + "dout_valid_k_q"), 2);
+      ovl::assert_implication(flat, bank, "read_burst_b" + sb, ks,
+                              flat.ref(p + "dout_valid_k_q"),
+                              flat.ref(p + "beat1_pend"));
+      enables.push_back(flat.ref(p + "en_q"));
     }
-  }
-  const double seconds = watch.seconds();
-  *failures = bank.failures(sim);
-  return seconds / (static_cast<double>(ticks) / 2.0);
+    ovl::assert_zero_one_hot(flat, bank, "exclusive", banks > 1 ? ks : k,
+                             banks > 1 ? flat.concat(enables)
+                                       : enables.front());
+  });
+
+  harness::StimulusStream stream = make_stream(banks, cfg.data_bits, seed);
+  const double per_cycle = drive(model, stream, ticks, [] {});
+  *failures = bank.failures(model.sim());
+  return per_cycle;
 }
 
 }  // namespace
@@ -140,10 +146,31 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int sc_ticks = static_cast<int>(cli.get_int("sc-ticks", 40000));
   const int rtl_ticks = static_cast<int>(cli.get_int("rtl-ticks", 4000));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 7));
   std::vector<int> banks_list;
   for (const std::string& s : util::split(cli.get("banks-list", "1,2,4,8"), ',')) {
-    banks_list.push_back(std::stoi(s));
+    int banks = 0;
+    try {
+      banks = std::stoi(s);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "--banks-list: '%s' is not a bank count\n",
+                   s.c_str());
+      return 2;
+    }
+    if (banks < 1) {
+      std::fprintf(stderr, "--banks-list: '%s' is not a bank count\n",
+                   s.c_str());
+      return 2;
+    }
+    banks_list.push_back(banks);
   }
+  util::BenchReport report("bench_table3_abv_sim");
+  report.param("sc_ticks", util::Json(sc_ticks))
+      .param("rtl_ticks", util::Json(rtl_ticks))
+      .param("seed", util::Json(seed))
+      .param("banks_list", util::Json(cli.get("banks-list", "1,2,4,8")));
+  cli.get("json", "");
   for (const auto& unused : cli.unused()) {
     std::fprintf(stderr, "unknown option --%s\n", unused.c_str());
     return 2;
@@ -158,12 +185,20 @@ int main(int argc, char** argv) {
   for (int banks : banks_list) {
     std::size_t sc_failures = 0;
     std::size_t rtl_failures = 0;
-    const double d_sc = run_system_level(banks, sc_ticks, &sc_failures);
-    const double d_ovl = run_rtl_level(banks, rtl_ticks, &rtl_failures);
+    const double d_sc = run_system_level(banks, sc_ticks, seed, &sc_failures);
+    const double d_ovl = run_rtl_level(banks, rtl_ticks, seed, &rtl_failures);
     table.add_row({std::to_string(banks), util::fmt_sci(d_sc, 2),
                    util::fmt_sci(d_ovl, 2),
                    util::fmt_double(d_ovl / d_sc, 1) + " x",
                    std::to_string(sc_failures + rtl_failures)});
+    util::Json row = util::Json::object();
+    row.set("banks", util::Json(banks));
+    row.set("system_s_per_cycle", util::Json(d_sc));
+    row.set("rtl_s_per_cycle", util::Json(d_ovl));
+    row.set("ratio", util::Json(d_ovl / d_sc));
+    row.set("failures",
+            util::Json(static_cast<std::int64_t>(sc_failures + rtl_failures)));
+    report.metric(std::move(row));
     std::fflush(stdout);
   }
 
@@ -171,5 +206,5 @@ int main(int argc, char** argv) {
   std::puts(
       "\nShape check (paper): the system-level simulation runs >= ~20x faster"
       "\nper cycle, and the ratio grows with the design size (bank count).");
-  return 0;
+  return report.finish(cli) ? 0 : 1;
 }

@@ -1,0 +1,114 @@
+// DeviceModel adapters for the three executable levels of the flow:
+//
+//   AsmDeviceModel        — the ASM machine (la1/asm_model.hpp), one rule
+//                           firing per clock edge,
+//   BehavioralDeviceModel — the kernel-level model (la1/behavioral.hpp)
+//                           driven externally, one kernel tick per edge,
+//   RtlDeviceModel        — the elaborated RTL netlist (la1/rtl_model.hpp)
+//                           in the cycle simulator, one edge() per tick.
+//
+// Each adapter maps the canonical tap names ("b0.read_start", "write_commit",
+// "bus_conflict", ...) onto its level's native observables, so the N-way
+// lockstep engine can compare any combination of levels directly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "harness/device_model.hpp"
+#include "la1/asm_model.hpp"
+#include "la1/behavioral.hpp"
+#include "la1/rtl_model.hpp"
+#include "rtl/sim.hpp"
+
+namespace la1::harness {
+
+/// The ASM machine as a DeviceModel. The machine's data domain
+/// (`cfg.data_values`) may be narrower than the canonical beat width;
+/// beats outside the domain are a caller error (the StimulusStream's
+/// `data_values` option keeps streams inside it).
+class AsmDeviceModel : public DeviceModel {
+ public:
+  /// `data_bits` is the canonical beat width of the co-executed levels;
+  /// requires cfg.data_values <= 2^data_bits.
+  AsmDeviceModel(const core::AsmConfig& cfg, int data_bits);
+
+  void apply_edge(const EdgePins& pins) override;
+  bool tap(const std::string& name) const override;
+  std::uint64_t memory_word(int bank, std::uint64_t addr) const override;
+
+  const asml::State& state() const { return state_; }
+
+ protected:
+  void do_reset() override;
+
+ private:
+  core::AsmConfig cfg_;
+  asml::Machine machine_;
+  asml::State state_;
+};
+
+/// The behavioural (kernel) model as a DeviceModel.
+class BehavioralDeviceModel : public DeviceModel {
+ public:
+  explicit BehavioralDeviceModel(const core::Config& cfg);
+
+  void apply_edge(const EdgePins& pins) override;
+  bool tap(const std::string& name) const override;
+  DoutSample dout() const override;
+  bool models_dout() const override { return true; }
+  std::uint64_t memory_word(int bank, std::uint64_t addr) const override;
+
+  core::KernelHarness& kernel_harness() { return *harness_; }
+  core::ProbeEnv& env() { return harness_->env(); }
+
+ protected:
+  void do_reset() override;
+
+ private:
+  core::Config cfg_;
+  std::unique_ptr<core::KernelHarness> harness_;
+};
+
+/// The elaborated RTL netlist as a DeviceModel.
+class RtlDeviceModel : public DeviceModel {
+ public:
+  /// `instrument` runs on the flat module before the simulator is built —
+  /// the hook OVL monitors (bench_table3) and netlist mutations (the
+  /// lockstep mutation tests) attach through.
+  explicit RtlDeviceModel(
+      const core::RtlConfig& cfg,
+      const std::function<void(rtl::Module&)>& instrument = {});
+
+  void apply_edge(const EdgePins& pins) override;
+  bool tap(const std::string& name) const override;
+  DoutSample dout() const override;
+  bool models_dout() const override { return true; }
+  std::uint64_t memory_word(int bank, std::uint64_t addr) const override;
+
+  rtl::CycleSim& sim() { return *sim_; }
+  const rtl::Module& flat() const { return flat_; }
+
+ protected:
+  void do_reset() override;
+
+ private:
+  struct BankNets {
+    rtl::NetId read_start, fetch, dout_valid_k, dout_valid_ks;
+    rtl::NetId write_start, addr_captured, write_commit;
+  };
+
+  bool net_bit(rtl::NetId net) const;
+  bool any_dout_valid() const;
+
+  core::RtlConfig cfg_;
+  rtl::Module flat_;
+  std::unique_ptr<rtl::CycleSim> sim_;
+  std::vector<BankNets> bank_nets_;
+  std::vector<rtl::MemId> bank_mems_;
+  rtl::NetId dout_net_ = rtl::kInvalidId;
+  std::unordered_map<std::string, std::function<bool()>> taps_;
+};
+
+}  // namespace la1::harness

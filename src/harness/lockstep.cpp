@@ -1,0 +1,175 @@
+#include "harness/lockstep.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace la1::harness {
+
+namespace {
+
+std::string divergence_prefix(std::uint64_t tick, Edge edge,
+                              std::uint64_t seed) {
+  std::ostringstream os;
+  os << "tick " << tick << " (" << edge_name(edge) << "), seed " << seed
+     << ": ";
+  return os.str();
+}
+
+std::string dout_str(const DoutSample& s) {
+  if (!s.valid) return "idle";
+  if (!s.defined) return "X";
+  std::ostringstream os;
+  os << "0x" << std::hex << s.beat;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> tap_intersection(
+    const std::vector<DeviceModel*>& models) {
+  if (models.empty()) return {};
+  std::vector<std::string> names = models.front()->tap_names();
+  for (std::size_t m = 1; m < models.size(); ++m) {
+    const auto& other = models[m]->tap_names();
+    names.erase(std::remove_if(names.begin(), names.end(),
+                               [&other](const std::string& n) {
+                                 return std::find(other.begin(), other.end(),
+                                                  n) == other.end();
+                               }),
+                names.end());
+  }
+  return names;
+}
+
+LockstepReport run_lockstep(const std::vector<DeviceModel*>& models,
+                            StimulusStream& stream,
+                            const LockstepOptions& options) {
+  if (models.empty()) {
+    throw std::invalid_argument("run_lockstep: no models");
+  }
+  const Geometry g = models.front()->geometry();
+  for (const DeviceModel* m : models) {
+    if (!(m->geometry() == g)) {
+      throw std::invalid_argument("run_lockstep: geometry mismatch between '" +
+                                  models.front()->name() + "' and '" +
+                                  m->name() + "'");
+    }
+  }
+  if (!(stream.options().geometry() == g)) {
+    throw std::invalid_argument("run_lockstep: stream geometry mismatch");
+  }
+
+  LockstepReport report;
+  report.seed = stream.seed();
+  for (const DeviceModel* m : models) report.models.push_back(m->name());
+
+  for (DeviceModel* m : models) m->reset();
+
+  const std::vector<std::string> taps = tap_intersection(models);
+
+  // One reference model supplies the recorded trace: prefer a level that
+  // models data values so the trace carries dout beats.
+  const DeviceModel* trace_model = models.front();
+  for (const DeviceModel* m : models) {
+    if (m->models_dout()) {
+      trace_model = m;
+      break;
+    }
+  }
+
+  Transactor transactor(g);
+  const std::uint64_t total_ticks =
+      2 * options.transactions + static_cast<std::uint64_t>(options.drain_ticks);
+
+  for (std::uint64_t tick = 0; tick < total_ticks; ++tick) {
+    const Edge edge = edge_of_tick(static_cast<int>(tick % 2));
+    if (edge == Edge::kK && report.transactions < options.transactions) {
+      transactor.enqueue(stream.next());
+      ++report.transactions;
+    }
+    const EdgePins pins = transactor.next(edge);
+    for (DeviceModel* m : models) m->apply_edge(pins);
+    ++report.ticks_run;
+    report.reads_issued = transactor.reads_issued();
+    report.writes_issued = transactor.writes_issued();
+
+    // Compare the shared taps across all models against the first.
+    for (const std::string& name : taps) {
+      const bool expect = models.front()->tap(name);
+      for (std::size_t m = 1; m < models.size(); ++m) {
+        ++report.comparisons;
+        const bool got = models[m]->tap(name);
+        if (got != expect) {
+          report.ok = false;
+          report.mismatch = divergence_prefix(tick, edge, report.seed) +
+                            "tap '" + name + "' diverges: " +
+                            models.front()->name() + "=" +
+                            (expect ? "1" : "0") + " " + models[m]->name() +
+                            "=" + (got ? "1" : "0");
+          return report;
+        }
+      }
+    }
+
+    // Compare the read-data bus among models that model data values.
+    const DeviceModel* ref = nullptr;
+    DoutSample ref_dout;
+    for (const DeviceModel* m : models) {
+      if (!m->models_dout()) continue;
+      const DoutSample s = m->dout();
+      if (ref == nullptr) {
+        ref = m;
+        ref_dout = s;
+        continue;
+      }
+      ++report.comparisons;
+      if (!(s == ref_dout)) {
+        report.ok = false;
+        report.mismatch = divergence_prefix(tick, edge, report.seed) +
+                          "dout diverges: " + ref->name() + "=" +
+                          dout_str(ref_dout) + " " + m->name() + "=" +
+                          dout_str(s);
+        return report;
+      }
+    }
+
+    if (options.recorder != nullptr) {
+      TraceStep step;
+      step.tick = static_cast<int>(tick);
+      step.pins = pins;
+      for (const std::string& name : options.recorder->signals()) {
+        step.taps.push_back(trace_model->tap(name));
+      }
+      step.dout = trace_model->dout();
+      options.recorder->record_step(std::move(step));
+    }
+  }
+
+  if (options.compare_memory) {
+    for (int bank = 0; bank < g.banks; ++bank) {
+      for (std::uint64_t addr = 0; addr < g.mem_depth(); ++addr) {
+        const std::uint64_t expect =
+            models.front()->memory_word(bank, addr);
+        for (std::size_t m = 1; m < models.size(); ++m) {
+          ++report.comparisons;
+          const std::uint64_t got = models[m]->memory_word(bank, addr);
+          if (got != expect) {
+            std::ostringstream os;
+            os << "end of run, seed " << report.seed << ": memory b" << bank
+               << "[" << addr << "] diverges: " << models.front()->name()
+               << "=0x" << std::hex << expect << " " << models[m]->name()
+               << "=0x" << got;
+            report.ok = false;
+            report.mismatch = os.str();
+            return report;
+          }
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace la1::harness

@@ -1,0 +1,63 @@
+// The N-way lockstep engine: co-executes any set of DeviceModels — ASM
+// machine, behavioural kernel model, RTL netlist, in any combination — on
+// one shared StimulusStream, edge by edge, and reports the first
+// divergence together with the seed that replays it.
+//
+// Each half-cycle the engine pops one transaction from the stream (on K),
+// converts it to pins through the single shared Transactor, broadcasts the
+// identical EdgePins to every model, then compares
+//   * every tap in the intersection of the models' tap_names(),
+//   * the read-data bus among models that model data values,
+// and, after the drain ticks, the full canonical memory image.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/device_model.hpp"
+#include "harness/stimulus.hpp"
+#include "harness/trace.hpp"
+
+namespace la1::harness {
+
+struct LockstepOptions {
+  std::uint64_t transactions = 1000;
+
+  /// Idle half-cycles appended after the last transaction so in-flight
+  /// reads/writes land before the memory comparison.
+  int drain_ticks = 16;
+
+  /// Compare the full memory image across models at end of run.
+  bool compare_memory = true;
+
+  /// Optional recorder; receives one TraceStep per edge, sampled from the
+  /// first model that models the read-data bus (else the first model).
+  TraceRecorder* recorder = nullptr;
+};
+
+struct LockstepReport {
+  bool ok = true;
+  std::uint64_t seed = 0;  // from the stream: replays the run exactly
+  std::uint64_t ticks_run = 0;
+  std::uint64_t transactions = 0;
+  std::uint64_t reads_issued = 0;
+  std::uint64_t writes_issued = 0;
+  std::uint64_t comparisons = 0;
+  std::vector<std::string> models;
+  std::string mismatch;  // empty when ok; first divergence otherwise
+};
+
+/// The intersection of the models' tap names, in the first model's order —
+/// exactly what the engine compares every edge.
+std::vector<std::string> tap_intersection(
+    const std::vector<DeviceModel*>& models);
+
+/// Runs all models in lockstep on `stream`. Models are reset first; the
+/// stream is consumed from its current position (reset it for a replay).
+/// Stops at the first divergence.
+LockstepReport run_lockstep(const std::vector<DeviceModel*>& models,
+                            StimulusStream& stream,
+                            const LockstepOptions& options = {});
+
+}  // namespace la1::harness

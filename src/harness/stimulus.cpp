@@ -1,0 +1,67 @@
+#include "harness/stimulus.hpp"
+
+#include <stdexcept>
+
+namespace la1::harness {
+
+StimulusStream::StimulusStream(const StimulusOptions& options,
+                               std::uint64_t seed)
+    : options_(options), seed_(seed), rng_(seed) {
+  if (options.banks < 1 || options.mem_addr_bits < 0 ||
+      options.data_bits < 1) {
+    throw std::invalid_argument("StimulusStream: bad geometry");
+  }
+  if (options.bank_focus >= options.banks) {
+    throw std::invalid_argument("StimulusStream: bank_focus out of range");
+  }
+}
+
+void StimulusStream::reset() {
+  rng_ = util::Rng(seed_);
+  generated_ = 0;
+}
+
+std::uint64_t StimulusStream::draw_addr() {
+  const Geometry g = options_.geometry();
+  const std::uint64_t bank =
+      options_.bank_focus >= 0
+          ? static_cast<std::uint64_t>(options_.bank_focus)
+          : rng_.below(static_cast<std::uint64_t>(options_.banks));
+  const std::uint64_t word = rng_.below(g.mem_depth());
+  return (bank << options_.mem_addr_bits) | word;
+}
+
+std::uint64_t StimulusStream::draw_beat() {
+  const std::uint64_t full = 1ull << options_.data_bits;
+  const std::uint64_t bound =
+      options_.data_values > 0 && options_.data_values < full
+          ? options_.data_values
+          : full;
+  return rng_.below(bound);
+}
+
+Stimulus StimulusStream::next() {
+  const Geometry g = options_.geometry();
+  Stimulus s;
+  s.read = rng_.chance(options_.read_rate);
+  s.write = rng_.chance(options_.write_rate);
+  // Draw every field unconditionally so the stream stays bit-identical
+  // across mix changes of downstream consumers.
+  const std::uint64_t read_addr = draw_addr();
+  const std::uint64_t write_addr = draw_addr();
+  const std::uint64_t beat0 = draw_beat();
+  const std::uint64_t beat1 = draw_beat();
+  const std::uint32_t lanes_mask = (1u << (2 * g.lanes())) - 1;
+  const std::uint32_t be = static_cast<std::uint32_t>(rng_.next_u64()) |
+                           (options_.full_word_writes ? ~0u : 0u);
+  if (s.read) s.read_addr = read_addr;
+  if (s.write) {
+    s.write_addr = write_addr;
+    s.write_word = beat0 | (beat1 << options_.data_bits);
+    s.be_mask = be & lanes_mask;
+  }
+  ++generated_;
+  return s;
+}
+
+}  // namespace la1::harness

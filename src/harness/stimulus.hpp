@@ -1,0 +1,73 @@
+// Seeded random LA-1 traffic: the single source of stimulus for every
+// level of the flow. One StimulusStream drives the N-way lockstep engine,
+// the conformance/lockstep refine checks, and the benches, so a divergence
+// is always replayable from (options, seed) alone.
+#pragma once
+
+#include <cstdint>
+
+#include "harness/device_model.hpp"
+#include "util/rng.hpp"
+
+namespace la1::harness {
+
+/// Traffic shape for a StimulusStream. The read/write/idle mix is drawn
+/// per K cycle and per port: a cycle may carry a read, a write, both
+/// (LA-1 runs the ports concurrently), or neither.
+struct StimulusOptions {
+  int banks = 1;
+  int mem_addr_bits = 2;
+  int data_bits = 8;
+
+  double read_rate = 0.5;   // P(read issued) per K cycle
+  double write_rate = 0.5;  // P(write issued) per K cycle
+
+  /// Restricts generated beat values to [0, data_values); 0 means the full
+  /// 2^data_bits range. The ASM machine models a small data domain, so
+  /// 3-way runs set this to the machine's data_values.
+  std::uint64_t data_values = 0;
+
+  /// Forces be_mask to all-lanes on writes. The ASM machine has no byte
+  /// enables, so 3-way runs need full-word writes to stay comparable.
+  bool full_word_writes = false;
+
+  /// When >= 0, all addresses target this bank; otherwise banks are drawn
+  /// uniformly. Either way the bank field occupies the high address bits.
+  int bank_focus = -1;
+
+  Geometry geometry() const {
+    Geometry g;
+    g.banks = banks;
+    g.mem_addr_bits = mem_addr_bits;
+    g.data_bits = data_bits;
+    return g;
+  }
+};
+
+/// Deterministic stream of Stimulus records: same (options, seed) ->
+/// bit-identical traffic, independent of how many models consume it.
+class StimulusStream {
+ public:
+  StimulusStream(const StimulusOptions& options, std::uint64_t seed);
+
+  /// Draws the next K cycle of traffic.
+  Stimulus next();
+
+  /// Rewinds to the first cycle of the same stream.
+  void reset();
+
+  const StimulusOptions& options() const { return options_; }
+  std::uint64_t seed() const { return seed_; }
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  std::uint64_t draw_addr();
+  std::uint64_t draw_beat();
+
+  StimulusOptions options_;
+  std::uint64_t seed_;
+  util::Rng rng_;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace la1::harness

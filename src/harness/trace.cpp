@@ -1,0 +1,163 @@
+#include "harness/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace la1::harness {
+
+namespace {
+
+// Compact printable VCD identifier for wire index i.
+std::string vcd_id(std::size_t i) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + i % 94));
+    i /= 94;
+  } while (i > 0);
+  return id;
+}
+
+void emit_vec(std::ofstream& out, std::uint64_t value, int width,
+              const std::string& id) {
+  out << 'b';
+  for (int bit = width - 1; bit >= 0; --bit) {
+    out << ((value >> bit) & 1u);
+  }
+  out << ' ' << id << '\n';
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(const Geometry& geometry,
+                             std::vector<std::string> signals)
+    : geometry_(geometry), signals_(std::move(signals)) {}
+
+void TraceRecorder::record(int tick, const EdgePins& pins,
+                           const DeviceModel& model) {
+  TraceStep step;
+  step.tick = tick;
+  step.pins = pins;
+  step.taps.reserve(signals_.size());
+  for (const std::string& name : signals_) step.taps.push_back(model.tap(name));
+  step.dout = model.dout();
+  steps_.push_back(std::move(step));
+}
+
+void TraceRecorder::record_step(TraceStep step) {
+  if (step.taps.size() != signals_.size()) {
+    throw std::invalid_argument("TraceRecorder: step/signal arity mismatch");
+  }
+  steps_.push_back(std::move(step));
+}
+
+util::Json TraceRecorder::to_json() const {
+  util::Json geo = util::Json::object();
+  geo.set("banks", util::Json(geometry_.banks));
+  geo.set("mem_addr_bits", util::Json(geometry_.mem_addr_bits));
+  geo.set("data_bits", util::Json(geometry_.data_bits));
+
+  util::Json sig = util::Json::array();
+  for (const std::string& name : signals_) sig.push(util::Json(name));
+
+  util::Json steps = util::Json::array();
+  for (const TraceStep& s : steps_) {
+    util::Json row = util::Json::object();
+    row.set("tick", util::Json(s.tick));
+    row.set("edge", util::Json(edge_name(s.pins.edge)));
+    row.set("r_sel_n", util::Json(s.pins.r_sel_n));
+    row.set("w_sel_n", util::Json(s.pins.w_sel_n));
+    row.set("addr", util::Json(s.pins.addr));
+    row.set("din", util::Json(static_cast<std::uint64_t>(s.pins.din_data)));
+    row.set("bwe_n", util::Json(static_cast<std::uint64_t>(s.pins.bwe_n)));
+    util::Json taps = util::Json::array();
+    for (bool t : s.taps) taps.push(util::Json(t ? 1 : 0));
+    row.set("taps", std::move(taps));
+    util::Json dout = util::Json::object();
+    dout.set("valid", util::Json(s.dout.valid));
+    dout.set("defined", util::Json(s.dout.defined));
+    dout.set("beat", util::Json(s.dout.beat));
+    row.set("dout", std::move(dout));
+    steps.push(std::move(row));
+  }
+
+  util::Json doc = util::Json::object();
+  doc.set("geometry", std::move(geo));
+  doc.set("signals", std::move(sig));
+  doc.set("steps", std::move(steps));
+  return doc;
+}
+
+bool TraceRecorder::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json().dump(2) << '\n';
+  return static_cast<bool>(out);
+}
+
+bool TraceRecorder::write_vcd(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+
+  const int addr_bits = geometry_.addr_bits();
+  const int data_bits = geometry_.data_bits;
+  const int bwe_bits = geometry_.lanes();
+
+  // Wire order: K, r_sel_n, w_sel_n, addr, din, bwe_n, dout_beat, then taps.
+  std::vector<std::string> ids;
+  std::size_t n = 0;
+  auto next_id = [&] { return ids.emplace_back(vcd_id(n++)); };
+
+  out << "$timescale 1ns $end\n$scope module la1 $end\n";
+  const std::string id_k = next_id();
+  out << "$var wire 1 " << id_k << " K $end\n";
+  const std::string id_r = next_id();
+  out << "$var wire 1 " << id_r << " r_sel_n $end\n";
+  const std::string id_w = next_id();
+  out << "$var wire 1 " << id_w << " w_sel_n $end\n";
+  const std::string id_a = next_id();
+  out << "$var wire " << addr_bits << ' ' << id_a << " addr $end\n";
+  const std::string id_d = next_id();
+  out << "$var wire " << data_bits << ' ' << id_d << " din $end\n";
+  const std::string id_b = next_id();
+  out << "$var wire " << bwe_bits << ' ' << id_b << " bwe_n $end\n";
+  const std::string id_v = next_id();
+  out << "$var wire 1 " << id_v << " dout_valid $end\n";
+  const std::string id_q = next_id();
+  out << "$var wire " << data_bits + bwe_bits << ' ' << id_q
+      << " dout_beat $end\n";
+  std::vector<std::string> tap_ids;
+  for (const std::string& name : signals_) {
+    tap_ids.push_back(next_id());
+    std::string wire = name;
+    for (char& c : wire) {
+      if (c == '.') c = '_';
+    }
+    out << "$var wire 1 " << tap_ids.back() << ' ' << wire << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  for (const TraceStep& s : steps_) {
+    out << '#' << s.tick << '\n';
+    out << (s.pins.edge == Edge::kK ? '1' : '0') << id_k << '\n';
+    out << (s.pins.r_sel_n ? '1' : '0') << id_r << '\n';
+    out << (s.pins.w_sel_n ? '1' : '0') << id_w << '\n';
+    emit_vec(out, s.pins.addr, addr_bits, id_a);
+    emit_vec(out, s.pins.din_data, data_bits, id_d);
+    emit_vec(out, s.pins.bwe_n, bwe_bits, id_b);
+    out << (s.dout.valid ? '1' : '0') << id_v << '\n';
+    if (s.dout.valid && s.dout.defined) {
+      emit_vec(out, s.dout.beat, data_bits + bwe_bits, id_q);
+    } else if (s.dout.valid) {
+      out << 'b';
+      for (int i = 0; i < data_bits + bwe_bits; ++i) out << 'x';
+      out << ' ' << id_q << '\n';
+    }
+    for (std::size_t i = 0; i < s.taps.size(); ++i) {
+      out << (s.taps[i] ? '1' : '0') << tap_ids[i] << '\n';
+    }
+  }
+  out << '#' << (steps_.empty() ? 0 : steps_.back().tick + 1) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace la1::harness

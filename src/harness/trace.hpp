@@ -1,0 +1,65 @@
+// Canonical edge-by-edge observation records. A TraceRecorder attached to a
+// lockstep run (or to a single DeviceModel) captures pins, taps and the
+// read-data bus at every half-cycle, exports the result as JSON or VCD, and
+// compares bit-for-bit for the seed-determinism tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/device_model.hpp"
+#include "util/json.hpp"
+
+namespace la1::harness {
+
+/// One recorded half-cycle: the pins driven into the device and the
+/// observations sampled after the edge settled.
+struct TraceStep {
+  int tick = 0;
+  EdgePins pins;
+  std::vector<bool> taps;  // aligned with TraceRecorder::signals()
+  DoutSample dout;
+
+  bool operator==(const TraceStep& o) const = default;
+};
+
+/// Accumulates TraceSteps for a fixed signal list.
+class TraceRecorder {
+ public:
+  TraceRecorder(const Geometry& geometry, std::vector<std::string> signals);
+
+  /// Samples `model` (taps from the signal list, plus dout) after an edge.
+  void record(int tick, const EdgePins& pins, const DeviceModel& model);
+
+  /// Records a pre-sampled step (the lockstep engine samples once and
+  /// shares the values).
+  void record_step(TraceStep step);
+
+  void clear() { steps_.clear(); }
+
+  const Geometry& geometry() const { return geometry_; }
+  const std::vector<std::string>& signals() const { return signals_; }
+  const std::vector<TraceStep>& steps() const { return steps_; }
+
+  /// Two traces are equal when signal lists and every step match exactly.
+  bool operator==(const TraceRecorder& o) const {
+    return signals_ == o.signals_ && steps_ == o.steps_;
+  }
+
+  /// {geometry, signals, steps:[{tick, edge, pins..., taps:[0/1...],
+  ///  dout:{...}}]} — the canonical machine-readable trace format.
+  util::Json to_json() const;
+  bool write_json(const std::string& path) const;
+
+  /// Value-change dump of the same observations (1 tick = 1 timestep);
+  /// loadable in any waveform viewer.
+  bool write_vcd(const std::string& path) const;
+
+ private:
+  Geometry geometry_;
+  std::vector<std::string> signals_;
+  std::vector<TraceStep> steps_;
+};
+
+}  // namespace la1::harness

@@ -1,136 +1,46 @@
 #include "refine/conformance.hpp"
 
-#include <sstream>
-
-#include "la1/behavioral.hpp"
-#include "la1/spec.hpp"
-#include "util/rng.hpp"
+#include "harness/adapters.hpp"
+#include "harness/lockstep.hpp"
+#include "harness/stimulus.hpp"
 
 namespace la1::refine {
 
-namespace {
-
-std::string bank_loc(int b, const char* name) {
-  return "b" + std::to_string(b) + "." + name;
-}
-
-}  // namespace
-
 ConformanceResult conformance_test(const core::AsmConfig& cfg, int steps,
                                    std::uint64_t seed) {
-  ConformanceResult result;
-  util::Rng rng(seed);
-
-  // ASM side.
-  asml::Machine machine = core::build_asm_model(cfg);
-  asml::State state = machine.initial();
-  state = machine.fire(machine.rule("SystemStart"), {}, state);
-  state = machine.fire(machine.rule("SimManager_Init"), {}, state);
-
-  // Behavioural side with matching geometry (8-bit beats; the ASM data bit
-  // rides in each beat's LSB).
+  // Behavioural side with matching geometry (8-bit beats; the ASM data
+  // domain rides in the low bits of each beat).
+  constexpr int kDataBits = 8;
   core::Config bcfg;
   bcfg.banks = cfg.banks;
-  bcfg.data_bits = 8;
+  bcfg.data_bits = kDataBits;
   bcfg.addr_bits = cfg.mem_addr_bits + bcfg.bank_bits();
-  core::KernelHarness harness(bcfg);
-  harness.set_external_drive(true);
 
-  auto check = [&](int step, const std::string& name, bool asm_v, bool beh_v) {
-    ++result.comparisons;
-    if (asm_v == beh_v || !result.ok) return;
-    std::ostringstream msg;
-    msg << "step " << step << ": " << name << " ASM=" << asm_v
-        << " behavioural=" << beh_v;
-    result.ok = false;
-    result.mismatch = msg.str();
-  };
+  harness::AsmDeviceModel asm_model(cfg, kDataBits);
+  harness::BehavioralDeviceModel beh_model(bcfg);
 
-  for (int step = 0; step < steps && result.ok; ++step) {
-    const bool is_k = step % 2 == 0;
-    if (is_k) {
-      const bool read_req = rng.next_bool();
-      const int read_addr = static_cast<int>(rng.below(
-          static_cast<std::uint64_t>(cfg.addr_space())));
-      const bool write_req = rng.next_bool();
-      const int write_data = static_cast<int>(rng.below(
-          static_cast<std::uint64_t>(cfg.data_values)));
+  // One shared stream, constrained to the ASM machine's domains: beat
+  // values below data_values, full-word writes (the ASM has no byte
+  // enables).
+  harness::StimulusOptions so;
+  so.banks = cfg.banks;
+  so.mem_addr_bits = cfg.mem_addr_bits;
+  so.data_bits = kDataBits;
+  so.data_values = static_cast<std::uint64_t>(cfg.data_values);
+  so.full_word_writes = true;
+  harness::StimulusStream stream(so, seed);
 
-      state = machine.fire(machine.rule("TickK"),
-                           {asml::Value(read_req), asml::Value(read_addr),
-                            asml::Value(write_req), asml::Value(write_data)},
-                           state);
+  harness::LockstepOptions lo;
+  lo.transactions = static_cast<std::uint64_t>(steps / 2);
+  lo.drain_ticks = steps % 2;
+  const harness::LockstepReport report =
+      harness::run_lockstep({&asm_model, &beh_model}, stream, lo);
 
-      harness.pins().r_sel_n.write(!read_req);
-      harness.pins().addr.write(static_cast<std::uint32_t>(read_addr));
-      harness.pins().w_sel_n.write(!write_req);
-      harness.pins().din.write(core::pack_beat(
-          static_cast<std::uint32_t>(write_data), bcfg.data_bits));
-      harness.pins().bwe_n.write(0);  // all lanes enabled
-      harness.run_ticks(1);
-    } else {
-      const int write_addr = static_cast<int>(rng.below(
-          static_cast<std::uint64_t>(cfg.addr_space())));
-      const int write_beat1 = static_cast<int>(rng.below(
-          static_cast<std::uint64_t>(cfg.data_values)));
-
-      state = machine.fire(machine.rule("TickKs"),
-                           {asml::Value(write_addr), asml::Value(write_beat1)},
-                           state);
-
-      harness.pins().addr.write(static_cast<std::uint32_t>(write_addr));
-      harness.pins().din.write(core::pack_beat(
-          static_cast<std::uint32_t>(write_beat1), bcfg.data_bits));
-      harness.run_ticks(1);
-    }
-    result.steps_run = step + 1;
-
-    // Compare every shared tap.
-    const core::La1Device& dev = harness.device();
-    for (int b = 0; b < cfg.banks; ++b) {
-      const core::BankTaps& t = dev.bank(b).taps();
-      check(step, bank_loc(b, "read_start"),
-            state.get_bool(bank_loc(b, "read_start")), t.read_start);
-      check(step, bank_loc(b, "fetch"), state.get_bool(bank_loc(b, "fetch")),
-            t.fetch);
-      check(step, bank_loc(b, "dout_valid_k"),
-            state.get_bool(bank_loc(b, "dout_valid_k")), t.dout_valid_k);
-      check(step, bank_loc(b, "dout_valid_ks"),
-            state.get_bool(bank_loc(b, "dout_valid_ks")), t.dout_valid_ks);
-    }
-    check(step, "addr_captured", state.get_bool("addr_captured"),
-          harness.env().sample("addr_captured"));
-    check(step, "write_commit", state.get_bool("write_commit"),
-          harness.env().sample("write_commit"));
-    check(step, "bus_conflict", state.get_bool("bus_conflict"),
-          harness.env().sample("bus_conflict"));
-    check(step, "write_start", state.get_bool("write_start"),
-          harness.env().sample("write_start"));
-  }
-
-  // Final memory equivalence: the ASM word packs (beat0, beat1); the
-  // behavioural word carries them in the LSB of each beat field.
-  if (result.ok) {
-    for (int b = 0; b < cfg.banks && result.ok; ++b) {
-      for (int w = 0; w < cfg.mem_depth() && result.ok; ++w) {
-        const std::int64_t asm_word =
-            state.get_int(bank_loc(b, ("mem" + std::to_string(w)).c_str()));
-        const std::uint64_t beh =
-            harness.device().bank(b).memory().read(static_cast<std::uint64_t>(w));
-        const std::int64_t beh_word =
-            static_cast<std::int64_t>((beh & 1) +
-                                      2 * ((beh >> bcfg.data_bits) & 1));
-        ++result.comparisons;
-        if (asm_word != beh_word) {
-          std::ostringstream msg;
-          msg << "memory b" << b << "[" << w << "]: ASM=" << asm_word
-              << " behavioural=" << beh_word;
-          result.ok = false;
-          result.mismatch = msg.str();
-        }
-      }
-    }
-  }
+  ConformanceResult result;
+  result.ok = report.ok;
+  result.steps_run = static_cast<int>(report.ticks_run);
+  result.comparisons = report.comparisons;
+  result.mismatch = report.mismatch;
   return result;
 }
 

@@ -38,7 +38,7 @@ namespace {
 template <typename Fn>
 void stage(FlowReport& report, const std::string& name, Fn&& body) {
   if (!report.ok) return;  // earlier failure stops the flow, as in Figure 2
-  util::Stopwatch watch;
+  util::CpuStopwatch watch;
   FlowStage s;
   s.name = name;
   s.ok = body(s.detail);

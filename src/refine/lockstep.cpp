@@ -1,115 +1,42 @@
 #include "refine/lockstep.hpp"
 
-#include <sstream>
-
-#include "la1/behavioral.hpp"
-#include "la1/host_bfm.hpp"
+#include "harness/adapters.hpp"
+#include "harness/lockstep.hpp"
+#include "harness/stimulus.hpp"
 #include "la1/rtl_model.hpp"
-#include "rtl/sim.hpp"
-#include "util/rng.hpp"
 
 namespace la1::refine {
 
 LockstepResult lockstep_compare(const core::Config& cfg, int transactions,
                                 std::uint64_t seed) {
-  LockstepResult result;
+  harness::BehavioralDeviceModel beh_model(cfg);
 
-  // Behavioural side with BFM traffic.
-  core::KernelHarness harness(cfg);
-  util::Rng rng(seed);
-  harness.host().push_random(rng, transactions);
-
-  // RTL side with matching geometry.
   core::RtlConfig rcfg;
   rcfg.banks = cfg.banks;
   rcfg.data_bits = cfg.data_bits;
   rcfg.mem_addr_bits = cfg.mem_addr_bits();
   rcfg.read_latency = cfg.read_latency;
-  core::RtlDevice dev = core::build_device(rcfg);
-  const rtl::Module flat = dev.flatten();
-  rtl::CycleSim rsim(flat);
+  harness::RtlDeviceModel rtl_model(rcfg);
 
-  // Tap nets per bank, resolved once.
-  struct TapNets {
-    rtl::NetId read_start, fetch, dout_valid_k, dout_valid_ks;
-    rtl::NetId write_start, addr_captured, write_commit;
-  };
-  std::vector<TapNets> taps;
-  for (int b = 0; b < cfg.banks; ++b) {
-    const std::string p = "bank" + std::to_string(b) + ".";
-    TapNets t;
-    t.read_start = flat.find_net(p + "read_start_q");
-    t.fetch = flat.find_net(p + "fetch_q");
-    t.dout_valid_k = flat.find_net(p + "dout_valid_k_q");
-    t.dout_valid_ks = flat.find_net(p + "dout_valid_ks_q");
-    t.write_start = flat.find_net(p + "write_start_q");
-    t.addr_captured = flat.find_net(p + "addr_captured_q");
-    t.write_commit = flat.find_net(p + "write_commit_q");
-    taps.push_back(t);
-  }
-  const rtl::NetId dout_net = flat.find_net("DOUT");
+  harness::StimulusOptions so;
+  so.banks = cfg.banks;
+  so.mem_addr_bits = cfg.mem_addr_bits();
+  so.data_bits = cfg.data_bits;
+  harness::StimulusStream stream(so, seed);
 
-  auto check = [&](int tick, const std::string& name, bool beh, bool rtl_bit) {
-    ++result.comparisons;
-    if (beh == rtl_bit || !result.ok) return;
-    std::ostringstream msg;
-    msg << "tick " << tick << ": " << name << " behavioural=" << beh
-        << " RTL=" << rtl_bit;
-    result.ok = false;
-    result.mismatch = msg.str();
-  };
-  auto rtl_bit = [&](rtl::NetId net) {
-    return rsim.get(net).bit(0) == rtl::Logic::k1;
-  };
+  harness::LockstepOptions lo;
+  lo.transactions = static_cast<std::uint64_t>(transactions);
+  lo.drain_ticks = 16;
+  const harness::LockstepReport report =
+      harness::run_lockstep({&beh_model, &rtl_model}, stream, lo);
 
-  const int ticks = 2 * transactions + 16;
-  harness.run_ticks(ticks, [&](int tick) {
-    if (!result.ok) return;
-    // Mirror the pin values the host drove for this edge into the RTL.
-    core::Pins& pins = harness.pins();
-    rsim.set_input_bit("R_n", pins.r_sel_n.read());
-    rsim.set_input_bit("W_n", pins.w_sel_n.read());
-    rsim.set_input("A", pins.addr.read());
-    rsim.set_input("D", pins.din.read());
-    rsim.set_input("BWE_n", pins.bwe_n.read());
-    rsim.edge(tick % 2 == 0 ? "K" : "KS", rtl::Edge::kPos);
-
-    const core::La1Device& bdev = harness.device();
-    for (int b = 0; b < cfg.banks; ++b) {
-      const core::BankTaps& t = bdev.bank(b).taps();
-      const std::string p = "bank" + std::to_string(b) + ".";
-      check(tick, p + "read_start", t.read_start, rtl_bit(taps[b].read_start));
-      check(tick, p + "fetch", t.fetch, rtl_bit(taps[b].fetch));
-      check(tick, p + "dout_valid_k", t.dout_valid_k,
-            rtl_bit(taps[b].dout_valid_k));
-      check(tick, p + "dout_valid_ks", t.dout_valid_ks,
-            rtl_bit(taps[b].dout_valid_ks));
-      check(tick, p + "write_start", t.write_start,
-            rtl_bit(taps[b].write_start));
-      check(tick, p + "addr_captured", t.addr_captured,
-            rtl_bit(taps[b].addr_captured));
-      check(tick, p + "write_commit", t.write_commit,
-            rtl_bit(taps[b].write_commit));
-
-      // Data beats: whenever this bank drives, the RTL bus must carry the
-      // same packed beat the behavioural model drove.
-      if (t.dout_valid_k || t.dout_valid_ks) {
-        const auto rtl_beat = rsim.get(dout_net).to_uint();
-        ++result.comparisons;
-        if (!rtl_beat.has_value() || *rtl_beat != pins.dout.read()) {
-          std::ostringstream msg;
-          msg << "tick " << tick << ": DOUT behavioural=" << pins.dout.read()
-              << " RTL=" << rsim.get(dout_net).to_string();
-          result.ok = false;
-          result.mismatch = msg.str();
-        }
-      }
-    }
-    result.ticks_run = tick + 1;
-  });
-
-  result.reads_issued = harness.host().reads_issued();
-  result.writes_issued = harness.host().writes_issued();
+  LockstepResult result;
+  result.ok = report.ok;
+  result.ticks_run = static_cast<int>(report.ticks_run);
+  result.comparisons = report.comparisons;
+  result.reads_issued = report.reads_issued;
+  result.writes_issued = report.writes_issued;
+  result.mismatch = report.mismatch;
   return result;
 }
 

@@ -1,0 +1,48 @@
+#include "util/bench_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace la1::util {
+
+BenchReport::BenchReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+BenchReport& BenchReport::param(const std::string& key, Json value) {
+  params_.set(key, std::move(value));
+  return *this;
+}
+
+BenchReport& BenchReport::metric(Json row) {
+  metrics_.push(std::move(row));
+  return *this;
+}
+
+Json BenchReport::to_json() const {
+  Json doc = Json::object();
+  doc.set("bench", Json(bench_));
+  doc.set("params", params_);
+  doc.set("metrics", metrics_);
+  return doc;
+}
+
+bool BenchReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json().dump(2) << '\n';
+  return static_cast<bool>(out);
+}
+
+bool BenchReport::finish(const Cli& cli) const {
+  if (!cli.has("json")) return true;
+  const std::string path = cli.get("json", "");
+  if (path.empty() || !write(path)) {
+    std::fprintf(stderr, "%s: cannot write JSON report to '%s'\n",
+                 bench_.c_str(), path.c_str());
+    return false;
+  }
+  std::printf("\nJSON report (%zu metric records) written to %s\n",
+              metric_count(), path.c_str());
+  return true;
+}
+
+}  // namespace la1::util

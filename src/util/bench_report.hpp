@@ -1,0 +1,48 @@
+// Structured bench reporting: every bench binary owns a BenchReport and
+// gains a `--json <path>` flag. The emitted document has one canonical
+// shape so BENCH_*.json trajectories can be machine-checked:
+//
+//   {"bench": "<name>", "params": {...}, "metrics": [{...}, ...]}
+//
+// `params` records the knobs the run was launched with (bank counts, tick
+// budgets, seeds); `metrics` carries one record per table row. The ASCII
+// table stays the human-facing output — the JSON is additive.
+#pragma once
+
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace la1::util {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  /// Records a launch parameter (scalar).
+  BenchReport& param(const std::string& key, Json value);
+
+  /// Appends one metrics record (an object, e.g. one table row).
+  BenchReport& metric(Json row);
+
+  const std::string& bench() const { return bench_; }
+  std::size_t metric_count() const { return metrics_.size(); }
+
+  Json to_json() const;
+
+  /// Writes the pretty-printed document; false on IO failure.
+  bool write(const std::string& path) const;
+
+  /// Shared handling of the `--json <path>` flag: when present, writes the
+  /// report there and prints a one-line confirmation. Returns false only
+  /// when the flag was given and the write failed (callers exit nonzero).
+  bool finish(const Cli& cli) const;
+
+ private:
+  std::string bench_;
+  Json params_ = Json::object();
+  Json metrics_ = Json::array();
+};
+
+}  // namespace la1::util

@@ -1,0 +1,374 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace la1::util {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Kind got) {
+  throw std::invalid_argument(std::string("Json: expected ") + want +
+                              ", kind=" + std::to_string(static_cast<int>(got)));
+}
+
+void escape_to(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) type_error("bool", kind_);
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  if (kind_ != Kind::kInt) type_error("int", kind_);
+  return int_;
+}
+
+double Json::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  if (kind_ != Kind::kDouble) type_error("double", kind_);
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) type_error("string", kind_);
+  return string_;
+}
+
+Json& Json::push(Json v) {
+  if (kind_ != Kind::kArray) type_error("array", kind_);
+  array_.push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  if (kind_ != Kind::kObject) type_error("object", kind_);
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+const Json::Array& Json::items() const {
+  if (kind_ != Kind::kArray) type_error("array", kind_);
+  return array_;
+}
+
+const Json::Members& Json::members() const {
+  if (kind_ != Kind::kObject) type_error("object", kind_);
+  return members_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  return 0;
+}
+
+bool Json::operator==(const Json& o) const {
+  if (kind_ != o.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == o.bool_;
+    case Kind::kInt: return int_ == o.int_;
+    case Kind::kDouble: return double_ == o.double_;
+    case Kind::kString: return string_ == o.string_;
+    case Kind::kArray: return array_ == o.array_;
+    case Kind::kObject: return members_ == o.members_;
+  }
+  return false;
+}
+
+namespace {
+
+void dump_to(std::ostream& out, const Json& j, int indent, int depth) {
+  const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (j.kind()) {
+    case Json::Kind::kNull: out << "null"; break;
+    case Json::Kind::kBool: out << (j.as_bool() ? "true" : "false"); break;
+    case Json::Kind::kInt: out << j.as_int(); break;
+    case Json::Kind::kDouble: {
+      const double v = j.as_double();
+      if (!std::isfinite(v)) {
+        out << "null";  // JSON has no inf/nan
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        out << buf;
+      }
+      break;
+    }
+    case Json::Kind::kString: escape_to(out, j.as_string()); break;
+    case Json::Kind::kArray: {
+      if (j.items().empty()) {
+        out << "[]";
+        break;
+      }
+      out << '[' << nl;
+      bool first = true;
+      for (const Json& item : j.items()) {
+        if (!first) out << ',' << nl;
+        first = false;
+        out << pad;
+        dump_to(out, item, indent, depth + 1);
+      }
+      out << nl << close_pad << ']';
+      break;
+    }
+    case Json::Kind::kObject: {
+      if (j.members().empty()) {
+        out << "{}";
+        break;
+      }
+      out << '{' << nl;
+      bool first = true;
+      for (const auto& [k, v] : j.members()) {
+        if (!first) out << ',' << nl;
+        first = false;
+        out << pad;
+        escape_to(out, k);
+        out << (indent > 0 ? ": " : ":");
+        dump_to(out, v, indent, depth + 1);
+      }
+      out << nl << close_pad << '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("Json::parse: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_keyword(const char* kw) {
+    std::size_t n = 0;
+    while (kw[n] != '\0') ++n;
+    if (text_.compare(pos_, n, kw) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_keyword("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_keyword("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_keyword("null")) fail("bad literal");
+        return Json();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Reports only emit ASCII; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      if (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E') {
+        is_double = true;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string tok = text_.substr(start, pos_ - start);
+    try {
+      if (is_double) return Json(std::stod(tok));
+      return Json(static_cast<std::int64_t>(std::stoll(tok)));
+    } catch (const std::exception&) {
+      pos_ = start;
+      fail("bad number '" + tok + "'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::ostringstream out;
+  dump_to(out, *this, indent, 0);
+  return out.str();
+}
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace la1::util

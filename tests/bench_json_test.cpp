@@ -1,0 +1,84 @@
+// Round-trip validation of the bench `--json` reports: run each
+// bench_table* binary with a small workload, parse the emitted file with
+// util::Json, and check the canonical {bench, params, metrics} shape.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace la1 {
+namespace {
+
+#ifndef LA1_BENCH_DIR
+#error "LA1_BENCH_DIR must point at the bench binaries"
+#endif
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Runs `bench` with `args` plus --json, returns the parsed report.
+util::Json run_bench(const std::string& bench, const std::string& args) {
+  const std::string json_path = testing::TempDir() + bench + ".json";
+  std::remove(json_path.c_str());
+  const std::string cmd = std::string(LA1_BENCH_DIR) + "/" + bench + " " +
+                          args + " --json " + json_path + " > /dev/null";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  const std::string text = read_file(json_path);
+  EXPECT_FALSE(text.empty()) << "no report at " << json_path;
+  return util::Json::parse(text);
+}
+
+void expect_report_shape(const util::Json& doc, const std::string& bench) {
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("bench"), nullptr);
+  EXPECT_EQ(doc.find("bench")->as_string(), bench);
+  ASSERT_NE(doc.find("params"), nullptr);
+  EXPECT_TRUE(doc.find("params")->is_object());
+  ASSERT_NE(doc.find("metrics"), nullptr);
+  ASSERT_TRUE(doc.find("metrics")->is_array());
+  EXPECT_GT(doc.find("metrics")->size(), 0u);
+  // Write -> parse -> dump -> parse is a fixed point.
+  EXPECT_TRUE(util::Json::parse(doc.dump(2)) == doc);
+}
+
+TEST(BenchJson, Table1AsmMc) {
+  const util::Json doc =
+      run_bench("bench_table1_asm_mc", "--max-banks 1 --max-states 20000");
+  expect_report_shape(doc, "bench_table1_asm_mc");
+  const util::Json& row = doc.find("metrics")->items().front();
+  ASSERT_NE(row.find("banks"), nullptr);
+  EXPECT_EQ(row.find("banks")->as_int(), 1);
+  ASSERT_NE(row.find("cpu_seconds"), nullptr);
+  ASSERT_NE(row.find("result"), nullptr);
+}
+
+TEST(BenchJson, Table2SymbolicMc) {
+  const util::Json doc =
+      run_bench("bench_table2_symbolic_mc", "--max-banks 1");
+  expect_report_shape(doc, "bench_table2_symbolic_mc");
+  const util::Json& row = doc.find("metrics")->items().front();
+  ASSERT_NE(row.find("banks"), nullptr);
+  ASSERT_NE(row.find("result"), nullptr);
+}
+
+TEST(BenchJson, Table3AbvSim) {
+  const util::Json doc = run_bench(
+      "bench_table3_abv_sim",
+      "--banks-list 1 --sc-ticks 400 --rtl-ticks 200");
+  expect_report_shape(doc, "bench_table3_abv_sim");
+  const util::Json& row = doc.find("metrics")->items().front();
+  ASSERT_NE(row.find("ratio"), nullptr);
+  ASSERT_NE(row.find("failures"), nullptr);
+  EXPECT_EQ(row.find("failures")->as_int(), 0);
+}
+
+}  // namespace
+}  // namespace la1

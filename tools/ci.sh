@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Local CI for la1kit: the tier-1 verify line plus a bench smoke run with
+# structured JSON reporting.
+#
+#   tools/ci.sh                 # full build + ctest + bench smoke
+#   tools/ci.sh --smoke-only    # skip build/ctest, just the bench smoke
+#   tools/ci.sh --install-hook  # install as .git/hooks/pre-push
+#
+# Also wired as a CTest-adjacent CMake target: `cmake --build build --target ci`.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${LA1_BUILD_DIR:-$repo_root/build}"
+smoke_only=0
+
+for arg in "$@"; do
+  case "$arg" in
+    --install-hook)
+      hook="$repo_root/.git/hooks/pre-push"
+      mkdir -p "$repo_root/.git/hooks"
+      printf '#!/usr/bin/env sh\nexec "%s"\n' "$repo_root/tools/ci.sh" > "$hook"
+      chmod +x "$hook"
+      echo "installed $hook"
+      exit 0
+      ;;
+    --smoke-only)
+      smoke_only=1
+      ;;
+    *)
+      echo "usage: tools/ci.sh [--smoke-only | --install-hook]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [ "$smoke_only" -eq 0 ]; then
+  # Tier-1 verify (ROADMAP.md).
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" -j
+  (cd "$build_dir" && ctest --output-on-failure -j)
+fi
+
+# Bench smoke: every bench_table* binary must emit a parseable --json
+# report; the 3-way lockstep example must agree across the levels.
+smoke_dir="${TMPDIR:-/tmp}/la1-ci-smoke.$$"
+mkdir -p "$smoke_dir"
+trap 'rm -rf "$smoke_dir"' EXIT
+
+"$build_dir/bench/bench_table1_asm_mc" --max-banks 1 --max-states 20000 \
+  --json "$smoke_dir/table1.json" > /dev/null
+"$build_dir/bench/bench_table2_symbolic_mc" --max-banks 1 \
+  --json "$smoke_dir/table2.json" > /dev/null
+"$build_dir/bench/bench_table3_abv_sim" --banks-list 1 --sc-ticks 400 \
+  --rtl-ticks 200 --json "$smoke_dir/table3.json" > /dev/null
+"$build_dir/examples/nway_lockstep" --banks-list 1,2 --transactions 200 \
+  --json "$smoke_dir/nway.json" > /dev/null
+
+for f in table1 table2 table3 nway; do
+  # Minimal validity check without external tools: the canonical report
+  # shape starts with {"bench": and names its metrics array.
+  grep -q '"bench"' "$smoke_dir/$f.json"
+  grep -q '"metrics"' "$smoke_dir/$f.json"
+done
+
+echo "ci: tier-1 verify and bench smoke passed"

@@ -1,0 +1,135 @@
+#include "lint/fixtures.hpp"
+
+#include <stdexcept>
+
+#include "lint/netlist_lint.hpp"
+#include "lint/psl_lint.hpp"
+#include "psl/parse.hpp"
+
+namespace la1::lint {
+
+rtl::Module broken_comb_loop() {
+  rtl::Module m("broken_comb_loop");
+  const rtl::NetId en = m.input("en", 1);
+  const rtl::NetId a = m.wire("a", 1);
+  const rtl::NetId b = m.wire("b", 1);
+  const rtl::NetId y = m.output("y", 1);
+  m.assign(a, m.op_not(m.ref(b)));
+  m.assign(b, m.op_and(m.ref(a), m.ref(en)));
+  m.assign(y, m.ref(a));
+  return m;
+}
+
+rtl::Module broken_double_driver() {
+  rtl::Module m("broken_double_driver");
+  const rtl::NetId en = m.input("en", 1);
+  const rtl::NetId d = m.input("d", 4);
+  const rtl::NetId bus = m.output("bus", 4);
+  m.tristate(bus, m.ref(en), m.ref(d));
+  m.assign(bus, m.op_not(m.ref(d)));  // always drives against the tristate
+  return m;
+}
+
+rtl::Module broken_width_mismatch() {
+  rtl::Module m("broken_width_mismatch");
+  const rtl::NetId clk = m.input("clk", 1);
+  const rtl::NetId addr = m.input("addr", 5);  // depth 8 needs only 3 bits
+  const rtl::NetId din = m.input("din", 4);
+  const rtl::NetId wen = m.input("wen", 1);
+  const rtl::NetId dout = m.output("dout", 4);
+  const rtl::MemId mem = m.memory("mem", 8, 4);
+  const rtl::ProcId p = m.process("wr", clk, rtl::Edge::kPos);
+  m.mem_write(p, mem, m.ref(addr), m.ref(din), m.ref(wen));
+  m.assign(dout, m.mem_read(mem, m.ref(addr)));
+  return m;
+}
+
+rtl::Module broken_missing_reset() {
+  rtl::Module m("broken_missing_reset");
+  const rtl::NetId clk = m.input("clk", 1);
+  const rtl::NetId d = m.input("d", 2);
+  const rtl::NetId q = m.output("q", 2);
+  const rtl::NetId r = m.reg("r", 2, rtl::LVec::xs(2));
+  const rtl::ProcId p = m.process("ff", clk, rtl::Edge::kPos);
+  m.nonblocking(p, r, m.ref(d));
+  m.assign(q, m.ref(r));
+  return m;
+}
+
+rtl::Module broken_name_collision() {
+  rtl::Module m("broken_name_collision");
+  const rtl::NetId a = m.input("bank0.state", 1);  // flattened-style name
+  const rtl::NetId b = m.input("bank0_state", 1);  // sanitizes identically
+  const rtl::NetId y = m.output("y", 1);
+  m.assign(y, m.op_xor(m.ref(a), m.ref(b)));
+  return m;
+}
+
+std::string broken_unsat_sere_text() {
+  // The consequent requires busy && !busy in one cycle: empty language.
+  return "{req} |-> {busy && !busy}";
+}
+
+std::string broken_missing_net_text() {
+  return "always (no_such_request -> next[2] also_not_a_net)";
+}
+
+namespace {
+
+/// A small, clean stand-in model the property fixtures are linted against:
+/// it has `req` and `busy` but nothing the missing-net fixture samples.
+rtl::Module property_target_model() {
+  rtl::Module m("property_target");
+  const rtl::NetId clk = m.input("clk", 1);
+  const rtl::NetId req = m.input("req", 1);
+  const rtl::NetId busy = m.reg("busy", 1, 0u);
+  const rtl::NetId ack = m.output("ack", 1);
+  const rtl::ProcId p = m.process("ctrl", clk, rtl::Edge::kPos);
+  m.nonblocking(p, busy, m.ref(req));
+  m.assign(ack, m.ref(busy));
+  return m;
+}
+
+LintReport lint_property_fixture(const std::string& text,
+                                 const std::string& name) {
+  const rtl::Module model = property_target_model();
+  const NetlistSignals signals(model);
+  return lint_property(psl::parse_property(text), name, &signals);
+}
+
+}  // namespace
+
+const std::vector<InjectedDefect>& injected_defects() {
+  static const std::vector<InjectedDefect> kDefects = {
+      {"loop", "NET-COMB-LOOP"},
+      {"double-driver", "NET-MULTI-DRIVE"},
+      {"width-mismatch", "NET-MEM-ADDR"},
+      {"no-reset", "NET-NO-RESET"},
+      {"name-collision", "NET-NAME-COLLISION"},
+      {"unsat-sere", "PSL-UNSAT"},
+      {"missing-net", "PSL-MISSING-NET"},
+  };
+  return kDefects;
+}
+
+LintReport lint_injected(const std::string& name) {
+  if (name == "loop") return lint_netlist(broken_comb_loop());
+  if (name == "double-driver") return lint_netlist(broken_double_driver());
+  if (name == "width-mismatch") return lint_netlist(broken_width_mismatch());
+  if (name == "no-reset") return lint_netlist(broken_missing_reset());
+  if (name == "name-collision") return lint_netlist(broken_name_collision());
+  if (name == "unsat-sere") {
+    return lint_property_fixture(broken_unsat_sere_text(), "unsat_sere");
+  }
+  if (name == "missing-net") {
+    return lint_property_fixture(broken_missing_net_text(), "missing_net");
+  }
+  std::string known;
+  for (const auto& d : injected_defects()) {
+    known += (known.empty() ? "" : ", ") + d.name;
+  }
+  throw std::invalid_argument("unknown injected defect '" + name +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace la1::lint

@@ -1,0 +1,55 @@
+// Deliberately broken netlists and properties for exercising the linter.
+//
+// Each fixture passes the Module builder's local checks (so it could reach
+// the simulator / bit-blaster / model checker and break them late) but trips
+// exactly one lint rule family. `la1check lint --inject <name>` runs them
+// from the command line, the CI gate asserts each one fails with its
+// expected rule id, and lint_test uses them directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/report.hpp"
+#include "rtl/netlist.hpp"
+
+namespace la1::lint {
+
+/// a = !b, b = a & en: a combinational cycle CycleSim's levelization would
+/// reject with a bare throw.
+rtl::Module broken_comb_loop();
+
+/// A bus with a tristate driver AND a continuous assign (the builder checks
+/// assign-then-tristate but not tristate-then-assign).
+rtl::Module broken_double_driver();
+
+/// A memory whose read/write address ports are wider than the depth needs;
+/// out-of-range addresses alias silently in the expanded form.
+rtl::Module broken_width_mismatch();
+
+/// A register initialized to X: legal IR, rejected by the bit-blaster.
+rtl::Module broken_missing_reset();
+
+/// Two nets whose names collide after Verilog identifier sanitization.
+rtl::Module broken_name_collision();
+
+/// PSL text whose consequent SERE has the empty language.
+std::string broken_unsat_sere_text();
+
+/// PSL text sampling signals that exist in no LA-1 model.
+std::string broken_missing_net_text();
+
+struct InjectedDefect {
+  std::string name;           // --inject argument
+  std::string expected_rule;  // rule id the fixture must trip
+};
+
+/// The defect catalog, in a stable order.
+const std::vector<InjectedDefect>& injected_defects();
+
+/// Builds and lints the named fixture (netlist defects lint the broken
+/// module; property defects lint the property against the stock 1-bank
+/// LA-1 RTL). Throws std::invalid_argument for an unknown name.
+LintReport lint_injected(const std::string& name);
+
+}  // namespace la1::lint

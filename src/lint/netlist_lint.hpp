@@ -1,0 +1,42 @@
+// Static netlist analysis over the RTL IR (rtl::Module).
+//
+// The Module builder rejects locally malformed constructs at build time
+// (bad ids, most width mismatches, duplicate continuous assigns), but a
+// structurally "well-formed" netlist can still be globally broken in ways
+// that only surface downstream as a CycleSim levelization throw, a
+// bit-blaster rejection, an X-poisoned simulation, or a silently renamed
+// Verilog identifier. This linter finds those in one cheap pass, before the
+// expensive dynamic/symbolic stages run.
+//
+// Rule catalog (see DESIGN.md §lint for the full table):
+//   NET-COMB-LOOP       error    combinational cycle through assigns/tristates
+//   NET-MULTI-DRIVE     error    conflicting drivers on one net / reg
+//   NET-MIXED-CLOCK     info     one reg written from different clock domains
+//                                (the DDR set/clear idiom; flagged for review)
+//   NET-DUP-NB          warning  same reg assigned twice in one process
+//   NET-UNDRIVEN        error    read or exported net with no driver
+//   NET-UNUSED          info/warning  net that nothing reads or exports
+//                                (info for inputs and regs — observation
+//                                taps are sampled by name, invisibly to the
+//                                netlist — warning for dead wires)
+//   NET-WIDTH           error    expression/structural width inconsistency
+//   NET-MEM-ADDR        error/warning  memory port address-width mismatch
+//   NET-NO-RESET        error    register init contains X/Z bits
+//   NET-GATED-CLOCK     warning  process clock driven by logic
+//   NET-CDC             info     process samples regs of another clock domain
+//   NET-NAME-COLLISION  warning  names collide after Verilog sanitization
+//
+// `lint_netlist` accepts any module; hierarchical modules are elaborated
+// first so the rules see the same flat netlist every downstream consumer
+// sees (and the flattened dot-names the Verilog emitter must sanitize).
+#pragma once
+
+#include "lint/report.hpp"
+#include "rtl/netlist.hpp"
+
+namespace la1::lint {
+
+/// Runs every netlist rule over `m` (elaborating first when hierarchical).
+LintReport lint_netlist(const rtl::Module& m);
+
+}  // namespace la1::lint

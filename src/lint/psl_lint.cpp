@@ -1,0 +1,269 @@
+#include "lint/psl_lint.hpp"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "psl/sere.hpp"
+#include "util/strings.hpp"
+
+namespace la1::lint {
+
+namespace {
+
+using psl::BExpr;
+using psl::Prop;
+using psl::PropPtr;
+using psl::Sere;
+using psl::SerePtr;
+
+constexpr int kMaxEnumAtoms = 12;
+
+}  // namespace
+
+int NetlistSignals::signal_width(const std::string& name) const {
+  const rtl::NetId id = m_->find_net(name);
+  if (id != rtl::kInvalidId) return m_->net(id).width;
+  // The bit-blaster exports "<net>.__conflict" for tristate-resolved nets.
+  constexpr std::string_view kSuffix = ".__conflict";
+  if (name.size() > kSuffix.size() &&
+      name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
+          0) {
+    const std::string base = name.substr(0, name.size() - kSuffix.size());
+    const rtl::NetId base_id = m_->find_net(base);
+    if (base_id == rtl::kInvalidId) return -1;
+    for (const auto& t : m_->tristates()) {
+      if (t.target == base_id) return 1;
+    }
+  }
+  return -1;
+}
+
+std::optional<bool> static_bool(const BExpr& e) {
+  std::set<std::string> signals;
+  psl::collect_signals(e, signals);
+  if (signals.size() > kMaxEnumAtoms) return std::nullopt;
+  const std::vector<std::string> names(signals.begin(), signals.end());
+  bool any_true = false;
+  bool any_false = false;
+  for (unsigned v = 0; v < (1u << names.size()); ++v) {
+    psl::MapEnv env;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      env.set(names[i], ((v >> i) & 1u) != 0);
+    }
+    (psl::eval(e, env) ? any_true : any_false) = true;
+    if (any_true && any_false) return std::nullopt;
+  }
+  return any_true;
+}
+
+bool sere_nullable(const Sere& s) { return psl::build_nfa(s).nullable(); }
+
+bool sere_language_empty(const Sere& s) {
+  const psl::Nfa nfa = psl::build_nfa(s);
+  if (nfa.nullable()) return false;
+  // Forward reachability from the start closure; transitions whose guard is
+  // statically false cannot be taken. Epsilon edges (null guard) always can.
+  std::vector<std::vector<const psl::Nfa::Trans*>> out(
+      static_cast<std::size_t>(nfa.state_count()));
+  for (const auto& t : nfa.transitions()) {
+    out[static_cast<std::size_t>(t.from)].push_back(&t);
+  }
+  std::set<int> accepts(nfa.accepts().begin(), nfa.accepts().end());
+  std::vector<int> frontier(nfa.starts().begin(), nfa.starts().end());
+  std::set<int> seen(frontier.begin(), frontier.end());
+  while (!frontier.empty()) {
+    const int state = frontier.back();
+    frontier.pop_back();
+    if (accepts.count(state) != 0) return false;
+    for (const auto* t : out[static_cast<std::size_t>(state)]) {
+      if (t->guard != nullptr && static_bool(*t->guard) == false) continue;
+      if (seen.insert(t->to).second) frontier.push_back(t->to);
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Recursive property walk mirroring the monitor compiler's structure
+/// (psl::compile), so the nesting rules flag exactly what it rejects or
+/// silently reinterprets.
+class PropLinter {
+ public:
+  PropLinter(std::string name, const SignalModel* model)
+      : name_(std::move(name)), model_(model) {}
+
+  LintReport run(const PropPtr& prop) {
+    walk(prop, /*under_always=*/false, name_);
+    check_signals(prop);
+    return std::move(report_);
+  }
+
+  LintReport run_cover(const SerePtr& sere) {
+    check_sere(sere, name_, "cover SERE");
+    if (model_ != nullptr) {
+      std::set<std::string> signals;
+      psl::collect_signals(*sere, signals);
+      check_signal_set(signals);
+    }
+    return std::move(report_);
+  }
+
+ private:
+  void walk(const PropPtr& prop, bool under_always, const std::string& where) {
+    const Prop& p = *prop;
+    switch (p.kind) {
+      case Prop::Kind::kBoolean:
+        check_const_expr(p.expr, where, "boolean property");
+        break;
+      case Prop::Kind::kAlways:
+        if (under_always) {
+          report_.add("PSL-NEST", Severity::kWarning, where,
+                      "'always' nested under 'always' is redundant; the "
+                      "monitor compiles both to the same obligation");
+        }
+        walk(p.child, /*under_always=*/true, where + "/always");
+        break;
+      case Prop::Kind::kNever:
+        if (under_always) {
+          report_.add("PSL-NEST", Severity::kWarning, where,
+                      "'never' is already global; nesting it under 'always' "
+                      "is redundant");
+        }
+        check_sere(p.sere, where, "never operand");
+        if (sere_nullable(*p.sere)) {
+          report_.add("PSL-NEVER-NULLABLE", Severity::kError, where,
+                      "never-operand matches the empty word, so the "
+                      "prohibition is violated at every cycle");
+        } else if (sere_language_empty(*p.sere)) {
+          report_.add("PSL-VACUOUS", Severity::kWarning, where,
+                      "never-operand can never match; the property holds "
+                      "vacuously");
+        }
+        break;
+      case Prop::Kind::kSuffixImpl:
+        check_sere(p.sere, where, "antecedent");
+        check_sere(p.sere2, where, "consequent");
+        if (sere_language_empty(*p.sere)) {
+          report_.add("PSL-VACUOUS", Severity::kWarning, where,
+                      "antecedent can never match; the implication holds "
+                      "vacuously");
+        }
+        if (sere_language_empty(*p.sere2)) {
+          report_.add("PSL-UNSAT", Severity::kError, where,
+                      "consequent can never match; every antecedent match " +
+                          std::string(p.strong ? "fails the property"
+                                               : "leaves an obligation "
+                                                 "pending forever"));
+        } else if (consequent_trivial(p.sere2)) {
+          report_.add("PSL-VACUOUS", Severity::kWarning, where,
+                      "consequent is a constant-true single cycle; the "
+                      "implication checks nothing");
+        }
+        break;
+      case Prop::Kind::kNext:
+        check_const_expr(p.expr, where, "next operand");
+        break;
+      case Prop::Kind::kUntil:
+      case Prop::Kind::kBefore:
+        if (under_always) unmonitorable(p, where);
+        check_const_expr(p.lhs, where, "left operand");
+        check_const_expr(p.rhs, where, "right operand");
+        break;
+      case Prop::Kind::kEventually:
+        if (under_always) unmonitorable(p, where);
+        check_const_expr(p.expr, where, "eventually operand");
+        break;
+      case Prop::Kind::kAnd: {
+        int i = 0;
+        for (const PropPtr& c : p.children) {
+          walk(c, under_always, where + "/and[" + std::to_string(i++) + "]");
+        }
+        break;
+      }
+    }
+  }
+
+  void unmonitorable(const Prop& p, const std::string& where) {
+    report_.add("PSL-UNMONITORABLE", Severity::kError, where,
+                "this operator under 'always' is outside the monitorable "
+                "fragment; psl::compile throws at runtime on: " +
+                    psl::to_string(p));
+  }
+
+  void check_sere(const SerePtr& sere, const std::string& where,
+                  const char* what) {
+    if (sere_language_empty(*sere)) {
+      report_.add("PSL-UNSAT", Severity::kError, where,
+                  std::string(what) + " {" + psl::to_string(*sere) +
+                      "} has the empty language (no trace can match it)");
+    }
+  }
+
+  void check_const_expr(const psl::BExprPtr& e, const std::string& where,
+                        const char* what) {
+    if (e == nullptr) return;
+    const std::optional<bool> v = static_bool(*e);
+    if (v.has_value()) {
+      report_.add("PSL-VACUOUS", Severity::kWarning, where,
+                  std::string(what) + " is constantly " +
+                      (*v ? "true" : "false") + ": " + psl::to_string(*e));
+    }
+  }
+
+  /// True for a consequent that is a single constant-true cycle.
+  bool consequent_trivial(const SerePtr& sere) const {
+    return sere->kind == Sere::Kind::kBool &&
+           static_bool(*sere->expr) == true;
+  }
+
+  void check_signals(const PropPtr& prop) {
+    if (model_ == nullptr) return;
+    std::set<std::string> signals;
+    psl::collect_signals(*prop, signals);
+    check_signal_set(signals);
+  }
+
+  void check_signal_set(const std::set<std::string>& signals) {
+    for (const std::string& s : signals) {
+      const int width = model_->signal_width(s);
+      if (width < 0) {
+        report_.add("PSL-MISSING-NET", Severity::kError, name_,
+                    "property samples '" + s +
+                        "', which does not exist in the target model");
+      } else if (width != 1) {
+        report_.add("PSL-SIGNAL-WIDTH", Severity::kError, name_,
+                    "property samples '" + s + "', a " +
+                        std::to_string(width) +
+                        "-bit net; boolean-layer atoms must be 1 bit");
+      }
+    }
+  }
+
+  std::string name_;
+  const SignalModel* model_;
+  LintReport report_;
+};
+
+}  // namespace
+
+LintReport lint_property(const PropPtr& prop, const std::string& name,
+                         const SignalModel* model) {
+  return PropLinter(name, model).run(prop);
+}
+
+LintReport lint_vunit(const psl::VUnit& vunit, const SignalModel* model) {
+  LintReport report;
+  for (const auto& d : vunit.directives()) {
+    const std::string label = vunit.name() + "." + d.name;
+    if (d.kind == psl::DirectiveKind::kCover) {
+      report.merge(PropLinter(label, model).run_cover(d.cover_sere));
+    } else {
+      report.merge(lint_property(d.prop, label, model));
+    }
+  }
+  return report;
+}
+
+}  // namespace la1::lint

@@ -1,0 +1,71 @@
+// Static analysis of parsed PSL properties, pre-monitor / pre-model-check.
+//
+// A syntactically valid property can still be useless (vacuously true),
+// impossible (empty-language SERE), unrunnable (monitor compiler throws on
+// the nesting at runtime), or aimed at nothing (signals that do not exist
+// in the target model). These are exactly the inputs that make the dynamic
+// stages crash late or "pass" without checking anything; the linter finds
+// them in milliseconds from the AST and the compiled NFA.
+//
+// Rule catalog (see DESIGN.md §lint):
+//   PSL-UNSAT           error    SERE has the empty language
+//   PSL-NEVER-NULLABLE  error    never-operand matches the empty word
+//   PSL-VACUOUS         warning  property trivially holds/fails statically
+//   PSL-UNMONITORABLE   error    nesting the monitor compiler rejects
+//   PSL-NEST            warning  redundant always/never nesting
+//   PSL-MISSING-NET     error    referenced signal absent from the model
+//   PSL-SIGNAL-WIDTH    error    referenced signal is not 1 bit
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "lint/report.hpp"
+#include "psl/temporal.hpp"
+#include "rtl/netlist.hpp"
+
+namespace la1::lint {
+
+/// Where property atoms resolve to. Returns the signal's width in bits, or
+/// -1 when the model has no such signal.
+class SignalModel {
+ public:
+  virtual ~SignalModel() = default;
+  virtual int signal_width(const std::string& name) const = 0;
+};
+
+/// SignalModel over a flat rtl::Module: atoms name nets; the synthetic
+/// "<net>.__conflict" atoms exported by the bit-blaster resolve for nets
+/// with tristate drivers.
+class NetlistSignals : public SignalModel {
+ public:
+  explicit NetlistSignals(const rtl::Module& flat) : m_(&flat) {}
+  int signal_width(const std::string& name) const override;
+
+ private:
+  const rtl::Module* m_;
+};
+
+/// True when the SERE's language is empty: no accepting NFA path exists
+/// once statically-false guards are pruned (each guard is decided by
+/// exhaustive valuation of its atoms, capped at 12 atoms).
+bool sere_language_empty(const psl::Sere& s);
+
+/// True when the SERE matches the empty word.
+bool sere_nullable(const psl::Sere& s);
+
+/// Constant value of a boolean-layer expression, if it has one (decided by
+/// exhaustive valuation, capped at 12 atoms; nullopt above the cap or when
+/// the expression genuinely depends on its signals).
+std::optional<bool> static_bool(const psl::BExpr& e);
+
+/// Lints one property. `name` labels finding locations; `model` (optional)
+/// enables the signal-existence and width rules.
+LintReport lint_property(const psl::PropPtr& prop, const std::string& name,
+                         const SignalModel* model = nullptr);
+
+/// Lints every directive of a vunit (cover SEREs included).
+LintReport lint_vunit(const psl::VUnit& vunit,
+                      const SignalModel* model = nullptr);
+
+}  // namespace la1::lint

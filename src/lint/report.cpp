@@ -1,0 +1,119 @@
+#include "lint/report.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace la1::lint {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+Severity severity_from_string(const std::string& text) {
+  if (text == "info") return Severity::kInfo;
+  if (text == "warn" || text == "warning") return Severity::kWarning;
+  if (text == "error") return Severity::kError;
+  throw std::invalid_argument("unknown severity: " + text);
+}
+
+void LintReport::add(std::string rule_id, Severity severity,
+                     std::string location, std::string message) {
+  findings_.push_back(Finding{std::move(rule_id), severity, std::move(location),
+                              std::move(message)});
+}
+
+void LintReport::merge(LintReport other) {
+  for (Finding& f : other.findings_) findings_.push_back(std::move(f));
+}
+
+int LintReport::count(Severity s) const {
+  int n = 0;
+  for (const Finding& f : findings_) {
+    if (f.severity == s) ++n;
+  }
+  return n;
+}
+
+bool LintReport::has(const std::string& rule_id) const {
+  return first(rule_id) != nullptr;
+}
+
+const Finding* LintReport::first(const std::string& rule_id) const {
+  for (const Finding& f : findings_) {
+    if (f.rule_id == rule_id) return &f;
+  }
+  return nullptr;
+}
+
+bool LintReport::fails(Severity threshold) const {
+  for (const Finding& f : findings_) {
+    if (f.severity >= threshold) return true;
+  }
+  return false;
+}
+
+std::string LintReport::render() const {
+  std::ostringstream out;
+  if (findings_.empty()) {
+    out << "lint: clean (no findings)\n";
+    return out.str();
+  }
+  util::Table t({"Rule", "Severity", "Location", "Message"});
+  for (const Finding& f : findings_) {
+    t.add_row({f.rule_id, to_string(f.severity), f.location, f.message});
+  }
+  out << t.render();
+  out << "lint: " << errors() << " error(s), " << warnings()
+      << " warning(s), " << count(Severity::kInfo) << " note(s)\n";
+  return out.str();
+}
+
+util::Json LintReport::to_json() const {
+  util::Json arr = util::Json::array();
+  for (const Finding& f : findings_) {
+    util::Json item = util::Json::object();
+    item.set("rule_id", f.rule_id);
+    item.set("severity", to_string(f.severity));
+    item.set("location", f.location);
+    item.set("message", f.message);
+    arr.push(std::move(item));
+  }
+  util::Json counts = util::Json::object();
+  counts.set("errors", errors());
+  counts.set("warnings", warnings());
+  counts.set("infos", count(Severity::kInfo));
+  util::Json j = util::Json::object();
+  j.set("findings", std::move(arr));
+  j.set("counts", std::move(counts));
+  return j;
+}
+
+LintReport LintReport::from_json(const util::Json& j) {
+  const util::Json* arr = j.find("findings");
+  if (arr == nullptr || !arr->is_array()) {
+    throw std::invalid_argument("LintReport::from_json: no findings array");
+  }
+  LintReport report;
+  for (const util::Json& item : arr->items()) {
+    const util::Json* rule = item.find("rule_id");
+    const util::Json* severity = item.find("severity");
+    const util::Json* location = item.find("location");
+    const util::Json* message = item.find("message");
+    if (rule == nullptr || severity == nullptr || location == nullptr ||
+        message == nullptr) {
+      throw std::invalid_argument("LintReport::from_json: incomplete finding");
+    }
+    report.add(rule->as_string(), severity_from_string(severity->as_string()),
+               location->as_string(), message->as_string());
+  }
+  return report;
+}
+
+}  // namespace la1::lint

@@ -7,10 +7,53 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "lint/psl_lint.hpp"
 #include "util/mem.hpp"
 #include "util/stopwatch.hpp"
 
 namespace la1::mc {
+
+namespace {
+
+/// Resolves property atoms against the blasted design's exported nets,
+/// including the synthetic "<net>.__conflict" bits.
+class BitBlastSignals : public lint::SignalModel {
+ public:
+  explicit BitBlastSignals(const rtl::BitBlast& bb) : bb_(&bb) {}
+
+  int signal_width(const std::string& name) const override {
+    // Mirrors atom_bit_node's grammar: "net", "net[i]", "net.__conflict".
+    const std::string conflict_suffix = ".__conflict";
+    if (name.size() > conflict_suffix.size() &&
+        name.compare(name.size() - conflict_suffix.size(),
+                     conflict_suffix.size(), conflict_suffix) == 0) {
+      const std::string net =
+          name.substr(0, name.size() - conflict_suffix.size());
+      return bb_->conflict_bits.count(net) != 0 ? 1 : -1;
+    }
+    std::string net = name;
+    int bit = -1;
+    const std::size_t lb = name.rfind('[');
+    if (lb != std::string::npos && name.back() == ']') {
+      net = name.substr(0, lb);
+      try {
+        bit = std::stoi(name.substr(lb + 1, name.size() - lb - 2));
+      } catch (const std::exception&) {
+        return -1;
+      }
+    }
+    auto it = bb_->net_bits.find(net);
+    if (it == bb_->net_bits.end()) return -1;
+    const int width = static_cast<int>(it->second.size());
+    if (bit >= 0) return bit < width ? 1 : -1;
+    return width;
+  }
+
+ private:
+  const rtl::BitBlast* bb_;
+};
+
+}  // namespace
 
 Observer build_observer(const psl::PropPtr& prop, int max_states) {
   // The observer is the safety view of the determinized monitor table.
@@ -253,6 +296,16 @@ SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
                      const SymbolicOptions& options) {
   util::CpuStopwatch cpu;
   SymbolicResult result;
+
+  if (options.preflight_lint) {
+    const BitBlastSignals signals(design);
+    const lint::LintReport report =
+        lint::lint_property(prop, "property", &signals);
+    if (report.fails(lint::Severity::kError)) {
+      throw std::invalid_argument(
+          "mc::check: property rejected by static lint\n" + report.render());
+    }
+  }
 
   const Observer obs = build_observer(prop);
   const unsigned letters = 1u << obs.atoms.size();

@@ -62,6 +62,11 @@ struct SymbolicOptions {
   bool cone_of_influence = true;
   /// Prints per-iteration BDD sizes to stderr (debugging aid).
   bool verbose = false;
+  /// Statically lint the property against the blasted design before any
+  /// BDD work; errors (missing signals, empty-language SEREs, nesting the
+  /// monitor compiler rejects) throw std::invalid_argument with the
+  /// rendered findings instead of failing deep inside the encoder.
+  bool preflight_lint = true;
 };
 
 struct SymbolicResult {

@@ -8,6 +8,8 @@
 #include "la1/properties.hpp"
 #include "la1/rtl_model.hpp"
 #include "la1/uml_spec.hpp"
+#include "lint/netlist_lint.hpp"
+#include "lint/psl_lint.hpp"
 #include "mc/explicit.hpp"
 #include "mc/symbolic.hpp"
 #include "ovl/ovl.hpp"
@@ -124,8 +126,32 @@ FlowReport run_flow(const FlowOptions& options) {
     return r.ok;
   });
 
-  // 6. RTL symbolic model checking (RuleBase-style), read-mode property.
+  // 6. RTL static lint: netlist + property analysis before any expensive
+  // RTL stage touches the design (simulation, bit-blasting, BDDs).
   const core::RtlConfig mc_cfg = core::RtlConfig::model_checking(banks);
+  stage(report, "RTL static lint", [&](std::string& detail) {
+    lint::LintReport all;
+    // Full-geometry device (what stages 7-8 simulate and emit)...
+    core::RtlConfig full_cfg;
+    full_cfg.banks = banks;
+    full_cfg.data_bits = bcfg.data_bits;
+    full_cfg.mem_addr_bits = bcfg.mem_addr_bits();
+    all.merge(lint::lint_netlist(*core::build_device(full_cfg).top));
+    // ...and the reduced model-checking geometry plus its property suite.
+    core::RtlDevice mc_dev = core::build_device(mc_cfg);
+    const rtl::Module mc_flat = rtl::expand_memories(mc_dev.flatten());
+    all.merge(lint::lint_netlist(mc_flat));
+    const lint::NetlistSignals signals(mc_flat);
+    for (const auto& [name, prop] : core::rtl_properties(mc_cfg)) {
+      all.merge(lint::lint_property(prop, name, &signals));
+    }
+    detail = std::to_string(all.errors()) + " errors, " +
+             std::to_string(all.warnings()) + " warnings, " +
+             std::to_string(all.size()) + " findings";
+    return !all.fails(lint::Severity::kError);
+  });
+
+  // 7. RTL symbolic model checking (RuleBase-style), read-mode property.
   stage(report, "RTL symbolic model checking", [&](std::string& detail) {
     core::RtlDevice dev = core::build_device(mc_cfg);
     const rtl::Module flat = rtl::expand_memories(dev.flatten());
@@ -141,7 +167,7 @@ FlowReport run_flow(const FlowOptions& options) {
     return r.outcome == mc::SymbolicResult::Outcome::kHolds;
   });
 
-  // 7. RTL simulation with OVL monitors.
+  // 8. RTL simulation with OVL monitors.
   core::RtlConfig rcfg;
   rcfg.banks = banks;
   rcfg.data_bits = bcfg.data_bits;
@@ -203,7 +229,7 @@ FlowReport run_flow(const FlowOptions& options) {
     return bank.failures(sim) == 0;
   });
 
-  // 8. Verilog emission — the flow's final artifact.
+  // 9. Verilog emission — the flow's final artifact.
   stage(report, "Verilog emission", [&](std::string& detail) {
     core::RtlDevice dev = core::build_device(rcfg);
     report.verilog = rtl::to_verilog(*dev.top);

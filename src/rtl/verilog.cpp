@@ -1,5 +1,6 @@
 #include "rtl/verilog.hpp"
 
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -7,18 +8,34 @@ namespace la1::rtl {
 
 namespace {
 
-/// Verilog identifiers cannot contain '.', which flattened names use.
-std::string sanitize(const std::string& name) {
-  std::string out = name;
-  for (char& c : out) {
-    if (c == '.' || c == '#') c = '_';
+/// Maps netlist names to unique Verilog identifiers. Verilog identifiers
+/// cannot contain '.' or '#' (flattened names use both); replacing those
+/// characters can make two distinct names collide ("a.b" vs "a_b"), so the
+/// renamer keeps a per-scope used set and suffixes later claimants.
+class Sanitizer {
+ public:
+  const std::string& operator()(const std::string& name) {
+    auto it = renamed_.find(name);
+    if (it != renamed_.end()) return it->second;
+    std::string base = name;
+    for (char& c : base) {
+      if (c == '.' || c == '#') c = '_';
+    }
+    std::string candidate = base;
+    for (int n = 2; !used_.insert(candidate).second; ++n) {
+      candidate = base + "__" + std::to_string(n);
+    }
+    return renamed_.emplace(name, std::move(candidate)).first->second;
   }
-  return out;
-}
+
+ private:
+  std::map<std::string, std::string> renamed_;
+  std::set<std::string> used_;
+};
 
 class Printer {
  public:
-  explicit Printer(const Module& m) : m_(&m) {}
+  Printer(const Module& m, Sanitizer& names) : m_(&m), sanitize(names) {}
 
   std::string expr(ExprId id) {
     const Expr& e = m_->expr(id);
@@ -74,6 +91,7 @@ class Printer {
 
  private:
   const Module* m_;
+  Sanitizer& sanitize;
 };
 
 std::string range_of(int width) {
@@ -84,72 +102,80 @@ std::string range_of(int width) {
 }
 
 void emit_module(const Module& m, std::ostringstream& out,
-                 std::set<std::string>& done);
+                 std::set<std::string>& done, Sanitizer& module_names);
 
 void emit_children(const Module& m, std::ostringstream& out,
-                   std::set<std::string>& done) {
-  for (const Instance& inst : m.instances()) emit_module(*inst.child, out, done);
+                   std::set<std::string>& done, Sanitizer& module_names) {
+  for (const Instance& inst : m.instances()) {
+    emit_module(*inst.child, out, done, module_names);
+  }
 }
 
 void emit_module(const Module& m, std::ostringstream& out,
-                 std::set<std::string>& done) {
+                 std::set<std::string>& done, Sanitizer& module_names) {
   if (!done.insert(m.name()).second) return;
-  emit_children(m, out, done);
+  emit_children(m, out, done, module_names);
 
-  Printer p(m);
-  out << "module " << sanitize(m.name()) << " (";
+  // One identifier scope per module: nets, memories and instance names all
+  // share it, claimed in declaration order so ports keep their plain names.
+  Sanitizer names;
+  for (const Net& n : m.nets()) {
+    if (n.kind == NetKind::kInput || n.kind == NetKind::kOutput) names(n.name);
+  }
+  Printer p(m, names);
+  out << "module " << module_names(m.name()) << " (";
   bool first = true;
   for (const Net& n : m.nets()) {
     if (n.kind != NetKind::kInput && n.kind != NetKind::kOutput) continue;
     if (!first) out << ", ";
     first = false;
-    out << sanitize(n.name);
+    out << names(n.name);
   }
   out << ");\n";
 
   for (const Net& n : m.nets()) {
     switch (n.kind) {
       case NetKind::kInput:
-        out << "  input " << range_of(n.width) << sanitize(n.name) << ";\n";
+        out << "  input " << range_of(n.width) << names(n.name) << ";\n";
         break;
       case NetKind::kOutput:
-        out << "  output " << range_of(n.width) << sanitize(n.name) << ";\n";
+        out << "  output " << range_of(n.width) << names(n.name) << ";\n";
         break;
       case NetKind::kWire:
-        out << "  wire " << range_of(n.width) << sanitize(n.name) << ";\n";
+        out << "  wire " << range_of(n.width) << names(n.name) << ";\n";
         break;
       case NetKind::kReg:
-        out << "  reg " << range_of(n.width) << sanitize(n.name) << " = "
+        out << "  reg " << range_of(n.width) << names(n.name) << " = "
             << n.width << "'b" << n.init.to_string() << ";\n";
         break;
     }
   }
   for (const Memory& mem : m.memories()) {
-    out << "  reg " << range_of(mem.width) << sanitize(mem.name) << " [0:"
+    out << "  reg " << range_of(mem.width) << names(mem.name) << " [0:"
         << mem.depth - 1 << "];\n";
   }
 
   for (const ContAssign& a : m.assigns()) {
-    out << "  assign " << sanitize(m.net(a.target).name) << " = "
+    out << "  assign " << names(m.net(a.target).name) << " = "
         << p.expr(a.value) << ";\n";
   }
   for (const TriDriver& t : m.tristates()) {
-    out << "  assign " << sanitize(m.net(t.target).name) << " = "
+    out << "  assign " << names(m.net(t.target).name) << " = "
         << p.expr(t.enable) << " ? " << p.expr(t.value) << " : "
         << m.net(t.target).width << "'bz;\n";
   }
 
   for (const Process& proc : m.processes()) {
     out << "  always @(" << (proc.edge == Edge::kPos ? "posedge " : "negedge ")
-        << sanitize(m.net(proc.clock).name) << ") begin // " << proc.name
+        << names(m.net(proc.clock).name) << ") begin // " << proc.name
         << "\n";
     for (const SeqAssign& sa : proc.assigns) {
-      out << "    " << sanitize(m.net(sa.target).name) << " <= "
+      out << "    " << names(m.net(sa.target).name) << " <= "
           << p.expr(sa.value) << ";\n";
     }
     for (const MemWrite& w : proc.mem_writes) {
       const std::string mem =
-          sanitize(m.memories()[static_cast<std::size_t>(w.mem)].name);
+          names(m.memories()[static_cast<std::size_t>(w.mem)].name);
       if (w.byte_enables.empty()) {
         out << "    if (" << p.expr(w.wen) << ") " << mem << "[" << p.expr(w.addr)
             << "] <= " << p.expr(w.data) << ";\n";
@@ -169,13 +195,20 @@ void emit_module(const Module& m, std::ostringstream& out,
   }
 
   for (const Instance& inst : m.instances()) {
-    out << "  " << sanitize(inst.child->name()) << " " << sanitize(inst.name)
+    out << "  " << module_names(inst.child->name()) << " " << names(inst.name)
         << " (";
     bool first_port = true;
     for (const auto& [port, net] : inst.bindings) {
       if (!first_port) out << ", ";
       first_port = false;
-      out << "." << sanitize(port) << "(" << sanitize(m.net(net).name) << ")";
+      // Port names live in the child's scope; only character replacement
+      // applies (the child emits its ports before any internal name can
+      // steal the sanitized form).
+      std::string port_id = port;
+      for (char& c : port_id) {
+        if (c == '.' || c == '#') c = '_';
+      }
+      out << "." << port_id << "(" << names(m.net(net).name) << ")";
     }
     out << ");\n";
   }
@@ -189,7 +222,8 @@ std::string to_verilog(const Module& m) {
   std::ostringstream out;
   out << "// Generated by la1kit (refinement target of the LA-1 flow).\n\n";
   std::set<std::string> done;
-  emit_module(m, out, done);
+  Sanitizer module_names;
+  emit_module(m, out, done, module_names);
   return out.str();
 }
 

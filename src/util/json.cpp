@@ -217,6 +217,10 @@ class Parser {
     return true;
   }
 
+  // Containers recurse; a hostile input of 100k '[' characters would
+  // otherwise overflow the native stack long before any other limit bites.
+  static constexpr int kMaxDepth = 256;
+
   Json parse_value() {
     skip_ws();
     switch (peek()) {
@@ -237,11 +241,13 @@ class Parser {
   }
 
   Json parse_object() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
     expect('{');
     Json obj = Json::object();
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return obj;
     }
     for (;;) {
@@ -256,16 +262,19 @@ class Parser {
         continue;
       }
       expect('}');
+      --depth_;
       return obj;
     }
   }
 
   Json parse_array() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
     expect('[');
     Json arr = Json::array();
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return arr;
     }
     for (;;) {
@@ -276,6 +285,7 @@ class Parser {
         continue;
       }
       expect(']');
+      --depth_;
       return arr;
     }
   }
@@ -347,8 +357,17 @@ class Parser {
     if (pos_ == start) fail("expected a value");
     const std::string tok = text_.substr(start, pos_ - start);
     try {
-      if (is_double) return Json(std::stod(tok));
-      return Json(static_cast<std::int64_t>(std::stoll(tok)));
+      // stod/stoll accept a valid prefix ("1.2.3" -> 1.2); require that the
+      // whole token converted so malformed numbers fail instead.
+      std::size_t used = 0;
+      if (is_double) {
+        const double d = std::stod(tok, &used);
+        if (used != tok.size()) throw std::invalid_argument(tok);
+        return Json(d);
+      }
+      const auto i = static_cast<std::int64_t>(std::stoll(tok, &used));
+      if (used != tok.size()) throw std::invalid_argument(tok);
+      return Json(i);
     } catch (const std::exception&) {
       pos_ = start;
       fail("bad number '" + tok + "'");
@@ -357,6 +376,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

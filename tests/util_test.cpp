@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -149,6 +152,54 @@ TEST(Cli, Defaults) {
   EXPECT_EQ(cli.get_int("n", 42), 42);
   EXPECT_EQ(cli.get_double("d", 1.5), 1.5);
   EXPECT_FALSE(cli.has("x"));
+}
+
+TEST(JsonErrors, TruncatedInputThrows) {
+  EXPECT_THROW(Json::parse(""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW(Json::parse(R"({"a": )"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1, 2"), std::invalid_argument);
+  EXPECT_THROW(Json::parse(R"("unterminated)"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("tru"), std::invalid_argument);
+}
+
+TEST(JsonErrors, BadEscapesThrow) {
+  EXPECT_THROW(Json::parse(R"("\q")"), std::invalid_argument);
+  EXPECT_THROW(Json::parse(R"("\u12")"), std::invalid_argument);
+  EXPECT_THROW(Json::parse(R"("\uZZZZ")"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"\\"), std::invalid_argument);
+}
+
+TEST(JsonErrors, BadNumbersAndTrailingGarbageThrow) {
+  EXPECT_THROW(Json::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("--1"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{} extra"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1] 2"), std::invalid_argument);
+}
+
+TEST(JsonErrors, DeepNestingRejectedNotCrashed) {
+  // A pathological "[[[[..." input must throw, not overflow the native
+  // stack in the recursive-descent parser.
+  const std::string bomb(100000, '[');
+  EXPECT_THROW(Json::parse(bomb), std::invalid_argument);
+  try {
+    Json::parse(bomb);
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting too deep"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonErrors, ModerateNestingStillParses) {
+  std::string nested;
+  for (int i = 0; i < 100; ++i) nested += '[';
+  nested += "42";
+  for (int i = 0; i < 100; ++i) nested += ']';
+  const Json j = Json::parse(nested);
+  const Json* p = &j;
+  for (int i = 0; i < 100; ++i) p = &p->items().front();
+  EXPECT_EQ(p->as_int(), 42);
 }
 
 TEST(Stopwatch, MeasuresNonNegative) {

@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
-# Local CI for la1kit: the tier-1 verify line plus a bench smoke run with
-# structured JSON reporting.
+# Local CI for la1kit: the tier-1 verify line, a static-lint gate, and a
+# bench smoke run with structured JSON reporting.
 #
-#   tools/ci.sh                 # full build + ctest + bench smoke
-#   tools/ci.sh --smoke-only    # skip build/ctest, just the bench smoke
+#   tools/ci.sh                 # full build + ctest + lint gate + bench smoke
+#   tools/ci.sh --smoke-only    # skip build/ctest, just lint gate + smoke
+#   tools/ci.sh --sanitize      # tier-1 under ASan/UBSan in a separate tree
 #   tools/ci.sh --install-hook  # install as .git/hooks/pre-push
 #
 # Also wired as a CTest-adjacent CMake target: `cmake --build build --target ci`.
@@ -11,7 +12,9 @@ set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="${LA1_BUILD_DIR:-$repo_root/build}"
+jobs=$(nproc 2>/dev/null || echo 2)
 smoke_only=0
+sanitize=0
 
 for arg in "$@"; do
   case "$arg" in
@@ -26,26 +29,60 @@ for arg in "$@"; do
     --smoke-only)
       smoke_only=1
       ;;
+    --sanitize)
+      sanitize=1
+      ;;
     *)
-      echo "usage: tools/ci.sh [--smoke-only | --install-hook]" >&2
+      echo "usage: tools/ci.sh [--smoke-only | --sanitize | --install-hook]" >&2
       exit 2
       ;;
   esac
 done
 
+if [ "$sanitize" -eq 1 ]; then
+  # Tier-1 under AddressSanitizer + UndefinedBehaviorSanitizer. A separate
+  # build tree keeps instrumented objects out of the normal build.
+  asan_dir="${LA1_ASAN_BUILD_DIR:-$repo_root/build-asan}"
+  cmake -B "$asan_dir" -S "$repo_root" -DLA1_SANITIZE=address,undefined
+  cmake --build "$asan_dir" -j "$jobs"
+  (cd "$asan_dir" && ctest --output-on-failure -j "$jobs")
+  echo "ci: tier-1 verify passed under ASan/UBSan"
+  exit 0
+fi
+
 if [ "$smoke_only" -eq 0 ]; then
   # Tier-1 verify (ROADMAP.md).
   cmake -B "$build_dir" -S "$repo_root"
-  cmake --build "$build_dir" -j
-  (cd "$build_dir" && ctest --output-on-failure -j)
+  cmake --build "$build_dir" -j "$jobs"
+  (cd "$build_dir" && ctest --output-on-failure -j "$jobs")
 fi
 
-# Bench smoke: every bench_table* binary must emit a parseable --json
-# report; the 3-way lockstep example must agree across the levels.
 smoke_dir="${TMPDIR:-/tmp}/la1-ci-smoke.$$"
 mkdir -p "$smoke_dir"
 trap 'rm -rf "$smoke_dir"' EXIT
 
+# Static-lint gate: the stock device must lint clean (no errors), and every
+# injected-defect fixture must fail and report its expected rule id.
+"$build_dir/tools/la1check" lint --banks 4 --fail-on error \
+  --json "$smoke_dir/lint.json" > /dev/null
+grep -q '"errors": 0' "$smoke_dir/lint.json"
+
+for pair in loop:NET-COMB-LOOP double-driver:NET-MULTI-DRIVE \
+            width-mismatch:NET-MEM-ADDR no-reset:NET-NO-RESET \
+            name-collision:NET-NAME-COLLISION unsat-sere:PSL-UNSAT \
+            missing-net:PSL-MISSING-NET; do
+  defect=${pair%%:*}
+  rule=${pair#*:}
+  if "$build_dir/tools/la1check" lint --inject "$defect" --fail-on warn \
+       --json "$smoke_dir/lint-$defect.json" > /dev/null; then
+    echo "ci: lint --inject $defect unexpectedly passed" >&2
+    exit 1
+  fi
+  grep -q "\"rule_id\": \"$rule\"" "$smoke_dir/lint-$defect.json"
+done
+
+# Bench smoke: every bench_table* binary must emit a parseable --json
+# report; the 3-way lockstep example must agree across the levels.
 "$build_dir/bench/bench_table1_asm_mc" --max-banks 1 --max-states 20000 \
   --json "$smoke_dir/table1.json" > /dev/null
 "$build_dir/bench/bench_table2_symbolic_mc" --max-banks 1 \
@@ -62,4 +99,4 @@ for f in table1 table2 table3 nway; do
   grep -q '"metrics"' "$smoke_dir/$f.json"
 done
 
-echo "ci: tier-1 verify and bench smoke passed"
+echo "ci: tier-1 verify, lint gate, and bench smoke passed"

@@ -17,6 +17,10 @@
 //       emits the synthesizable Verilog for the configured device.
 //   la1check flow
 //       runs the full Figure-2 refinement flow.
+//   la1check lint [--json F|-] [--fail-on warn|error|never] [--inject D]
+//       static analysis of the device netlist, the shipped RTL property
+//       suite, and any --prop/--vunit-file properties. --inject runs a
+//       named broken fixture instead (see lint::injected_defects()).
 //
 // Common options: --banks N (default 1), --seed S, --ticks T (sim),
 // --max-states N (asm), --node-limit N / --no-coi (rtl).
@@ -28,6 +32,9 @@
 #include "la1/behavioral.hpp"
 #include "la1/host_bfm.hpp"
 #include "la1/rtl_model.hpp"
+#include "lint/fixtures.hpp"
+#include "lint/netlist_lint.hpp"
+#include "lint/psl_lint.hpp"
 #include "mc/explicit.hpp"
 #include "mc/symbolic.hpp"
 #include "psl/parse.hpp"
@@ -42,12 +49,14 @@ using namespace la1;
 
 int usage() {
   std::fputs(
-      "usage: la1check <sim|asm|rtl|verilog|flow> [options]\n"
+      "usage: la1check <sim|asm|rtl|verilog|flow|lint> [options]\n"
       "  common:  --banks N  --seed S\n"
       "  sim:     --prop \"<psl>\" | --vunit-file F   --ticks T\n"
       "  asm:     --prop \"<psl>\"   --max-states N\n"
       "  rtl:     --prop \"<psl>\"   --node-limit N  --no-coi\n"
-      "  verilog: --out FILE\n",
+      "  verilog: --out FILE\n"
+      "  lint:    --json FILE|-  --fail-on warn|error|never\n"
+      "           --prop \"<psl>\" | --vunit-file F  --inject DEFECT\n",
       stderr);
   return 2;
 }
@@ -189,6 +198,69 @@ int run_verilog(const util::Cli& cli) {
   return 0;
 }
 
+int run_lint(const util::Cli& cli) {
+  const std::string fail_on = cli.get("fail-on", "error");
+  lint::LintReport report;
+  std::string target;
+
+  if (cli.has("inject")) {
+    const std::string name = cli.get("inject", "");
+    target = "injected defect '" + name + "'";
+    report = lint::lint_injected(name);
+  } else {
+    const int banks = static_cast<int>(cli.get_int("banks", 1));
+    target = std::to_string(banks) + "-bank device";
+    // Full-geometry device (what `verilog` emits and `sim` exercises).
+    core::RtlConfig cfg;
+    cfg.banks = banks;
+    report.merge(lint::lint_netlist(*core::build_device(cfg).top));
+    // Properties are linted against the model-checking geometry — the
+    // netlist `la1check rtl` would hand to the symbolic engine.
+    const core::RtlConfig mc_cfg = core::RtlConfig::model_checking(banks);
+    core::RtlDevice mc_dev = core::build_device(mc_cfg);
+    const rtl::Module mc_flat = rtl::expand_memories(mc_dev.flatten());
+    const lint::NetlistSignals signals(mc_flat);
+    for (const auto& [name, prop] : core::rtl_properties(mc_cfg)) {
+      report.merge(lint::lint_property(prop, name, &signals));
+    }
+    if (cli.has("prop")) {
+      report.merge(lint::lint_property(psl::parse_property(cli.get("prop", "")),
+                                       "cli_prop", &signals));
+    }
+    if (cli.has("vunit-file")) {
+      std::ifstream in(cli.get("vunit-file", ""));
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n",
+                     cli.get("vunit-file", "").c_str());
+        return 2;
+      }
+      std::stringstream text;
+      text << in.rdbuf();
+      report.merge(lint::lint_vunit(psl::parse_vunit(text.str()), &signals));
+    }
+  }
+
+  const std::string json = cli.get("json", "");
+  if (json == "-") {
+    std::fputs((report.to_json().dump(2) + "\n").c_str(), stdout);
+  } else {
+    std::printf("lint target: %s\n", target.c_str());
+    std::fputs(report.render().c_str(), stdout);
+    if (!json.empty()) {
+      std::ofstream f(json);
+      if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json.c_str());
+        return 2;
+      }
+      f << report.to_json().dump(2) << '\n';
+      std::printf("wrote findings to %s\n", json.c_str());
+    }
+  }
+
+  if (fail_on == "never") return 0;
+  return report.fails(lint::severity_from_string(fail_on)) ? 1 : 0;
+}
+
 int run_flow(const util::Cli& cli) {
   refine::FlowOptions opt;
   opt.banks = static_cast<int>(cli.get_int("banks", 1));
@@ -209,6 +281,7 @@ int main(int argc, char** argv) {
     if (mode == "rtl") return run_rtl(cli);
     if (mode == "verilog") return run_verilog(cli);
     if (mode == "flow") return run_flow(cli);
+    if (mode == "lint") return run_lint(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

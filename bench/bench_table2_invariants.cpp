@@ -1,0 +1,111 @@
+// Table 2 companion — invariant-strengthened symbolic model checking.
+//
+// For 1..max banks, checks the read-mode property twice with the
+// cone-of-influence configuration: the plain encoding vs the encoding
+// strengthened by sweep-proven sequential invariants (dfa/sweep.hpp),
+// which substitute provably-constant state bits with BDD constants and
+// collapse provably equivalent/complementary registers onto one variable.
+// The paper's lesson — prove cheap facts early, spend the expensive engine
+// on what remains — applied inside a single verification level.
+//
+// The interesting columns: identical verdicts in both rows of a bank count
+// (substitution is sound for safety checking) with fewer state bits and
+// fewer peak BDD nodes in the strengthened row.
+//
+//   --max-banks N     highest bank count (default 4)
+//   --node-limit N    live-BDD-node budget (default 2000000)
+//   --json PATH       write the {bench, params, metrics} report
+#include <cstdio>
+
+#include "dfa/sweep.hpp"
+#include "la1/rtl_model.hpp"
+#include "mc/symbolic.hpp"
+#include "rtl/bitblast.hpp"
+#include "util/bench_report.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace la1;
+  const util::Cli cli(argc, argv);
+  const int max_banks = static_cast<int>(cli.get_int("max-banks", 4));
+  const std::uint64_t node_limit =
+      static_cast<std::uint64_t>(cli.get_int("node-limit", 2000000));
+  util::BenchReport report("bench_table2_invariants");
+  report.param("max_banks", util::Json(max_banks))
+      .param("node_limit", util::Json(node_limit));
+  cli.get("json", "");
+  for (const auto& unused : cli.unused()) {
+    std::fprintf(stderr, "unknown option --%s\n", unused.c_str());
+    return 2;
+  }
+
+  std::puts("Table 2 companion - Invariant-Strengthened Symbolic MC");
+  std::printf("node budget = %llu live BDD nodes\n\n",
+              static_cast<unsigned long long>(node_limit));
+
+  util::Table table({"Number of Banks", "Encoding", "CPU Time (s)",
+                     "State Bits", "BDD Nodes (peak)", "BDD Nodes (created)",
+                     "Invariants", "Result"});
+
+  bool sound = true;
+  for (int banks = 1; banks <= max_banks; ++banks) {
+    const core::RtlConfig cfg = core::RtlConfig::model_checking(banks);
+    core::RtlDevice dev = core::build_device(cfg);
+    const rtl::Module flat = rtl::expand_memories(dev.flatten());
+    const rtl::BitBlast bb = rtl::bitblast(flat, core::clock_schedule(flat));
+    const dfa::InvariantSet invariants = dfa::sweep(bb);
+
+    mc::SymbolicResult rows[2];
+    for (int strengthened = 0; strengthened < 2; ++strengthened) {
+      mc::SymbolicOptions opt;
+      opt.node_limit = node_limit;
+      opt.use_invariants = strengthened != 0;
+      opt.invariants = strengthened != 0 ? &invariants : nullptr;
+      rows[strengthened] =
+          mc::check(bb, core::rtl_read_mode_property(cfg), opt);
+      const mc::SymbolicResult& r = rows[strengthened];
+
+      std::string result;
+      switch (r.outcome) {
+        case mc::SymbolicResult::Outcome::kHolds: result = "verified"; break;
+        case mc::SymbolicResult::Outcome::kFails: result = "VIOLATED"; break;
+        case mc::SymbolicResult::Outcome::kStateExplosion:
+          result = "State Explosion";
+          break;
+      }
+      const std::string variant = strengthened ? "coi+invariants" : "coi";
+      table.add_row({std::to_string(banks), variant,
+                     util::fmt_double(r.cpu_seconds, 2),
+                     std::to_string(r.state_bits),
+                     util::fmt_count(r.peak_bdd_nodes),
+                     util::fmt_count(r.created_bdd_nodes),
+                     std::to_string(r.invariants_applied), result});
+      util::Json row = util::Json::object();
+      row.set("banks", util::Json(banks));
+      row.set("variant", util::Json(variant));
+      row.set("cpu_seconds", util::Json(r.cpu_seconds));
+      row.set("state_bits", util::Json(r.state_bits));
+      row.set("peak_bdd_nodes",
+              util::Json(static_cast<std::int64_t>(r.peak_bdd_nodes)));
+      row.set("created_bdd_nodes",
+              util::Json(static_cast<std::int64_t>(r.created_bdd_nodes)));
+      row.set("invariants_applied", util::Json(r.invariants_applied));
+      row.set("result", util::Json(result));
+      report.metric(std::move(row));
+      std::fflush(stdout);
+    }
+    sound = sound && rows[0].outcome == rows[1].outcome &&
+            rows[0].iterations == rows[1].iterations;
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nverdict parity across encodings: %s\n",
+              sound ? "identical (sound)" : "MISMATCH");
+  std::puts(
+      "Shape check: the strengthened encoding substitutes sweep-proven "
+      "facts\nbefore reachability, so it reaches the same verdict in the "
+      "same number\nof iterations with fewer state bits and fewer peak BDD "
+      "nodes.");
+  return report.finish(cli) && sound ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Sequential dataflow analysis: ternary abstract interpretation of the RTL.
+//
+// The abstract domain is per-bit: the *set* of four-state values {0,1,X,Z}
+// a bit may take, packed into one byte. Every rtl::Logic operator lifts
+// pointwise over sets (at most 4x4 concrete evaluations per bit), so the
+// abstract simulator follows the concrete CycleSim semantics exactly —
+// including conservative X-propagation and tristate resolution — while
+// covering *all* input valuations at once.
+//
+// `analyze` iterates the netlist from the reset state (register inits as
+// singleton sets, primary inputs as {0,1}) to a least fixpoint: settle the
+// combinational logic, apply every process's register updates joined with
+// the previous register sets (soundly over-approximating any clock
+// schedule, including the DDR K/K# interleave), repeat until stable. The
+// per-bit lattice has height <= 4, so convergence is fast.
+//
+// The resulting `Facts` answer reachability-flavoured questions no
+// structural lint can: a register provably stuck at its reset value, a
+// register that is X out of reset and provably never recovers, a driven
+// logic cone that evaluates to a constant in every reachable state.
+// Memories are summarized as one abstract word per memory (join over all
+// words written), matching CycleSim's zero-initialized memory model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace la1::dfa {
+
+/// Abstract value of one bit: a bitmask over the four concrete values.
+using AbsBit = std::uint8_t;
+
+inline constexpr AbsBit kAbs0 = 1u << 0;
+inline constexpr AbsBit kAbs1 = 1u << 1;
+inline constexpr AbsBit kAbsX = 1u << 2;
+inline constexpr AbsBit kAbsZ = 1u << 3;
+inline constexpr AbsBit kAbsTop = kAbs0 | kAbs1 | kAbsX | kAbsZ;
+inline constexpr AbsBit kAbs01 = kAbs0 | kAbs1;
+
+/// Singleton set for a concrete value.
+AbsBit abs_of(rtl::Logic v);
+/// True when `b` is exactly {0} or {1}.
+bool abs_is_constant(AbsBit b);
+/// The constant's value; only meaningful when abs_is_constant(b).
+bool abs_constant_value(AbsBit b);
+
+/// Pointwise lifts of the concrete operators (exposed for tests).
+AbsBit abs_lift1(AbsBit a, rtl::Logic (*op)(rtl::Logic));
+AbsBit abs_lift2(AbsBit a, AbsBit b, rtl::Logic (*op)(rtl::Logic, rtl::Logic));
+
+/// Abstract value of a net, bit 0 = LSB (parallel to rtl::LVec).
+using AbsVec = std::vector<AbsBit>;
+
+/// The fixpoint: per-net (and per-memory summary) abstract values with the
+/// queries the sequential lint rules need.
+struct Facts {
+  /// Settled abstract value per NetId of the analyzed module.
+  std::vector<AbsVec> nets;
+  /// One summary word per MemId (join over all words and writes).
+  std::vector<AbsVec> mems;
+  /// Sequential iterations until the register sets stabilized.
+  int iterations = 0;
+
+  /// Every bit of the net is a singleton {0} or {1}. `value` (optional)
+  /// receives the constant as an LVec.
+  bool net_constant(rtl::NetId id, rtl::LVec* value = nullptr) const;
+  /// Every bit of the net is exactly {X}: X in reset, provably never
+  /// recovers a defined value.
+  bool net_x_forever(rtl::NetId id) const;
+};
+
+/// Runs the abstract simulator to fixpoint over `flat` (an elaborated,
+/// instance-free module; memories may be present). Throws
+/// std::invalid_argument on a hierarchical module.
+Facts analyze(const rtl::Module& flat);
+
+}  // namespace la1::dfa

@@ -1,0 +1,44 @@
+// Register sweeping: find provably redundant state bits of a blasted FSM.
+//
+// Classic van Eijk-style sweep, adapted to the bit-blaster's FSM view:
+//
+//   1. Simulate the next-state functions 64-way bit-parallel from the
+//      initial state under random inputs, collecting one signature word
+//      per step per state bit. Bits whose signatures never deviate from
+//      the initial value are stuck-at candidates; bits with pairwise
+//      identical (or pointwise complemented) signatures are
+//      equivalent/complementary candidates.
+//   2. Discharge the surviving candidates together by induction with the
+//      BDD engine (a Houdini loop): assume ALL candidate equations on the
+//      current state, check each one on the next state, drop failures and
+//      repeat until the set is self-inductive.
+//
+// The result is sound: every reported invariant holds in the initial state
+// (step 0 of the simulation is exact) and is preserved by every FSM step
+// (the surviving set is inductive as a whole). Random simulation only
+// filters candidates, so a missed equivalence costs completeness, never
+// soundness.
+#pragma once
+
+#include <cstdint>
+
+#include "dfa/invariants.hpp"
+#include "rtl/bitblast.hpp"
+
+namespace la1::dfa {
+
+struct SweepOptions {
+  /// Random-simulation depth (steps past the initial state).
+  int sim_steps = 48;
+  /// Seed for the deterministic signature RNG.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  /// Live-node budget for the induction BDDs; on exhaustion the sweep
+  /// degrades gracefully to an empty InvariantSet.
+  std::uint64_t node_limit = 1ull << 22;
+};
+
+/// Sweeps `bb` and returns the proven invariants. Pair invariants use the
+/// lower-indexed variable as representative `a`.
+InvariantSet sweep(const rtl::BitBlast& bb, const SweepOptions& options = {});
+
+}  // namespace la1::dfa

@@ -4,6 +4,7 @@
 
 #include "lint/netlist_lint.hpp"
 #include "lint/psl_lint.hpp"
+#include "lint/seq_lint.hpp"
 #include "psl/parse.hpp"
 
 namespace la1::lint {
@@ -65,6 +66,59 @@ rtl::Module broken_name_collision() {
   return m;
 }
 
+rtl::Module broken_stuck_reg() {
+  rtl::Module m("broken_stuck_reg");
+  const rtl::NetId clk = m.input("clk", 1);
+  const rtl::NetId d = m.input("d", 1);
+  const rtl::NetId q = m.output("q", 1);
+  const rtl::NetId s = m.reg("s", 1, 0u);
+  const rtl::ProcId p = m.process("ff", clk, rtl::Edge::kPos);
+  m.nonblocking(p, s, m.op_and(m.ref(s), m.ref(d)));  // 0 & d == 0 forever
+  m.assign(q, m.ref(s));
+  return m;
+}
+
+rtl::Module broken_x_reset() {
+  rtl::Module m("broken_x_reset");
+  const rtl::NetId clk = m.input("clk", 1);
+  const rtl::NetId d = m.input("d", 1);
+  const rtl::NetId q = m.output("q", 1);
+  const rtl::NetId x = m.reg("x", 1, rtl::LVec::xs(1));
+  const rtl::ProcId p = m.process("ff", clk, rtl::Edge::kPos);
+  m.nonblocking(p, x, m.op_xor(m.ref(x), m.ref(d)));  // X ^ d == X forever
+  m.assign(q, m.ref(x));
+  return m;
+}
+
+rtl::Module broken_dead_logic() {
+  rtl::Module m("broken_dead_logic");
+  const rtl::NetId clk = m.input("clk", 1);
+  const rtl::NetId go = m.input("go", 1);
+  const rtl::NetId y = m.output("y", 1);
+  const rtl::NetId stop = m.reg("stop", 1, 1u);
+  const rtl::NetId dead = m.wire("dead", 1);
+  const rtl::ProcId p = m.process("ff", clk, rtl::Edge::kPos);
+  m.nonblocking(p, stop, m.op_or(m.ref(stop), m.ref(go)));  // stuck at 1
+  m.assign(dead, m.op_and(m.ref(go), m.op_not(m.ref(stop))));
+  m.assign(y, m.ref(dead));
+  return m;
+}
+
+rtl::Module broken_dup_reg() {
+  rtl::Module m("broken_dup_reg");
+  const rtl::NetId clk = m.input("clk", 1);
+  const rtl::NetId d = m.input("d", 1);
+  const rtl::NetId en = m.input("en", 1);
+  const rtl::NetId y = m.output("y", 1);
+  const rtl::NetId p_reg = m.reg("p", 1, 0u);
+  const rtl::NetId q_reg = m.reg("q", 1, 0u);
+  const rtl::ProcId p = m.process("ff", clk, rtl::Edge::kPos);
+  m.nonblocking(p, p_reg, m.op_and(m.ref(d), m.ref(en)));
+  m.nonblocking(p, q_reg, m.op_and(m.ref(d), m.ref(en)));
+  m.assign(y, m.op_or(m.ref(p_reg), m.ref(q_reg)));  // both read downstream
+  return m;
+}
+
 std::string broken_unsat_sere_text() {
   // The consequent requires busy && !busy in one cycle: empty language.
   return "{req} |-> {busy && !busy}";
@@ -106,18 +160,44 @@ const std::vector<InjectedDefect>& injected_defects() {
       {"width-mismatch", "NET-MEM-ADDR"},
       {"no-reset", "NET-NO-RESET"},
       {"name-collision", "NET-NAME-COLLISION"},
+      {"stuck-reg", "NET-CONST"},
+      {"x-reset", "NET-X-RESET"},
+      {"dead-logic", "NET-DEAD-LOGIC"},
+      {"dup-reg", "NET-EQUIV-REG"},
       {"unsat-sere", "PSL-UNSAT"},
       {"missing-net", "PSL-MISSING-NET"},
   };
   return kDefects;
 }
 
+namespace {
+
+/// Netlist fixtures run the full analyzer stack — structural AND
+/// sequential — mirroring what `la1check lint` + `la1check dfa` gate on.
+LintReport lint_netlist_fixture(const rtl::Module& m) {
+  LintReport report = lint_netlist(m);
+  report.merge(lint_sequential(m));
+  return report;
+}
+
+}  // namespace
+
 LintReport lint_injected(const std::string& name) {
-  if (name == "loop") return lint_netlist(broken_comb_loop());
-  if (name == "double-driver") return lint_netlist(broken_double_driver());
-  if (name == "width-mismatch") return lint_netlist(broken_width_mismatch());
-  if (name == "no-reset") return lint_netlist(broken_missing_reset());
-  if (name == "name-collision") return lint_netlist(broken_name_collision());
+  if (name == "loop") return lint_netlist_fixture(broken_comb_loop());
+  if (name == "double-driver") {
+    return lint_netlist_fixture(broken_double_driver());
+  }
+  if (name == "width-mismatch") {
+    return lint_netlist_fixture(broken_width_mismatch());
+  }
+  if (name == "no-reset") return lint_netlist_fixture(broken_missing_reset());
+  if (name == "name-collision") {
+    return lint_netlist_fixture(broken_name_collision());
+  }
+  if (name == "stuck-reg") return lint_netlist_fixture(broken_stuck_reg());
+  if (name == "x-reset") return lint_netlist_fixture(broken_x_reset());
+  if (name == "dead-logic") return lint_netlist_fixture(broken_dead_logic());
+  if (name == "dup-reg") return lint_netlist_fixture(broken_dup_reg());
   if (name == "unsat-sere") {
     return lint_property_fixture(broken_unsat_sere_text(), "unsat_sere");
   }

@@ -33,6 +33,24 @@ rtl::Module broken_missing_reset();
 /// Two nets whose names collide after Verilog identifier sanitization.
 rtl::Module broken_name_collision();
 
+/// A register whose only update re-ands itself with data: it can never
+/// leave its reset value (sequential lint: NET-CONST).
+rtl::Module broken_stuck_reg();
+
+/// A register with an X init whose update preserves the X forever
+/// (sequential lint: NET-X-RESET; also trips structural NET-NO-RESET).
+rtl::Module broken_x_reset();
+
+/// A combinational cone gated by a register stuck at 1: the cone provably
+/// evaluates to 0 in every reachable state (sequential lint:
+/// NET-DEAD-LOGIC).
+rtl::Module broken_dead_logic();
+
+/// Two registers with identical init and identical update expression, both
+/// read downstream: inductively equivalent, one redundant (sequential
+/// lint: NET-EQUIV-REG).
+rtl::Module broken_dup_reg();
+
 /// PSL text whose consequent SERE has the empty language.
 std::string broken_unsat_sere_text();
 

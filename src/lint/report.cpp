@@ -1,7 +1,9 @@
 #include "lint/report.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 
 #include "util/table.hpp"
 
@@ -23,14 +25,34 @@ Severity severity_from_string(const std::string& text) {
   throw std::invalid_argument("unknown severity: " + text);
 }
 
+namespace {
+
+/// Canonical finding order: rule id, then location (net / property name),
+/// then severity and message. Keeping the report sorted makes --json
+/// output and CI diffs independent of analyzer pass order.
+auto order_key(const Finding& f) {
+  return std::tie(f.rule_id, f.location, f.severity, f.message);
+}
+
+}  // namespace
+
 void LintReport::add(std::string rule_id, Severity severity,
                      std::string location, std::string message) {
-  findings_.push_back(Finding{std::move(rule_id), severity, std::move(location),
-                              std::move(message)});
+  Finding f{std::move(rule_id), severity, std::move(location),
+            std::move(message)};
+  const auto at = std::upper_bound(
+      findings_.begin(), findings_.end(), f,
+      [](const Finding& a, const Finding& b) {
+        return order_key(a) < order_key(b);
+      });
+  findings_.insert(at, std::move(f));
 }
 
 void LintReport::merge(LintReport other) {
-  for (Finding& f : other.findings_) findings_.push_back(std::move(f));
+  for (Finding& f : other.findings_) {
+    add(std::move(f.rule_id), f.severity, std::move(f.location),
+        std::move(f.message));
+  }
 }
 
 int LintReport::count(Severity s) const {

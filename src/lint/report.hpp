@@ -30,7 +30,10 @@ struct Finding {
   bool operator==(const Finding& o) const = default;
 };
 
-/// An ordered collection of findings with rendering and JSON round-trip.
+/// A collection of findings with rendering and JSON round-trip. Findings
+/// are kept in a canonical order (rule id, then location, then severity and
+/// message) regardless of insertion order, so serialized reports diff
+/// deterministically across analyzer passes and CI runs.
 class LintReport {
  public:
   void add(std::string rule_id, Severity severity, std::string location,

@@ -1,0 +1,37 @@
+// Sequential lint: dataflow-analysis-backed rules over the RTL IR.
+//
+// The netlist linter (netlist_lint.hpp) is purely structural; these rules
+// reason about *reachable* sequential behaviour instead, using the ternary
+// abstract simulator (dfa/abstract.hpp) and the inductive register sweep
+// (dfa/sweep.hpp):
+//
+//   NET-CONST       warning  register provably stuck at a constant in every
+//                            reachable state (reset value never escapes)
+//   NET-X-RESET     error    register X out of reset and provably never
+//                            recovering a defined value
+//   NET-DEAD-LOGIC  warning  driven combinational cone that evaluates to a
+//                            constant in every reachable state
+//   NET-EQUIV-REG   warning  two registers (both actually read by logic)
+//                            proven pairwise equivalent or complementary by
+//                            induction — one is redundant
+//
+// NET-EQUIV-REG is deliberately conservative: pairs inside one register,
+// pairs involving the blaster's __phase bits, pairs with a write-only
+// observation tap (sampled by name, invisibly to the netlist — the same
+// carve-out NET-UNUSED makes), and memory-expansion word registers are all
+// excluded, so the stock LA-1 device reports clean while a genuinely
+// duplicated register pair still trips.
+#pragma once
+
+#include "lint/report.hpp"
+#include "rtl/netlist.hpp"
+
+namespace la1::lint {
+
+/// Runs every sequential rule over `m` (elaborating first when
+/// hierarchical). Never throws on analyzable input; the sweep-based rule
+/// skips silently when the module cannot be bit-blasted (comb loops, X
+/// inits, memories too deep to expand).
+LintReport lint_sequential(const rtl::Module& m);
+
+}  // namespace la1::lint

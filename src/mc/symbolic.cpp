@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "dfa/sweep.hpp"
 #include "lint/psl_lint.hpp"
 #include "util/mem.hpp"
 #include "util/stopwatch.hpp"
@@ -108,11 +109,21 @@ std::string Encoding::state_bit_name(int rank) const {
 }
 
 /// Translates a BitGraph node into a BDD over the encoding's variables.
+/// `leaf_override` (optional, indexed by BitGraph variable) replaces a
+/// variable leaf with an arbitrary BDD — the invariant-substitution hook
+/// that rewrites redundant state bits to constants or (negated)
+/// representative variables.
 class Translator {
  public:
   Translator(const rtl::BitGraph& graph, bdd::Manager& mgr,
-             const std::vector<int>& var_map)
-      : graph_(&graph), mgr_(&mgr), var_map_(&var_map) {}
+             const std::vector<int>& var_map,
+             const std::vector<bdd::NodeId>* leaf_override = nullptr,
+             const std::vector<char>* has_override = nullptr)
+      : graph_(&graph),
+        mgr_(&mgr),
+        var_map_(&var_map),
+        leaf_override_(leaf_override),
+        has_override_(has_override) {}
 
   bdd::NodeId operator()(int node) {
     auto it = memo_.find(node);
@@ -123,6 +134,11 @@ class Translator {
     switch (n.kind) {
       case Kind::kConst: out = node == 1 ? bdd::kTrue : bdd::kFalse; break;
       case Kind::kVar: {
+        if (has_override_ != nullptr &&
+            (*has_override_)[static_cast<std::size_t>(n.var)]) {
+          out = (*leaf_override_)[static_cast<std::size_t>(n.var)];
+          break;
+        }
         const int v = (*var_map_)[static_cast<std::size_t>(n.var)];
         if (v < 0) throw std::logic_error("unmapped BitGraph variable");
         out = mgr_->var(v);
@@ -144,8 +160,90 @@ class Translator {
   const rtl::BitGraph* graph_;
   bdd::Manager* mgr_;
   const std::vector<int>* var_map_;
+  const std::vector<bdd::NodeId>* leaf_override_;
+  const std::vector<char>* has_override_;
   std::unordered_map<int, bdd::NodeId> memo_;
 };
+
+/// How one state bit is substituted away by a proven invariant.
+struct Substitution {
+  enum class Kind { kNone, kConst, kAlias };
+  Kind kind = Kind::kNone;
+  bool value = false;        // kConst
+  std::size_t root = 0;      // kAlias: state position of the representative
+  bool negate = false;       // kAlias: complement pair
+};
+
+/// Validates `inv` against the design and builds the per-state-position
+/// substitution table. Throws std::invalid_argument on facts that name
+/// unknown state bits or contradict the reset state.
+std::vector<Substitution> build_substitutions(const rtl::BitBlast& design,
+                                              const dfa::InvariantSet& inv) {
+  const std::size_t n = design.state_vars.size();
+  std::map<std::string, std::size_t> pos_of;
+  for (std::size_t k = 0; k < n; ++k) {
+    pos_of[design.vars[static_cast<std::size_t>(design.state_vars[k])].name] =
+        k;
+  }
+  auto position = [&](const std::string& name) {
+    const auto it = pos_of.find(name);
+    if (it == pos_of.end()) {
+      throw std::invalid_argument(
+          "mc::check: invariant names unknown state bit '" + name + "'");
+    }
+    return it->second;
+  };
+  auto init_of = [&](std::size_t k) {
+    return design.vars[static_cast<std::size_t>(design.state_vars[k])].init;
+  };
+
+  std::vector<Substitution> subs(n);
+  for (const dfa::Invariant& i : inv.invariants()) {
+    if (i.kind == dfa::Invariant::Kind::kConst) {
+      const std::size_t k = position(i.a);
+      if (init_of(k) != i.value) {
+        throw std::invalid_argument(
+            "mc::check: constant invariant on '" + i.a +
+            "' contradicts the reset state");
+      }
+      subs[k] = Substitution{Substitution::Kind::kConst, i.value, 0, false};
+      continue;
+    }
+    const bool negate = i.kind == dfa::Invariant::Kind::kComplement;
+    const std::size_t root = position(i.a);
+    const std::size_t twin = position(i.b);
+    if (root == twin || (init_of(twin) != (init_of(root) != negate))) {
+      throw std::invalid_argument("mc::check: pair invariant '" + i.a +
+                                  "' / '" + i.b +
+                                  "' contradicts the reset state");
+    }
+    subs[twin] = Substitution{Substitution::Kind::kAlias, false, root, negate};
+  }
+  // Collapse chains (alias onto an aliased or constant representative) so
+  // every surviving alias points at a live variable. The sweep itself
+  // never emits chains; caller-provided sets might.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (subs[k].kind != Substitution::Kind::kAlias) continue;
+    std::size_t root = subs[k].root;
+    bool negate = subs[k].negate;
+    std::size_t hops = 0;
+    while (subs[root].kind == Substitution::Kind::kAlias && hops++ <= n) {
+      negate ^= subs[root].negate;
+      root = subs[root].root;
+    }
+    if (hops > n) {
+      throw std::invalid_argument("mc::check: cyclic pair invariants");
+    }
+    if (subs[root].kind == Substitution::Kind::kConst) {
+      subs[k] = Substitution{Substitution::Kind::kConst,
+                             subs[root].value != negate, 0, false};
+    } else {
+      subs[k].root = root;
+      subs[k].negate = negate;
+    }
+  }
+  return subs;
+}
 
 /// Resolves an atom name against the blasted design: "net" (1-bit),
 /// "net[i]" (bit i), or "net.__conflict" (tristate conflict flag).
@@ -310,8 +408,30 @@ SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
   const Observer obs = build_observer(prop);
   const unsigned letters = 1u << obs.atoms.size();
 
+  // Invariant substitution table (empty when use_invariants is off).
+  // Substituted bits are excluded from the active set below: constants
+  // contribute nothing, aliases redirect to their representative.
+  std::vector<Substitution> subs(design.state_vars.size());
+  dfa::InvariantSet swept;
+  if (options.use_invariants) {
+    const dfa::InvariantSet* inv = options.invariants;
+    if (inv == nullptr) {
+      swept = dfa::sweep(design);
+      inv = &swept;
+    }
+    subs = build_substitutions(design, *inv);
+    for (const Substitution& s : subs) {
+      if (s.kind != Substitution::Kind::kNone) ++result.invariants_applied;
+    }
+  }
+  auto substituted = [&](std::size_t k) {
+    return subs[k].kind != Substitution::Kind::kNone;
+  };
+
   // Cone of influence: the state variables the property can observe,
-  // transitively through the next-state functions. Exact for safety.
+  // transitively through the next-state functions. Exact for safety. A
+  // substituted bit never enters the cone itself — an aliased bit pulls in
+  // its representative instead.
   std::vector<std::size_t> active;
   {
     const std::size_t n = design.state_vars.size();
@@ -325,10 +445,19 @@ SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
       while (changed) {
         changed = false;
         for (std::size_t k = 0; k < n; ++k) {
-          if (in_cone[k] ||
-              !var_mask[static_cast<std::size_t>(design.state_vars[k])]) {
+          if (!var_mask[static_cast<std::size_t>(design.state_vars[k])]) {
             continue;
           }
+          if (subs[k].kind == Substitution::Kind::kAlias) {
+            const std::size_t root_var =
+                static_cast<std::size_t>(design.state_vars[subs[k].root]);
+            if (!var_mask[root_var]) {
+              var_mask[root_var] = true;
+              changed = true;
+            }
+            continue;
+          }
+          if (in_cone[k] || substituted(k)) continue;
           in_cone[k] = true;
           design.graph.support(design.next_fn[k], var_mask);
           changed = true;
@@ -338,7 +467,9 @@ SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
         if (in_cone[k]) active.push_back(k);
       }
     } else {
-      for (std::size_t k = 0; k < n; ++k) active.push_back(k);
+      for (std::size_t k = 0; k < n; ++k) {
+        if (!substituted(k)) active.push_back(k);
+      }
     }
   }
 
@@ -430,7 +561,28 @@ SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
       var_map[static_cast<std::size_t>(design.input_vars[j])] =
           enc.input(static_cast<int>(j));
     }
-    Translator translate(design.graph, mgr, var_map);
+    // Invariant substitution: rewrite every occurrence of a proven-redundant
+    // state bit. Constants become terminals; aliases become the (possibly
+    // negated) current variable of their representative, which the cone
+    // computation guaranteed is active whenever the alias is referenced.
+    std::vector<bdd::NodeId> leaf_override(design.vars.size(), bdd::kFalse);
+    std::vector<char> has_override(design.vars.size(), 0);
+    for (std::size_t k = 0; k < design.state_vars.size(); ++k) {
+      const std::size_t gv = static_cast<std::size_t>(design.state_vars[k]);
+      if (subs[k].kind == Substitution::Kind::kConst) {
+        leaf_override[gv] = mgr.constant(subs[k].value);
+        has_override[gv] = 1;
+      } else if (subs[k].kind == Substitution::Kind::kAlias) {
+        const int rv = var_map[static_cast<std::size_t>(
+            design.state_vars[subs[k].root])];
+        if (rv >= 0) {
+          leaf_override[gv] = subs[k].negate ? mgr.nvar(rv) : mgr.var(rv);
+          has_override[gv] = 1;
+        }
+      }
+    }
+    Translator translate(design.graph, mgr, var_map, &leaf_override,
+                         &has_override);
     enc.state_at_rank = state_at_rank;
 
     // Model next-state conjuncts: s'_i <-> f_i(s, x), in rank order so the

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bdd/bdd.hpp"
+#include "dfa/invariants.hpp"
 #include "psl/dfa.hpp"
 #include "psl/monitor.hpp"
 #include "rtl/bitblast.hpp"
@@ -67,6 +68,21 @@ struct SymbolicOptions {
   /// monitor compiler rejects) throw std::invalid_argument with the
   /// rendered findings instead of failing deep inside the encoder.
   bool preflight_lint = true;
+  /// Strengthen the encoding with sweep-proven sequential invariants
+  /// (dfa/sweep.hpp) by *substitution*: a provably-constant state bit
+  /// becomes a BDD constant, a provably equivalent/complementary twin
+  /// collapses onto its representative's variable. Substituted bits lose
+  /// their state variable and transition conjunct entirely, shrinking the
+  /// relation before reachability. Sound for safety checking: the facts
+  /// hold in every reachable state, so the reduced system's reachable set
+  /// is the projection of the original and verdicts (and counterexample
+  /// depths) are identical.
+  bool use_invariants = false;
+  /// Facts to apply when `use_invariants` is set; nullptr = run the sweep
+  /// on the design internally. Entries naming unknown state bits, or
+  /// inconsistent with the design's reset state, throw
+  /// std::invalid_argument.
+  const dfa::InvariantSet* invariants = nullptr;
 };
 
 struct SymbolicResult {
@@ -81,6 +97,8 @@ struct SymbolicResult {
   double cpu_seconds = 0.0;
   int state_bits = 0;
   int input_bits = 0;
+  /// State bits substituted away by use_invariants (0 when disabled).
+  int invariants_applied = 0;
 
   /// Counterexample: per step, the state-variable assignment (by name).
   std::vector<std::map<std::string, bool>> trace;

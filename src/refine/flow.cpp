@@ -8,8 +8,10 @@
 #include "la1/properties.hpp"
 #include "la1/rtl_model.hpp"
 #include "la1/uml_spec.hpp"
+#include "dfa/sweep.hpp"
 #include "lint/netlist_lint.hpp"
 #include "lint/psl_lint.hpp"
+#include "lint/seq_lint.hpp"
 #include "mc/explicit.hpp"
 #include "mc/symbolic.hpp"
 #include "ovl/ovl.hpp"
@@ -151,23 +153,45 @@ FlowReport run_flow(const FlowOptions& options) {
     return !all.fails(lint::Severity::kError);
   });
 
-  // 7. RTL symbolic model checking (RuleBase-style), read-mode property.
+  // 7. Sequential dataflow analysis: ternary fixpoint over the reset state
+  // plus inductive register sweeping. Defects it proves (stuck registers,
+  // unrecoverable X, dead cones, duplicated state) fail the flow before the
+  // symbolic engine runs; the invariants it proves strengthen stage 8.
+  dfa::InvariantSet invariants;
+  stage(report, "sequential dataflow analysis", [&](std::string& detail) {
+    core::RtlDevice dev = core::build_device(mc_cfg);
+    const rtl::Module flat = dev.flatten();
+    const lint::LintReport seq = lint::lint_sequential(flat);
+    const rtl::Module expanded = rtl::expand_memories(flat);
+    invariants =
+        dfa::sweep(rtl::bitblast(expanded, core::clock_schedule(flat)));
+    detail = std::to_string(seq.size()) + " findings, " +
+             std::to_string(invariants.size()) + " invariants proven";
+    return !seq.fails(lint::Severity::kWarning);
+  });
+
+  // 8. RTL symbolic model checking (RuleBase-style), read-mode property,
+  // strengthened with the stage-7 invariants (substituted into the
+  // encoding before reachability).
   stage(report, "RTL symbolic model checking", [&](std::string& detail) {
     core::RtlDevice dev = core::build_device(mc_cfg);
     const rtl::Module flat = rtl::expand_memories(dev.flatten());
     const rtl::BitBlast bb = rtl::bitblast(flat, core::clock_schedule(flat));
     mc::SymbolicOptions sopt;
     sopt.node_limit = 4'000'000;
+    sopt.use_invariants = true;
+    sopt.invariants = &invariants;
     const mc::SymbolicResult r =
         mc::check(bb, core::rtl_read_mode_property(mc_cfg), sopt);
     std::ostringstream d;
     d << r.state_bits << " state bits, " << r.iterations << " iterations, "
-      << r.peak_bdd_nodes << " peak BDD nodes";
+      << r.peak_bdd_nodes << " peak BDD nodes, " << r.invariants_applied
+      << " invariants substituted";
     detail = d.str();
     return r.outcome == mc::SymbolicResult::Outcome::kHolds;
   });
 
-  // 8. RTL simulation with OVL monitors.
+  // 9. RTL simulation with OVL monitors.
   core::RtlConfig rcfg;
   rcfg.banks = banks;
   rcfg.data_bits = bcfg.data_bits;
@@ -229,7 +253,7 @@ FlowReport run_flow(const FlowOptions& options) {
     return bank.failures(sim) == 0;
   });
 
-  // 9. Verilog emission — the flow's final artifact.
+  // 10. Verilog emission — the flow's final artifact.
   stage(report, "Verilog emission", [&](std::string& detail) {
     core::RtlDevice dev = core::build_device(rcfg);
     report.verilog = rtl::to_verilog(*dev.top);

@@ -195,6 +195,38 @@ TEST(LintReportTest, FromJsonRejectsMalformedInput) {
       std::invalid_argument);
 }
 
+TEST(LintReportTest, FindingsKeepCanonicalOrder) {
+  // Insertion order must not leak into reports: findings sort by rule id,
+  // then location, regardless of the order analyses ran in.
+  LintReport scrambled;
+  scrambled.add("ZZZ-LAST", Severity::kError, "a", "m1");
+  scrambled.add("AAA-FIRST", Severity::kWarning, "b", "m2");
+  scrambled.add("MMM-MID", Severity::kInfo, "z", "m3");
+  scrambled.add("MMM-MID", Severity::kInfo, "a", "m4");
+
+  LintReport reversed;
+  reversed.add("MMM-MID", Severity::kInfo, "a", "m4");
+  reversed.add("MMM-MID", Severity::kInfo, "z", "m3");
+  reversed.add("AAA-FIRST", Severity::kWarning, "b", "m2");
+  reversed.add("ZZZ-LAST", Severity::kError, "a", "m1");
+
+  ASSERT_EQ(scrambled.findings().size(), 4u);
+  EXPECT_EQ(scrambled.findings()[0].rule_id, "AAA-FIRST");
+  EXPECT_EQ(scrambled.findings()[1].location, "a");
+  EXPECT_EQ(scrambled.findings()[2].location, "z");
+  EXPECT_EQ(scrambled.findings()[3].rule_id, "ZZZ-LAST");
+  EXPECT_EQ(scrambled.render(), reversed.render());
+  EXPECT_EQ(scrambled.to_json().dump(), reversed.to_json().dump());
+
+  // merge() routes through the same canonical insertion.
+  LintReport merged;
+  merged.add("MMM-MID", Severity::kInfo, "z", "m3");
+  LintReport other;
+  other.add("AAA-FIRST", Severity::kWarning, "b", "m2");
+  merged.merge(other);
+  EXPECT_EQ(merged.findings()[0].rule_id, "AAA-FIRST");
+}
+
 TEST(LintReportTest, SeverityNames) {
   EXPECT_EQ(severity_from_string("warn"), Severity::kWarning);
   EXPECT_EQ(severity_from_string("warning"), Severity::kWarning);

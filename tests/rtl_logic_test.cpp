@@ -141,6 +141,70 @@ TEST(LVec, ResolveBitwise) {
   EXPECT_EQ(r.bit(2), Logic::kZ);  // undriven
 }
 
+TEST(Logic, GateEdgeCasesWithX) {
+  // Controlling values decide regardless of the other operand.
+  EXPECT_EQ(logic_and(Logic::kX, Logic::k0), Logic::k0);
+  EXPECT_EQ(logic_and(Logic::k0, Logic::kX), Logic::k0);
+  EXPECT_EQ(logic_or(Logic::kX, Logic::k1), Logic::k1);
+  EXPECT_EQ(logic_or(Logic::k1, Logic::kX), Logic::k1);
+  // Non-controlling operands leave the result undefined.
+  EXPECT_EQ(logic_and(Logic::kX, Logic::k1), Logic::kX);
+  EXPECT_EQ(logic_or(Logic::kX, Logic::k0), Logic::kX);
+  EXPECT_EQ(logic_and(Logic::kX, Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_or(Logic::kX, Logic::kX), Logic::kX);
+  // XOR has no controlling value: X never cancels, even against itself.
+  EXPECT_EQ(logic_xor(Logic::kX, Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_xor(Logic::kX, Logic::k0), Logic::kX);
+  EXPECT_EQ(logic_xor(Logic::k1, Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_not(Logic::kX), Logic::kX);
+}
+
+TEST(Logic, ZBehavesLikeXInGates) {
+  // A floating input is as undefined as X to every gate; only resolution
+  // (tristate busses) treats Z specially.
+  EXPECT_EQ(logic_and(Logic::kZ, Logic::k0), Logic::k0);
+  EXPECT_EQ(logic_and(Logic::kZ, Logic::k1), Logic::kX);
+  EXPECT_EQ(logic_and(Logic::kZ, Logic::kZ), Logic::kX);
+  EXPECT_EQ(logic_or(Logic::kZ, Logic::k1), Logic::k1);
+  EXPECT_EQ(logic_or(Logic::kZ, Logic::k0), Logic::kX);
+  EXPECT_EQ(logic_or(Logic::kZ, Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_xor(Logic::kZ, Logic::k0), Logic::kX);
+  EXPECT_EQ(logic_xor(Logic::k1, Logic::kZ), Logic::kX);
+  EXPECT_EQ(logic_not(Logic::kZ), Logic::kX);
+  // Resolution: Z yields to any driver, X poisons every conflict.
+  EXPECT_EQ(resolve(Logic::kZ, Logic::kZ), Logic::kZ);
+  EXPECT_EQ(resolve(Logic::kX, Logic::kZ), Logic::kX);
+  EXPECT_EQ(resolve(Logic::kX, Logic::k1), Logic::kX);
+}
+
+TEST(LVec, EqWithZAndX) {
+  // A forced mismatch on defined bits decides 0 even when other bits
+  // float; otherwise any non-01 bit leaves the comparison undefined.
+  LVec a = LVec::from_uint(0b01, 2);
+  LVec b = LVec::from_uint(0b00, 2);
+  b.set_bit(1, Logic::kZ);
+  EXPECT_EQ(vec_eq(a, b), Logic::k0);  // bit 0: 1 vs 0
+  a.set_bit(0, Logic::kX);
+  EXPECT_EQ(vec_eq(a, b), Logic::kX);  // no defined mismatch left
+  LVec c = LVec::zs(2);
+  EXPECT_EQ(vec_eq(c, c), Logic::kX);  // all-Z compares undefined
+}
+
+TEST(LVec, MuxWithZSelectAndZData) {
+  LVec t = LVec::from_uint(0b10, 2);
+  LVec e = LVec::from_uint(0b10, 2);
+  // Z select acts like X: agreeing defined bits survive...
+  EXPECT_EQ(vec_mux(Logic::kZ, t, e).to_string(), "10");
+  // ...but agreeing *undefined* bits do not (Z==Z still muxes to X).
+  t.set_bit(0, Logic::kZ);
+  e.set_bit(0, Logic::kZ);
+  const LVec out = vec_mux(Logic::kZ, t, e);
+  EXPECT_EQ(out.bit(0), Logic::kX);
+  EXPECT_EQ(out.bit(1), Logic::k1);
+  // A defined select passes Z data through untouched.
+  EXPECT_EQ(vec_mux(Logic::k1, t, e).bit(0), Logic::kZ);
+}
+
 TEST(Logic, CharConversions) {
   EXPECT_EQ(to_char(Logic::kZ), 'Z');
   EXPECT_EQ(logic_from_char('1'), Logic::k1);

@@ -70,7 +70,9 @@ grep -q '"errors": 0' "$smoke_dir/lint.json"
 for pair in loop:NET-COMB-LOOP double-driver:NET-MULTI-DRIVE \
             width-mismatch:NET-MEM-ADDR no-reset:NET-NO-RESET \
             name-collision:NET-NAME-COLLISION unsat-sere:PSL-UNSAT \
-            missing-net:PSL-MISSING-NET; do
+            missing-net:PSL-MISSING-NET stuck-reg:NET-CONST \
+            x-reset:NET-X-RESET dead-logic:NET-DEAD-LOGIC \
+            dup-reg:NET-EQUIV-REG; do
   defect=${pair%%:*}
   rule=${pair#*:}
   if "$build_dir/tools/la1check" lint --inject "$defect" --fail-on warn \
@@ -81,18 +83,30 @@ for pair in loop:NET-COMB-LOOP double-driver:NET-MULTI-DRIVE \
   grep -q "\"rule_id\": \"$rule\"" "$smoke_dir/lint-$defect.json"
 done
 
+# Sequential-dataflow gate: the stock model-checking geometry must come out
+# of the ternary fixpoint + register sweep with zero findings of any
+# severity at every bank count the Table-2 benches exercise.
+for banks in 1 2 4; do
+  "$build_dir/tools/la1check" dfa --banks "$banks" --fail-on warn \
+    --json "$smoke_dir/dfa-$banks.json" > /dev/null
+  grep -q '"errors": 0' "$smoke_dir/dfa-$banks.json"
+  grep -q '"warnings": 0' "$smoke_dir/dfa-$banks.json"
+done
+
 # Bench smoke: every bench_table* binary must emit a parseable --json
 # report; the 3-way lockstep example must agree across the levels.
 "$build_dir/bench/bench_table1_asm_mc" --max-banks 1 --max-states 20000 \
   --json "$smoke_dir/table1.json" > /dev/null
 "$build_dir/bench/bench_table2_symbolic_mc" --max-banks 1 \
   --json "$smoke_dir/table2.json" > /dev/null
+"$build_dir/bench/bench_table2_invariants" --max-banks 1 \
+  --json "$smoke_dir/BENCH_table2_invariants.json" > /dev/null
 "$build_dir/bench/bench_table3_abv_sim" --banks-list 1 --sc-ticks 400 \
   --rtl-ticks 200 --json "$smoke_dir/table3.json" > /dev/null
 "$build_dir/examples/nway_lockstep" --banks-list 1,2 --transactions 200 \
   --json "$smoke_dir/nway.json" > /dev/null
 
-for f in table1 table2 table3 nway; do
+for f in table1 table2 BENCH_table2_invariants table3 nway; do
   # Minimal validity check without external tools: the canonical report
   # shape starts with {"bench": and names its metrics array.
   grep -q '"bench"' "$smoke_dir/$f.json"

@@ -21,6 +21,11 @@
 //       static analysis of the device netlist, the shipped RTL property
 //       suite, and any --prop/--vunit-file properties. --inject runs a
 //       named broken fixture instead (see lint::injected_defects()).
+//   la1check dfa [--banks N] [--json F|-] [--fail-on warn|error|never]
+//       sequential dataflow analysis of the model-checking geometry:
+//       ternary fixpoint + register sweeping (NET-CONST, NET-X-RESET,
+//       NET-DEAD-LOGIC, NET-EQUIV-REG) plus the full list of sweep-proven
+//       invariants the symbolic engine can substitute.
 //
 // Common options: --banks N (default 1), --seed S, --ticks T (sim),
 // --max-states N (asm), --node-limit N / --no-coi (rtl).
@@ -28,6 +33,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "dfa/sweep.hpp"
 #include "la1/asm_model.hpp"
 #include "la1/behavioral.hpp"
 #include "la1/host_bfm.hpp"
@@ -35,6 +41,7 @@
 #include "lint/fixtures.hpp"
 #include "lint/netlist_lint.hpp"
 #include "lint/psl_lint.hpp"
+#include "lint/seq_lint.hpp"
 #include "mc/explicit.hpp"
 #include "mc/symbolic.hpp"
 #include "psl/parse.hpp"
@@ -49,14 +56,15 @@ using namespace la1;
 
 int usage() {
   std::fputs(
-      "usage: la1check <sim|asm|rtl|verilog|flow|lint> [options]\n"
+      "usage: la1check <sim|asm|rtl|verilog|flow|lint|dfa> [options]\n"
       "  common:  --banks N  --seed S\n"
       "  sim:     --prop \"<psl>\" | --vunit-file F   --ticks T\n"
       "  asm:     --prop \"<psl>\"   --max-states N\n"
       "  rtl:     --prop \"<psl>\"   --node-limit N  --no-coi\n"
       "  verilog: --out FILE\n"
       "  lint:    --json FILE|-  --fail-on warn|error|never\n"
-      "           --prop \"<psl>\" | --vunit-file F  --inject DEFECT\n",
+      "           --prop \"<psl>\" | --vunit-file F  --inject DEFECT\n"
+      "  dfa:     --json FILE|-  --fail-on warn|error|never\n",
       stderr);
   return 2;
 }
@@ -261,6 +269,68 @@ int run_lint(const util::Cli& cli) {
   return report.fails(lint::severity_from_string(fail_on)) ? 1 : 0;
 }
 
+int run_dfa(const util::Cli& cli) {
+  const std::string fail_on = cli.get("fail-on", "error");
+  const int banks = static_cast<int>(cli.get_int("banks", 1));
+
+  // Sequential analyses need the bit-blastable model-checking geometry —
+  // the same netlist `la1check rtl` hands to the symbolic engine.
+  const core::RtlConfig cfg = core::RtlConfig::model_checking(banks);
+  core::RtlDevice dev = core::build_device(cfg);
+  const rtl::Module flat = dev.flatten();
+
+  const lint::LintReport report = lint::lint_sequential(flat);
+  const rtl::Module expanded = rtl::expand_memories(flat);
+  const dfa::InvariantSet invariants =
+      dfa::sweep(rtl::bitblast(expanded, core::clock_schedule(flat)));
+
+  const std::string json = cli.get("json", "");
+  util::Json out = report.to_json();
+  const util::Json inv_json = invariants.to_json();
+  if (const util::Json* arr = inv_json.find("invariants")) {
+    out.set("invariants", *arr);
+  }
+  if (json == "-") {
+    std::fputs((out.dump(2) + "\n").c_str(), stdout);
+  } else {
+    std::printf("dfa target: %d-bank device (model-checking geometry)\n",
+                banks);
+    std::fputs(report.render().c_str(), stdout);
+    std::printf("sweep: %d invariant(s) proven (%d const, %d equal, "
+                "%d complement)\n",
+                static_cast<int>(invariants.size()),
+                static_cast<int>(invariants.count(dfa::Invariant::Kind::kConst)),
+                static_cast<int>(invariants.count(dfa::Invariant::Kind::kEqual)),
+                static_cast<int>(
+                    invariants.count(dfa::Invariant::Kind::kComplement)));
+    for (const dfa::Invariant& inv : invariants.invariants()) {
+      switch (inv.kind) {
+        case dfa::Invariant::Kind::kConst:
+          std::printf("  %s == %d\n", inv.a.c_str(), inv.value ? 1 : 0);
+          break;
+        case dfa::Invariant::Kind::kEqual:
+          std::printf("  %s == %s\n", inv.a.c_str(), inv.b.c_str());
+          break;
+        case dfa::Invariant::Kind::kComplement:
+          std::printf("  %s == !%s\n", inv.a.c_str(), inv.b.c_str());
+          break;
+      }
+    }
+    if (!json.empty()) {
+      std::ofstream f(json);
+      if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json.c_str());
+        return 2;
+      }
+      f << out.dump(2) << '\n';
+      std::printf("wrote findings to %s\n", json.c_str());
+    }
+  }
+
+  if (fail_on == "never") return 0;
+  return report.fails(lint::severity_from_string(fail_on)) ? 1 : 0;
+}
+
 int run_flow(const util::Cli& cli) {
   refine::FlowOptions opt;
   opt.banks = static_cast<int>(cli.get_int("banks", 1));
@@ -282,6 +352,7 @@ int main(int argc, char** argv) {
     if (mode == "verilog") return run_verilog(cli);
     if (mode == "flow") return run_flow(cli);
     if (mode == "lint") return run_lint(cli);
+    if (mode == "dfa") return run_dfa(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

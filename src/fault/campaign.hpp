@@ -1,0 +1,92 @@
+// Mutation-coverage campaigns over the verification stack.
+//
+// The campaign engine derives a deterministic fault plan (fault.hpp), runs
+// every mutant through the full detection stack, and emits a per
+// (fault × checker) caught/missed/timeout matrix:
+//
+//   psl       compiled PSL monitors sampling the mutant's harness taps
+//   ovl       OVL monitor logic instantiated into the mutant netlist
+//   lockstep  co-execution against a pristine reference (taps, read-data
+//             bus, end-of-run memory image)
+//   mc        symbolic model checking of the reduced geometry under a
+//             resource Budget (mc/verdict.hpp); structural faults only
+//
+// A control run of the unmutated device under the identical stimulus
+// guards against false alarms — a checker that fires on the pristine
+// device invalidates the whole campaign. Reports render as util::Table and
+// round-trip through util::Json.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "mc/verdict.hpp"
+#include "util/json.hpp"
+
+namespace la1::fault {
+
+enum class CellOutcome { kCaught, kMissed, kTimeout, kNotApplicable };
+
+const char* to_string(CellOutcome outcome);
+CellOutcome cell_outcome_from_string(const std::string& name);
+
+/// One (fault, checker) matrix cell.
+struct CampaignCell {
+  std::string checker;
+  CellOutcome outcome = CellOutcome::kMissed;
+  std::string detail;
+};
+
+/// One fault's row: the spec plus a cell per checker.
+struct CampaignRow {
+  FaultSpec fault;
+  std::vector<CampaignCell> cells;
+
+  bool caught() const;
+  const CampaignCell* cell(const std::string& checker) const;
+};
+
+struct CampaignOptions {
+  int banks = 1;
+  std::uint64_t seed = 1;
+  /// K cycles of seeded traffic per mutant (plus drain).
+  int transactions = 300;
+  int drain_ticks = 16;
+  /// Full simulation geometry (the lockstep/ABV side).
+  int data_bits = 8;
+  int mem_addr_bits = 4;
+  PlanOptions plan;
+  /// Run the symbolic-MC column (reduced geometry, budgeted). Protocol
+  /// faults are kNotApplicable there regardless.
+  bool run_mc = true;
+  /// Budget for each symbolic check; exhaustion marks the cell kTimeout
+  /// instead of wedging the campaign.
+  mc::Budget mc_budget{/*wall_ms=*/5000, /*bdd_nodes=*/500'000,
+                       /*max_cycles=*/64};
+};
+
+struct CampaignReport {
+  int banks = 1;
+  std::uint64_t seed = 1;
+  int transactions = 0;
+  std::vector<std::string> checkers;
+  std::vector<CampaignRow> rows;
+  /// Control run of the unmutated device: true iff no checker fired.
+  bool clean_ok = true;
+  std::vector<std::string> clean_alarms;
+
+  int caught_count() const;
+  /// Fraction of faults caught by at least one checker.
+  double mutation_score() const;
+
+  util::Json to_json() const;
+  static CampaignReport from_json(const util::Json& j);
+  std::string render() const;
+};
+
+/// Runs the full campaign: plan, control run, one pass per mutant.
+CampaignReport run_campaign(const CampaignOptions& options);
+
+}  // namespace la1::fault

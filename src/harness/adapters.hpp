@@ -13,8 +13,8 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "harness/device_model.hpp"
 #include "la1/asm_model.hpp"
@@ -108,7 +108,9 @@ class RtlDeviceModel : public DeviceModel {
   std::vector<BankNets> bank_nets_;
   std::vector<rtl::MemId> bank_mems_;
   rtl::NetId dout_net_ = rtl::kInvalidId;
-  std::unordered_map<std::string, std::function<bool()>> taps_;
+  // Ordered on purpose: every container on the stimulus/trace path must
+  // iterate deterministically so traces are byte-reproducible from seed.
+  std::map<std::string, std::function<bool()>> taps_;
 };
 
 }  // namespace la1::harness

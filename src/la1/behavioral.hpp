@@ -13,7 +13,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <string>
 #include <vector>
 
@@ -185,7 +184,9 @@ class ProbeEnv : public psl::Env {
   void add(const std::string& name, std::function<bool()> probe);
 
  private:
-  std::unordered_map<std::string, std::function<bool()>> probes_;
+  // Ordered on purpose (harness determinism audit): probe lookup must not
+  // depend on hash-table layout anywhere on the stimulus/trace path.
+  std::map<std::string, std::function<bool()>> probes_;
 };
 
 /// Owns kernel + pins + device + host BFM and sequences half-cycle ticks:

@@ -1,6 +1,7 @@
 #include "mc/symbolic.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cmath>
 #include <deque>
@@ -73,6 +74,32 @@ Observer build_observer(const psl::PropPtr& prop, int max_states) {
 
 namespace {
 
+/// Internal control-flow exception: the wall-clock budget expired. Caught
+/// at the top level of check_once and turned into a qualified verdict,
+/// exactly like bdd::ResourceExhausted.
+struct WallBudgetExpired {};
+
+/// Wall-clock deadline, polled at iteration and conjunct boundaries (the
+/// two places a single BDD operation can run long).
+struct Deadline {
+  bool enabled = false;
+  std::chrono::steady_clock::time_point at{};
+
+  static Deadline after_ms(std::uint64_t ms) {
+    Deadline d;
+    if (ms != 0) {
+      d.enabled = true;
+      d.at = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    }
+    return d;
+  }
+  void poll() const {
+    if (enabled && std::chrono::steady_clock::now() >= at) {
+      throw WallBudgetExpired{};
+    }
+  }
+};
+
 /// Everything the reachability engine needs, bundled so the counterexample
 /// extractor can reuse it.
 struct Encoding {
@@ -82,6 +109,7 @@ struct Encoding {
   int n_obs = 0;      // observer state bits
   int n_state = 0;    // n_model + n_obs
   int n_inputs = 0;
+  const Deadline* deadline = nullptr;
 
   int cur(int i) const { return 2 * i; }
   int nxt(int i) const { return 2 * i + 1; }
@@ -300,6 +328,7 @@ bdd::NodeId image(const Encoding& enc, bdd::NodeId from, bool partitioned,
   bdd::NodeId acc = from;
   mgr.ref(acc);
   for (std::size_t ci = 0; ci < enc.conjuncts.size(); ++ci) {
+    if (enc.deadline != nullptr) enc.deadline->poll();
     std::vector<bool> mask(nvars, false);
     bool any = false;
     for (std::size_t v = 0; v < nvars; ++v) {
@@ -388,12 +417,31 @@ std::vector<std::map<std::string, bool>> extract_trace(
   return trace;
 }
 
-}  // namespace
+/// The smaller of two caps, treating 0 as "unlimited".
+template <typename T>
+T tighter(T a, T b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return a < b ? a : b;
+}
 
-SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
-                     const SymbolicOptions& options) {
+/// One full check under one variable order. Budget exhaustion lands in
+/// result.verdict (BoundedPass/Unknown); the retry policy lives in the
+/// public check().
+SymbolicResult check_once(const rtl::BitBlast& design, const psl::PropPtr& prop,
+                          const SymbolicOptions& options, VarOrder order) {
   util::CpuStopwatch cpu;
   SymbolicResult result;
+  const Deadline deadline = Deadline::after_ms(options.budget.wall_ms);
+  const std::uint64_t node_limit =
+      tighter(options.node_limit, options.budget.bdd_nodes);
+  const int max_iterations =
+      tighter(options.max_iterations, options.budget.max_cycles);
+  // True once the engine has verified at least "no bad state within
+  // result.iterations transitions" — the difference between a BoundedPass
+  // and a plain Unknown when a resource later runs out.
+  bool bound_established = false;
+  std::string exhausted_reason;
 
   if (options.preflight_lint) {
     const BitBlastSignals signals(design);
@@ -484,8 +532,9 @@ SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
   result.input_bits = enc.n_inputs;
 
   bdd::Manager mgr(2 * enc.n_state + enc.n_inputs);
-  mgr.set_node_limit(options.node_limit);
+  mgr.set_node_limit(node_limit);
   enc.mgr = &mgr;
+  enc.deadline = &deadline;
 
   auto fill_stats = [&] {
     result.peak_bdd_nodes = mgr.peak_live_nodes();
@@ -497,10 +546,12 @@ SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
   try {
     // Static variable order. Reachable-set BDDs relate same-lane bits of
     // different registers (memory word <-> pipeline word <-> data-path
-    // registers), so within each instance prefix the order is *bit-major*:
-    // all lane-0 bits of every register, then lane 1, ... Register-major
-    // order would force the BDD to remember whole words across distant
-    // variable groups (exponential equality relations).
+    // registers), so within each instance prefix the default order is
+    // *bit-major*: all lane-0 bits of every register, then lane 1, ...
+    // Register-major order generally forces the BDD to remember whole
+    // words across distant variable groups (exponential equality
+    // relations), but is kept as the automatic-retry alternative — on
+    // exhaustion a differently-shaped order is the cheapest second chance.
     std::vector<int> rank_of_active(active.size());
     {
       struct Key {
@@ -535,12 +586,21 @@ SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
       // Instances interleave (same register of different banks adjacent):
       // the shared buses make sibling registers near-equal across banks,
       // and bank-major order would turn those into distant equalities.
-      std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
-        if (a.lane != b.lane) return a.lane < b.lane;
-        if (a.word != b.word) return a.word < b.word;
-        if (a.reg != b.reg) return a.reg < b.reg;
-        return a.instance < b.instance;
-      });
+      if (order == VarOrder::kBitMajor) {
+        std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+          if (a.lane != b.lane) return a.lane < b.lane;
+          if (a.word != b.word) return a.word < b.word;
+          if (a.reg != b.reg) return a.reg < b.reg;
+          return a.instance < b.instance;
+        });
+      } else {
+        std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+          if (a.instance != b.instance) return a.instance < b.instance;
+          if (a.reg != b.reg) return a.reg < b.reg;
+          if (a.word != b.word) return a.word < b.word;
+          return a.lane < b.lane;
+        });
+      }
       for (std::size_t pos = 0; pos < keys.size(); ++pos) {
         rank_of_active[keys[pos].active_index] = static_cast<int>(pos);
       }
@@ -588,6 +648,7 @@ SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
     // Model next-state conjuncts: s'_i <-> f_i(s, x), in rank order so the
     // early-quantification pass walks the variable order.
     for (int r = 0; r < enc.n_model; ++r) {
+      deadline.poll();
       const int k = state_at_rank[static_cast<std::size_t>(r)];
       const bdd::NodeId f =
           translate(design.next_fn[static_cast<std::size_t>(k)]);
@@ -746,7 +807,10 @@ SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
     mgr.ref(frontier);
     mgr.ref(rings.back());
     for (;;) {
-      if (mgr.apply_and(reached, enc.bad) != bdd::kFalse) {
+      deadline.poll();
+      const bool bad_reached = mgr.apply_and(reached, enc.bad) != bdd::kFalse;
+      bound_established = true;
+      if (bad_reached) {
         // Trim rings to the first ring that intersects bad.
         while (mgr.apply_and(rings.back(), enc.bad) == bdd::kFalse &&
                rings.size() > 1) {
@@ -756,9 +820,10 @@ SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
         result.trace = extract_trace(enc, rings, enc.bad);
         break;
       }
-      if (options.max_iterations > 0 &&
-          result.iterations >= options.max_iterations) {
+      if (max_iterations > 0 && result.iterations >= max_iterations) {
         result.outcome = SymbolicResult::Outcome::kStateExplosion;
+        exhausted_reason = "iteration cap reached (" +
+                           std::to_string(max_iterations) + " cycles)";
         break;
       }
       // Image of the full reached set: the union is a structurally smoother
@@ -797,12 +862,70 @@ SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
     const double free_vars =
         static_cast<double>(mgr.var_count() - enc.n_state);
     result.reachable_states = mgr.sat_count(reached) / std::pow(2.0, free_vars);
-  } catch (const bdd::ResourceExhausted&) {
+  } catch (const bdd::ResourceExhausted& e) {
     result.outcome = SymbolicResult::Outcome::kStateExplosion;
+    exhausted_reason = "BDD node budget exhausted (" +
+                       std::to_string(e.live_nodes) + " live nodes, limit " +
+                       std::to_string(e.limit) + ")";
+  } catch (const WallBudgetExpired&) {
+    result.outcome = SymbolicResult::Outcome::kStateExplosion;
+    exhausted_reason = "wall budget exhausted (" +
+                       std::to_string(options.budget.wall_ms) + " ms)";
+  }
+
+  switch (result.outcome) {
+    case SymbolicResult::Outcome::kHolds:
+      result.verdict.kind = Verdict::Kind::kProven;
+      result.verdict.depth = result.iterations;
+      break;
+    case SymbolicResult::Outcome::kFails:
+      result.verdict.kind = Verdict::Kind::kFalsified;
+      result.verdict.depth =
+          result.trace.empty() ? 0 : static_cast<int>(result.trace.size()) - 1;
+      break;
+    case SymbolicResult::Outcome::kStateExplosion:
+      result.verdict.kind = bound_established ? Verdict::Kind::kBoundedPass
+                                              : Verdict::Kind::kUnknown;
+      result.verdict.depth = bound_established ? result.iterations : 0;
+      result.verdict.reason = exhausted_reason.empty()
+                                  ? "resource budget exhausted"
+                                  : exhausted_reason;
+      break;
   }
 
   fill_stats();
   return result;
+}
+
+}  // namespace
+
+SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
+                     const SymbolicOptions& options) {
+  SymbolicResult first = check_once(design, prop, options, options.var_order);
+  // Graceful degradation: one automatic retry under the alternate variable
+  // order, with a fresh budget, when a *budgeted* run exhausted a resource.
+  // Unbudgeted runs keep the historical single-shot behaviour (the Table-2
+  // explosion benches measure exactly one attempt).
+  if (first.verdict.decisive() || options.budget.unlimited()) return first;
+  SymbolicOptions retry = options;
+  retry.var_order = options.var_order == VarOrder::kBitMajor
+                        ? VarOrder::kRegisterMajor
+                        : VarOrder::kBitMajor;
+  SymbolicResult second = check_once(design, prop, retry, retry.var_order);
+  second.cpu_seconds += first.cpu_seconds;
+  if (second.verdict.decisive()) {
+    second.verdict.retries = 1;
+    return second;
+  }
+  // Neither attempt was decisive: keep the more informative bound.
+  const bool prefer_second =
+      (second.verdict.kind == Verdict::Kind::kBoundedPass &&
+       first.verdict.kind != Verdict::Kind::kBoundedPass) ||
+      (second.verdict.kind == first.verdict.kind &&
+       second.verdict.depth > first.verdict.depth);
+  SymbolicResult& best = prefer_second ? second : first;
+  best.verdict.retries = 1;
+  return best;
 }
 
 }  // namespace la1::mc

@@ -22,6 +22,7 @@
 
 #include "bdd/bdd.hpp"
 #include "dfa/invariants.hpp"
+#include "mc/verdict.hpp"
 #include "psl/dfa.hpp"
 #include "psl/monitor.hpp"
 #include "rtl/bitblast.hpp"
@@ -48,10 +49,31 @@ struct Observer {
 /// are reachable (not expected for the supported fragment).
 Observer build_observer(const psl::PropPtr& prop, int max_states = 1 << 12);
 
+/// Static BDD variable order of the state bits.
+enum class VarOrder {
+  /// Bit-major: all lane-0 bits of every register, then lane 1, ... Keeps
+  /// same-lane bits of related registers adjacent (the default; see the
+  /// ordering comment in symbolic.cpp).
+  kBitMajor,
+  /// Register-major: each register's bits contiguous, instances grouped.
+  /// The automatic-retry order — occasionally wins where bit-major blows
+  /// up, and a cheap source of order diversity either way.
+  kRegisterMajor,
+};
+
 struct SymbolicOptions {
   /// Live-BDD-node budget; 0 = unlimited. Exceeding it reports
   /// kStateExplosion (the Table-2 reproduction knob).
   std::uint64_t node_limit = 0;
+  /// Resource budget (wall clock / live BDD nodes / reachability
+  /// iterations). Nonzero fields tighten node_limit and max_iterations;
+  /// exhaustion degrades to a qualified SymbolicResult::verdict
+  /// (BoundedPass/Unknown) instead of aborting, and triggers one automatic
+  /// retry under the alternate variable order. All-zero (the default) means
+  /// unlimited and disables the retry, so stock behaviour is unchanged.
+  Budget budget;
+  /// Initial static variable order; the retry flips it.
+  VarOrder var_order = VarOrder::kBitMajor;
   /// Partitioned transition relation with early quantification vs one
   /// monolithic relation BDD (ablation A).
   bool partitioned = true;
@@ -99,6 +121,11 @@ struct SymbolicResult {
   int input_bits = 0;
   /// State bits substituted away by use_invariants (0 when disabled).
   int invariants_applied = 0;
+  /// Qualified verdict: kHolds -> Proven, kFails -> Falsified,
+  /// kStateExplosion -> BoundedPass (bound established before exhaustion)
+  /// or Unknown (died during encoding), with the exhaustion reason and the
+  /// number of automatic variable-order retries recorded.
+  Verdict verdict;
 
   /// Counterexample: per step, the state-variable assignment (by name).
   std::vector<std::map<std::string, bool>> trace;

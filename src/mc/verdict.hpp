@@ -1,0 +1,66 @@
+// Resource budgets and qualified verdicts for model checking.
+//
+// Table 2 of the paper shows the symbolic engine running out of memory at
+// four banks. Instead of surfacing that as a hard failure, every check runs
+// under a `Budget` and exhaustion degrades to a *qualified* verdict:
+//
+//     Proven            the property holds in every reachable state
+//     Falsified         a counterexample was found (depth recorded)
+//     BoundedPass{d}    no violation within d transitions, budget exhausted
+//     Unknown{reason}   the budget died before any bound was established
+//
+// BoundedPass mirrors how ILA-based SoC verification reports partial
+// proofs; `reason` records which resource ran out (wall clock, BDD nodes,
+// iteration cap) and `retries` how many automatic re-runs under an
+// alternate BDD variable order were attempted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace la1::mc {
+
+/// Resource budget for one model-checking call. Zero fields are unlimited.
+struct Budget {
+  /// Wall-clock deadline in milliseconds for the whole check.
+  std::uint64_t wall_ms = 0;
+  /// Live-BDD-node cap (combines with SymbolicOptions::node_limit; the
+  /// smaller nonzero bound wins).
+  std::uint64_t bdd_nodes = 0;
+  /// Reachability iteration cap (combines with max_iterations likewise).
+  int max_cycles = 0;
+
+  bool unlimited() const {
+    return wall_ms == 0 && bdd_nodes == 0 && max_cycles == 0;
+  }
+};
+
+/// Qualified verdict lattice: kProven/kFalsified are decisive; the other
+/// two record how far the engine got before a resource ran out.
+struct Verdict {
+  enum class Kind { kProven, kFalsified, kBoundedPass, kUnknown };
+  Kind kind = Kind::kUnknown;
+  /// kFalsified: failure depth (transitions from reset to the violation).
+  /// kBoundedPass: violation-free bound established before exhaustion.
+  int depth = 0;
+  /// kBoundedPass/kUnknown: which resource was exhausted.
+  std::string reason;
+  /// Automatic re-runs under the alternate BDD variable order.
+  int retries = 0;
+
+  bool decisive() const {
+    return kind == Kind::kProven || kind == Kind::kFalsified;
+  }
+};
+
+inline const char* to_string(Verdict::Kind kind) {
+  switch (kind) {
+    case Verdict::Kind::kProven: return "Proven";
+    case Verdict::Kind::kFalsified: return "Falsified";
+    case Verdict::Kind::kBoundedPass: return "BoundedPass";
+    case Verdict::Kind::kUnknown: return "Unknown";
+  }
+  return "Unknown";
+}
+
+}  // namespace la1::mc

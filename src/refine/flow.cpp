@@ -9,6 +9,7 @@
 #include "la1/rtl_model.hpp"
 #include "la1/uml_spec.hpp"
 #include "dfa/sweep.hpp"
+#include "fault/campaign.hpp"
 #include "lint/netlist_lint.hpp"
 #include "lint/psl_lint.hpp"
 #include "lint/seq_lint.hpp"
@@ -253,7 +254,26 @@ FlowReport run_flow(const FlowOptions& options) {
     return bank.failures(sim) == 0;
   });
 
-  // 10. Verilog emission — the flow's final artifact.
+  // 10. Fault-injection campaign: attack the checkers the earlier stages
+  // relied on. A small fixed-seed mutant set must be overwhelmingly
+  // caught, and the unmutated device must raise no alarm.
+  stage(report, "fault-injection campaign", [&](std::string& detail) {
+    fault::CampaignOptions copt;
+    copt.banks = banks;
+    copt.seed = options.seed;
+    copt.transactions = 150;
+    copt.plan.structural = 5;
+    copt.plan.protocol = 2;
+    copt.run_mc = false;  // the symbolic column already ran as stage 8
+    const fault::CampaignReport campaign = fault::run_campaign(copt);
+    detail = std::to_string(campaign.caught_count()) + "/" +
+             std::to_string(campaign.rows.size()) + " mutants caught, " +
+             (campaign.clean_ok ? "no false alarms"
+                                : "FALSE ALARMS on the clean device");
+    return campaign.clean_ok && campaign.mutation_score() >= 0.8;
+  });
+
+  // 11. Verilog emission — the flow's final artifact.
   stage(report, "Verilog emission", [&](std::string& detail) {
     core::RtlDevice dev = core::build_device(rcfg);
     report.verilog = rtl::to_verilog(*dev.top);

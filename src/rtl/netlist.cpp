@@ -329,6 +329,122 @@ void Module::instantiate(const std::string& name, const Module& child,
   instances_.push_back(std::move(inst));
 }
 
+void Module::rewrite_assign(NetId target, ExprId value) {
+  const Net& n = net(target);
+  if (n.width != expr_width(value)) {
+    throw std::invalid_argument("rewrite_assign width mismatch on " + n.name);
+  }
+  for (ContAssign& a : assigns_) {
+    if (a.target == target) {
+      a.value = value;
+      return;
+    }
+  }
+  throw std::invalid_argument("rewrite_assign: no continuous driver on " +
+                              n.name);
+}
+
+void Module::map_assign(NetId target,
+                        const std::function<ExprId(ExprId)>& fn) {
+  for (ContAssign& a : assigns_) {
+    if (a.target == target) {
+      const ExprId replacement = fn(a.value);
+      const Net& n = net(target);
+      if (n.width != expr_width(replacement)) {
+        throw std::invalid_argument("map_assign width mismatch on " + n.name);
+      }
+      a.value = replacement;
+      return;
+    }
+  }
+  throw std::invalid_argument("map_assign: no continuous driver on " +
+                              net(target).name);
+}
+
+void Module::rewrite_nonblocking(NetId target_reg, ExprId value) {
+  const Net& n = net(target_reg);
+  if (n.kind != NetKind::kReg) {
+    throw std::invalid_argument("rewrite_nonblocking target must be a reg: " +
+                                n.name);
+  }
+  if (n.width != expr_width(value)) {
+    throw std::invalid_argument("rewrite_nonblocking width mismatch on " +
+                                n.name);
+  }
+  bool found = false;
+  for (Process& p : processes_) {
+    for (SeqAssign& a : p.assigns) {
+      if (a.target == target_reg) {
+        a.value = value;
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument("rewrite_nonblocking: reg never assigned: " +
+                                n.name);
+  }
+}
+
+void Module::map_nonblocking(NetId target_reg,
+                             const std::function<ExprId(ExprId)>& fn) {
+  const Net& n = net(target_reg);
+  if (n.kind != NetKind::kReg) {
+    throw std::invalid_argument("map_nonblocking target must be a reg: " +
+                                n.name);
+  }
+  bool found = false;
+  for (Process& p : processes_) {
+    for (SeqAssign& a : p.assigns) {
+      if (a.target == target_reg) {
+        const ExprId replacement = fn(a.value);
+        if (n.width != expr_width(replacement)) {
+          throw std::invalid_argument("map_nonblocking width mismatch on " +
+                                      n.name);
+        }
+        a.value = replacement;
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument("map_nonblocking: reg never assigned: " +
+                                n.name);
+  }
+}
+
+void Module::drop_nonblocking(NetId target_reg) {
+  const Net& n = net(target_reg);
+  if (n.kind != NetKind::kReg) {
+    throw std::invalid_argument("drop_nonblocking target must be a reg: " +
+                                n.name);
+  }
+  bool found = false;
+  for (Process& p : processes_) {
+    for (std::size_t i = p.assigns.size(); i-- > 0;) {
+      if (p.assigns[i].target == target_reg) {
+        p.assigns.erase(p.assigns.begin() + static_cast<std::ptrdiff_t>(i));
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument("drop_nonblocking: reg never assigned: " +
+                                n.name);
+  }
+}
+
+void Module::set_reg_init(NetId target_reg, LVec init) {
+  Net& n = nets_.at(static_cast<std::size_t>(target_reg));
+  if (n.kind != NetKind::kReg) {
+    throw std::invalid_argument("set_reg_init target must be a reg: " + n.name);
+  }
+  if (init.width() != n.width) {
+    throw std::invalid_argument("set_reg_init width mismatch on " + n.name);
+  }
+  n.init = std::move(init);
+}
+
 Module::Stats Module::stats() const {
   Stats s;
   for (const Net& n : nets_) {

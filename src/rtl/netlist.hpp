@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -179,6 +180,27 @@ class Module {
                  std::vector<ExprId> byte_enables = {});
   void instantiate(const std::string& name, const Module& child,
                    std::map<std::string, NetId> bindings);
+
+  // --- mutation (fault injection) ---------------------------------------
+  // In-place rewrites of existing structure, with the same width/kind
+  // validation as the builders. `src/fault` uses these to derive mutants
+  // from an elaborated module; they keep the netlist well-formed (the
+  // single-driver bookkeeping is preserved because the driven net set never
+  // changes — only the driving expressions do).
+  /// Replaces the continuous assignment driving `target`.
+  void rewrite_assign(NetId target, ExprId value);
+  /// Rewrites the driver of `target` through `fn(old_value)`.
+  void map_assign(NetId target, const std::function<ExprId(ExprId)>& fn);
+  /// Replaces every nonblocking assignment to `target_reg`.
+  void rewrite_nonblocking(NetId target_reg, ExprId value);
+  /// Rewrites every nonblocking assignment to `target_reg` through `fn`.
+  void map_nonblocking(NetId target_reg,
+                       const std::function<ExprId(ExprId)>& fn);
+  /// Removes every nonblocking assignment to `target_reg`; the register then
+  /// holds its reset value forever (a dropped-update fault).
+  void drop_nonblocking(NetId target_reg);
+  /// Overrides a register's reset value.
+  void set_reg_init(NetId target_reg, LVec init);
 
   const std::vector<Net>& nets() const { return nets_; }
   const std::vector<ContAssign>& assigns() const { return assigns_; }

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "util/mem.hpp"
+
 namespace la1::util {
 
 BenchReport::BenchReport(std::string bench_name) : bench_(std::move(bench_name)) {}
@@ -17,11 +19,20 @@ BenchReport& BenchReport::metric(Json row) {
   return *this;
 }
 
+Json BenchReport::resources() const {
+  Json r = Json::object();
+  r.set("peak_rss_bytes", Json(static_cast<double>(peak_rss_bytes())));
+  r.set("wall_seconds", Json(wall_.seconds()));
+  r.set("cpu_seconds", Json(cpu_.seconds()));
+  return r;
+}
+
 Json BenchReport::to_json() const {
   Json doc = Json::object();
   doc.set("bench", Json(bench_));
   doc.set("params", params_);
   doc.set("metrics", metrics_);
+  doc.set("resources", resources());
   return doc;
 }
 

@@ -5,14 +5,17 @@
 //   {"bench": "<name>", "params": {...}, "metrics": [{...}, ...]}
 //
 // `params` records the knobs the run was launched with (bank counts, tick
-// budgets, seeds); `metrics` carries one record per table row. The ASCII
-// table stays the human-facing output — the JSON is additive.
+// budgets, seeds); `metrics` carries one record per table row; `resources`
+// records the run's footprint (peak RSS plus the wall/CPU time split,
+// measured from report construction to serialization). The ASCII table
+// stays the human-facing output — the JSON is additive.
 #pragma once
 
 #include <string>
 
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/stopwatch.hpp"
 
 namespace la1::util {
 
@@ -29,6 +32,11 @@ class BenchReport {
   const std::string& bench() const { return bench_; }
   std::size_t metric_count() const { return metrics_.size(); }
 
+  /// {peak_rss_bytes, wall_seconds, cpu_seconds} for the run so far. A
+  /// cpu/wall ratio well below 1 on a single-threaded bench flags time
+  /// spent blocked rather than computing.
+  Json resources() const;
+
   Json to_json() const;
 
   /// Writes the pretty-printed document; false on IO failure.
@@ -43,6 +51,9 @@ class BenchReport {
   std::string bench_;
   Json params_ = Json::object();
   Json metrics_ = Json::array();
+  Stopwatch wall_;     // both run from construction, so the resources
+  CpuStopwatch cpu_;   // section covers the whole bench by default
+
 };
 
 }  // namespace la1::util

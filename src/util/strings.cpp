@@ -60,4 +60,13 @@ std::string escape_label(std::string_view text) {
   return out;
 }
 
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace la1::util

@@ -25,4 +25,9 @@ std::string to_binary(std::uint64_t value, int bits);
 /// Escapes a string for inclusion in a DOT/PlantUML label.
 std::string escape_label(std::string_view text);
 
+/// FNV-1a 64-bit hash. Used by the determinism tests to pin a golden hash
+/// of a serialized trace: platform-independent, stable across runs, and
+/// cheap enough to recompute on every CI run.
+std::uint64_t fnv1a64(std::string_view text);
+
 }  // namespace la1::util

@@ -45,6 +45,16 @@ void expect_report_shape(const util::Json& doc, const std::string& bench) {
   ASSERT_NE(doc.find("metrics"), nullptr);
   ASSERT_TRUE(doc.find("metrics")->is_array());
   EXPECT_GT(doc.find("metrics")->size(), 0u);
+  // Every report carries the run's resource footprint.
+  const util::Json* res = doc.find("resources");
+  ASSERT_NE(res, nullptr);
+  ASSERT_TRUE(res->is_object());
+  ASSERT_NE(res->find("peak_rss_bytes"), nullptr);
+  EXPECT_GT(res->find("peak_rss_bytes")->as_double(), 0.0);
+  ASSERT_NE(res->find("wall_seconds"), nullptr);
+  EXPECT_GT(res->find("wall_seconds")->as_double(), 0.0);
+  ASSERT_NE(res->find("cpu_seconds"), nullptr);
+  EXPECT_GE(res->find("cpu_seconds")->as_double(), 0.0);
   // Write -> parse -> dump -> parse is a fixed point.
   EXPECT_TRUE(util::Json::parse(doc.dump(2)) == doc);
 }

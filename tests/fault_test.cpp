@@ -1,0 +1,255 @@
+// Tests for the fault-injection subsystem: plan determinism, structural
+// mutant well-formedness, JSON round-trips, the protocol-fault decorator,
+// the symbolic-MC column's ability to falsify a mutant, and the full
+// campaign's mutation score / false-alarm gate at 1 and 2 banks.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/campaign.hpp"
+#include "fault/fault.hpp"
+#include "harness/adapters.hpp"
+#include "la1/rtl_model.hpp"
+#include "mc/symbolic.hpp"
+#include "rtl/bitblast.hpp"
+#include "rtl/verilog.hpp"
+#include "util/json.hpp"
+
+namespace la1 {
+namespace {
+
+rtl::Module flat_device(int banks) {
+  core::RtlConfig cfg;
+  cfg.banks = banks;
+  core::RtlDevice dev = core::build_device(cfg);
+  return dev.flatten();
+}
+
+TEST(FaultPlan, SameSeedSamePlan) {
+  const rtl::Module flat = flat_device(2);
+  fault::PlanOptions opt;
+  const auto a = fault::plan_faults(flat, opt, 42);
+  const auto b = fault::plan_faults(flat, opt, 42);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.size(),
+            static_cast<std::size_t>(opt.structural + opt.protocol));
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(FaultPlan, DifferentSeedDifferentPlan) {
+  const rtl::Module flat = flat_device(2);
+  fault::PlanOptions opt;
+  const auto a = fault::plan_faults(flat, opt, 1);
+  const auto b = fault::plan_faults(flat, opt, 2);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    any_difference = any_difference || !(a[i] == b[i]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlan, CoversBothLayersAndAllStructuralKinds) {
+  const rtl::Module flat = flat_device(1);
+  fault::PlanOptions opt;
+  opt.structural = 10;
+  opt.protocol = 4;
+  const auto plan = fault::plan_faults(flat, opt, 1);
+  std::set<fault::FaultKind> kinds;
+  for (const fault::FaultSpec& s : plan) kinds.insert(s.kind);
+  for (fault::FaultKind k :
+       {fault::FaultKind::kStuckAt0, fault::FaultKind::kStuckAt1,
+        fault::FaultKind::kInvertedDriver, fault::FaultKind::kBitFlip,
+        fault::FaultKind::kDroppedUpdate, fault::FaultKind::kCorruptReadData,
+        fault::FaultKind::kGlitchBankSelect, fault::FaultKind::kDroppedTransfer,
+        fault::FaultKind::kDelayedTransfer}) {
+    EXPECT_TRUE(kinds.count(k)) << "plan lacks kind " << fault::to_string(k);
+  }
+}
+
+TEST(FaultSpec, JsonRoundTrip) {
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kBitFlip;
+  spec.net = "bank1.word";
+  spec.bit = 7;
+  spec.cycle = 152;
+  const fault::FaultSpec back = fault::FaultSpec::from_json(spec.to_json());
+  EXPECT_EQ(spec, back);
+  EXPECT_EQ(back.id(), "bitflip:bank1.word[7]@152");
+}
+
+TEST(FaultSpec, KindNamesRoundTrip) {
+  for (fault::FaultKind k :
+       {fault::FaultKind::kStuckAt0, fault::FaultKind::kStuckAt1,
+        fault::FaultKind::kInvertedDriver, fault::FaultKind::kBitFlip,
+        fault::FaultKind::kDroppedUpdate, fault::FaultKind::kCorruptReadData,
+        fault::FaultKind::kGlitchBankSelect, fault::FaultKind::kDroppedTransfer,
+        fault::FaultKind::kDelayedTransfer}) {
+    EXPECT_EQ(fault::fault_kind_from_string(fault::to_string(k)), k);
+  }
+  EXPECT_THROW(fault::fault_kind_from_string("meltdown"),
+               std::invalid_argument);
+}
+
+// Every structural mutant must stay a well-formed netlist: the
+// bit-blaster and the Verilog emitter both have to accept it.
+TEST(ApplyStructural, MutantsStayWellFormed) {
+  const rtl::Module pristine = flat_device(1);
+  fault::PlanOptions opt;
+  const auto plan = fault::plan_faults(pristine, opt, 5);
+  int applied = 0;
+  for (const fault::FaultSpec& spec : plan) {
+    if (!fault::is_structural(spec.kind)) continue;
+    rtl::Module mutant = flat_device(1);
+    fault::apply_structural(mutant, spec);
+    const rtl::Module expanded = rtl::expand_memories(mutant);
+    EXPECT_NO_THROW(rtl::bitblast(expanded, core::clock_schedule(mutant)))
+        << spec.id();
+    EXPECT_FALSE(rtl::to_verilog(mutant).empty()) << spec.id();
+    ++applied;
+  }
+  EXPECT_EQ(applied, opt.structural);
+}
+
+TEST(ApplyStructural, RejectsProtocolKindsAndUnknownNets) {
+  rtl::Module flat = flat_device(1);
+  fault::FaultSpec protocol;
+  protocol.kind = fault::FaultKind::kDroppedTransfer;
+  EXPECT_THROW(fault::apply_structural(flat, protocol), std::invalid_argument);
+  fault::FaultSpec unknown;
+  unknown.kind = fault::FaultKind::kStuckAt0;
+  unknown.net = "bank0.no_such_reg";
+  EXPECT_THROW(fault::apply_structural(flat, unknown), std::invalid_argument);
+}
+
+// The symbolic column must be able to falsify a mutant, not just run:
+// stuck-at-1 on addr_captured_q forces P3's antecedent true forever, so
+// `always (addr_captured_q -> next[1] write_commit_q)` must fail.
+TEST(SymbolicColumn, CatchesStuckAt1OnAddrCaptured) {
+  const core::RtlConfig cfg = core::RtlConfig::model_checking(1);
+  core::RtlDevice dev = core::build_device(cfg);
+  rtl::Module flat = dev.flatten();
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kStuckAt1;
+  spec.net = "bank0.addr_captured_q";
+  fault::apply_structural(flat, spec);
+  const rtl::Module expanded = rtl::expand_memories(flat);
+  const rtl::BitBlast bb = rtl::bitblast(expanded, core::clock_schedule(flat));
+
+  bool falsified = false;
+  for (const auto& [name, prop] : core::rtl_properties(cfg)) {
+    if (name.rfind("P3_", 0) != 0) continue;
+    const mc::SymbolicResult r = mc::check(bb, prop, mc::SymbolicOptions{});
+    falsified = r.verdict.kind == mc::Verdict::Kind::kFalsified;
+    EXPECT_FALSE(r.trace.empty());
+  }
+  EXPECT_TRUE(falsified);
+}
+
+// The protocol decorator corrupts only the wrapped model's observation:
+// the inner device keeps simulating, and lockstep against a pristine
+// reference sees the divergence.
+TEST(ProtocolFaultModel, CorruptsReadDataAgainstReference) {
+  core::RtlConfig cfg;
+  cfg.banks = 1;
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kCorruptReadData;
+  spec.cycle = 0;
+  fault::ProtocolFaultModel mutant(
+      std::make_unique<harness::RtlDeviceModel>(cfg), spec);
+  harness::RtlDeviceModel reference(cfg);
+  mutant.reset();
+  reference.reset();
+
+  harness::Transactor tx(reference.geometry());
+  harness::Stimulus read;
+  read.read = true;
+  read.read_addr = 3;
+  bool diverged = false;
+  for (int tick = 0; tick < 32; ++tick) {
+    const harness::Edge edge = harness::edge_of_tick(tick % 2);
+    if (edge == harness::Edge::kK) tx.enqueue(read);
+    const harness::EdgePins pins = tx.next(edge);
+    reference.apply_edge(pins);
+    mutant.apply_edge(pins);
+    const harness::DoutSample a = reference.dout();
+    const harness::DoutSample b = mutant.dout();
+    if (!(a == b)) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+fault::CampaignOptions small_campaign(int banks) {
+  fault::CampaignOptions opt;
+  opt.banks = banks;
+  opt.seed = 1;
+  return opt;
+}
+
+TEST(Campaign, OneBankMeetsScoreWithNoFalseAlarms) {
+  const fault::CampaignReport report =
+      fault::run_campaign(small_campaign(1));
+  EXPECT_TRUE(report.clean_ok)
+      << (report.clean_alarms.empty() ? "" : report.clean_alarms.front());
+  EXPECT_GE(report.mutation_score(), 0.9) << report.render();
+  EXPECT_EQ(report.rows.size(), 14u);
+}
+
+TEST(Campaign, TwoBanksMeetsScoreWithNoFalseAlarms) {
+  const fault::CampaignReport report =
+      fault::run_campaign(small_campaign(2));
+  EXPECT_TRUE(report.clean_ok)
+      << (report.clean_alarms.empty() ? "" : report.clean_alarms.front());
+  EXPECT_GE(report.mutation_score(), 0.9) << report.render();
+}
+
+TEST(Campaign, ProtocolFaultsCaughtByLockstepOnly) {
+  const fault::CampaignReport report =
+      fault::run_campaign(small_campaign(1));
+  int protocol_rows = 0;
+  for (const fault::CampaignRow& row : report.rows) {
+    if (fault::is_structural(row.fault.kind)) continue;
+    ++protocol_rows;
+    const fault::CampaignCell* mc = row.cell("mc");
+    ASSERT_NE(mc, nullptr);
+    EXPECT_EQ(mc->outcome, fault::CellOutcome::kNotApplicable);
+    const fault::CampaignCell* ls = row.cell("lockstep");
+    ASSERT_NE(ls, nullptr);
+    EXPECT_EQ(ls->outcome, fault::CellOutcome::kCaught) << row.fault.id();
+  }
+  EXPECT_EQ(protocol_rows, 4);
+}
+
+TEST(Campaign, ReportJsonRoundTrip) {
+  fault::CampaignOptions opt = small_campaign(1);
+  opt.run_mc = false;  // keep the round-trip fixture fast
+  const fault::CampaignReport report = fault::run_campaign(opt);
+  const fault::CampaignReport back =
+      fault::CampaignReport::from_json(report.to_json());
+  EXPECT_EQ(back.banks, report.banks);
+  EXPECT_EQ(back.seed, report.seed);
+  EXPECT_EQ(back.transactions, report.transactions);
+  EXPECT_EQ(back.checkers, report.checkers);
+  EXPECT_EQ(back.clean_ok, report.clean_ok);
+  ASSERT_EQ(back.rows.size(), report.rows.size());
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    EXPECT_EQ(back.rows[i].fault, report.rows[i].fault);
+    ASSERT_EQ(back.rows[i].cells.size(), report.rows[i].cells.size());
+    for (std::size_t c = 0; c < report.rows[i].cells.size(); ++c) {
+      EXPECT_EQ(back.rows[i].cells[c].checker, report.rows[i].cells[c].checker);
+      EXPECT_EQ(back.rows[i].cells[c].outcome, report.rows[i].cells[c].outcome);
+      EXPECT_EQ(back.rows[i].cells[c].detail, report.rows[i].cells[c].detail);
+    }
+  }
+  EXPECT_DOUBLE_EQ(back.mutation_score(), report.mutation_score());
+}
+
+TEST(Campaign, SameSeedSameReport) {
+  fault::CampaignOptions opt = small_campaign(2);
+  opt.run_mc = false;
+  const fault::CampaignReport a = fault::run_campaign(opt);
+  const fault::CampaignReport b = fault::run_campaign(opt);
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+}
+
+}  // namespace
+}  // namespace la1

@@ -13,6 +13,7 @@
 #include "la1/behavioral.hpp"
 #include "la1/rtl_model.hpp"
 #include "util/json.hpp"
+#include "util/strings.hpp"
 
 namespace la1 {
 namespace {
@@ -137,6 +138,36 @@ TEST(TraceRecorder, SeedDeterminism) {
   EXPECT_TRUE(run_once(&second).ok);
   EXPECT_FALSE(first.steps().empty());
   EXPECT_TRUE(first == second);
+}
+
+// Byte-level reproducibility: the serialized trace of a fixed-seed run
+// hashes to a pinned golden value. Any nondeterminism on the stimulus or
+// trace path — hash-ordered containers, unseeded randomness, pointer
+// ordering — breaks this test before it can corrupt a campaign. If a
+// deliberate format or RTL change moves the hash, re-pin it from the
+// printed actual value.
+TEST(TraceRecorder, GoldenHashByteReproducibility) {
+  const harness::Geometry g{2, 2, kDataBits};
+  harness::RtlDeviceModel rtl(rtl_config(2, 2));
+  harness::TraceRecorder recorder(g, rtl.tap_names());
+  rtl.reset();
+  harness::StimulusOptions so;
+  so.banks = 2;
+  so.data_bits = kDataBits;
+  harness::StimulusStream stream(so, 99);
+  harness::Transactor tx(g);
+  for (int tick = 0; tick < 200; ++tick) {
+    const harness::Edge edge = harness::edge_of_tick(tick % 2);
+    if (edge == harness::Edge::kK && stream.generated() < 90) {
+      tx.enqueue(stream.next());
+    }
+    const harness::EdgePins pins = tx.next(edge);
+    rtl.apply_edge(pins);
+    recorder.record(tick, pins, rtl);
+  }
+  const std::uint64_t hash = util::fnv1a64(recorder.to_json().dump());
+  EXPECT_EQ(hash, 0x24c7f58d1a722a00ull)
+      << "actual hash: 0x" << std::hex << hash;
 }
 
 TEST(TraceRecorder, JsonExportRoundTrips) {

@@ -113,6 +113,125 @@ TEST(Symbolic, NodeLimitReportsExplosion) {
   EXPECT_EQ(r.outcome, SymbolicResult::Outcome::kStateExplosion);
 }
 
+TEST(Verdict, DecisiveKindsAndNames) {
+  Verdict v;
+  v.kind = Verdict::Kind::kProven;
+  EXPECT_TRUE(v.decisive());
+  v.kind = Verdict::Kind::kFalsified;
+  EXPECT_TRUE(v.decisive());
+  v.kind = Verdict::Kind::kBoundedPass;
+  EXPECT_FALSE(v.decisive());
+  v.kind = Verdict::Kind::kUnknown;
+  EXPECT_FALSE(v.decisive());
+  EXPECT_STREQ(to_string(Verdict::Kind::kProven), "Proven");
+  EXPECT_STREQ(to_string(Verdict::Kind::kFalsified), "Falsified");
+  EXPECT_STREQ(to_string(Verdict::Kind::kBoundedPass), "BoundedPass");
+  EXPECT_STREQ(to_string(Verdict::Kind::kUnknown), "Unknown");
+}
+
+TEST(Verdict, ProvenCarriesFixpointDepth) {
+  const Module m = saturating_counter(3, 5);
+  const rtl::BitBlast bb =
+      rtl::bitblast(m, {ClockStep{m.find_net("clk"), Edge::kPos}});
+  const SymbolicResult r =
+      check(bb, psl::parse_property("never {r[1] && r[2]}"));
+  EXPECT_EQ(r.verdict.kind, Verdict::Kind::kProven);
+  EXPECT_EQ(r.verdict.depth, r.iterations);
+  EXPECT_EQ(r.verdict.retries, 0);
+}
+
+TEST(Verdict, FalsifiedCarriesTraceDepth) {
+  const Module m = saturating_counter(3, 5);
+  const rtl::BitBlast bb =
+      rtl::bitblast(m, {ClockStep{m.find_net("clk"), Edge::kPos}});
+  const SymbolicResult r = check(bb, psl::parse_property("never {saturated}"));
+  EXPECT_EQ(r.verdict.kind, Verdict::Kind::kFalsified);
+  EXPECT_EQ(r.verdict.depth, static_cast<int>(r.trace.size()) - 1);
+}
+
+TEST(Verdict, CycleBudgetYieldsBoundedPass) {
+  const Module m = saturating_counter(4, 12);
+  const rtl::BitBlast bb =
+      rtl::bitblast(m, {ClockStep{m.find_net("clk"), Edge::kPos}});
+  SymbolicOptions opt;
+  opt.budget.max_cycles = 3;  // fixpoint needs ~13 iterations
+  const SymbolicResult r =
+      check(bb, psl::parse_property("never {saturated}"), opt);
+  // Legacy outcome still reports explosion; the qualified verdict says the
+  // bound that *was* established and why the run stopped.
+  EXPECT_EQ(r.outcome, SymbolicResult::Outcome::kStateExplosion);
+  EXPECT_EQ(r.verdict.kind, Verdict::Kind::kBoundedPass);
+  EXPECT_EQ(r.verdict.depth, 3);
+  EXPECT_NE(r.verdict.reason.find("iteration cap"), std::string::npos)
+      << r.verdict.reason;
+  // A budgeted inconclusive run retries once under the flipped order.
+  EXPECT_EQ(r.verdict.retries, 1);
+}
+
+TEST(Verdict, NodeBudgetYieldsQualifiedVerdictNotThrow) {
+  const Module m = saturating_counter(3, 5);
+  const rtl::BitBlast bb =
+      rtl::bitblast(m, {ClockStep{m.find_net("clk"), Edge::kPos}});
+  SymbolicOptions opt;
+  opt.budget.bdd_nodes = 8;  // absurdly small
+  SymbolicResult r;
+  ASSERT_NO_THROW(r = check(bb, psl::parse_property("never {saturated}"), opt));
+  EXPECT_EQ(r.outcome, SymbolicResult::Outcome::kStateExplosion);
+  EXPECT_TRUE(r.verdict.kind == Verdict::Kind::kBoundedPass ||
+              r.verdict.kind == Verdict::Kind::kUnknown);
+  EXPECT_FALSE(r.verdict.reason.empty());
+  EXPECT_EQ(r.verdict.retries, 1);
+}
+
+TEST(Verdict, RetryRecoversWhenSecondOrderSucceeds) {
+  // A generous node budget that the default order satisfies: decisive on
+  // the first attempt, no retry recorded.
+  const Module m = saturating_counter(3, 5);
+  const rtl::BitBlast bb =
+      rtl::bitblast(m, {ClockStep{m.find_net("clk"), Edge::kPos}});
+  SymbolicOptions opt;
+  opt.budget.bdd_nodes = 1u << 20;
+  opt.budget.max_cycles = 64;
+  const SymbolicResult r =
+      check(bb, psl::parse_property("never {saturated}"), opt);
+  EXPECT_EQ(r.verdict.kind, Verdict::Kind::kFalsified);
+  EXPECT_EQ(r.verdict.retries, 0);
+}
+
+TEST(Verdict, RegisterMajorOrderAgreesWithBitMajor) {
+  const Module m = saturating_counter(3, 5);
+  const rtl::BitBlast bb =
+      rtl::bitblast(m, {ClockStep{m.find_net("clk"), Edge::kPos}});
+  for (const char* text : {"never {saturated}", "never {r[1] && r[2]}"}) {
+    SymbolicOptions bit_major;
+    bit_major.var_order = VarOrder::kBitMajor;
+    SymbolicOptions reg_major;
+    reg_major.var_order = VarOrder::kRegisterMajor;
+    const SymbolicResult a = check(bb, psl::parse_property(text), bit_major);
+    const SymbolicResult b = check(bb, psl::parse_property(text), reg_major);
+    EXPECT_EQ(a.outcome, b.outcome) << text;
+    EXPECT_EQ(a.verdict.kind, b.verdict.kind) << text;
+    EXPECT_DOUBLE_EQ(a.reachable_states, b.reachable_states) << text;
+  }
+}
+
+TEST(Verdict, WallBudgetExhaustionIsQualified) {
+  const Module m = saturating_counter(4, 12);
+  const rtl::BitBlast bb =
+      rtl::bitblast(m, {ClockStep{m.find_net("clk"), Edge::kPos}});
+  SymbolicOptions opt;
+  opt.budget.wall_ms = 1;
+  // A 1 ms deadline may or may not expire on a model this small; either a
+  // decisive verdict or a qualified exhaustion is acceptable — what is not
+  // acceptable is a throw.
+  SymbolicResult r;
+  ASSERT_NO_THROW(r = check(bb, psl::parse_property("never {saturated}"), opt));
+  if (!r.verdict.decisive()) {
+    EXPECT_FALSE(r.verdict.reason.empty());
+    EXPECT_EQ(r.verdict.retries, 1);
+  }
+}
+
 TEST(Symbolic, MonolithicMatchesPartitioned) {
   const Module m = saturating_counter(3, 4);
   const rtl::BitBlast bb =

@@ -105,6 +105,14 @@ TEST(Strings, ToBinary) {
   EXPECT_EQ(to_binary(255, 8), "11111111");
 }
 
+TEST(Strings, Fnv1a64ReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+  EXPECT_NE(fnv1a64("foobar"), fnv1a64("foobas"));
+}
+
 TEST(Table, RenderContainsCells) {
   Table t({"Banks", "Time"});
   t.add_row({"1", "0.5"});

@@ -5,6 +5,7 @@
 #   tools/ci.sh                 # full build + ctest + lint gate + bench smoke
 #   tools/ci.sh --smoke-only    # skip build/ctest, just lint gate + smoke
 #   tools/ci.sh --sanitize      # tier-1 under ASan/UBSan in a separate tree
+#   tools/ci.sh --faults        # also run the fixed-seed fault campaign gate
 #   tools/ci.sh --install-hook  # install as .git/hooks/pre-push
 #
 # Also wired as a CTest-adjacent CMake target: `cmake --build build --target ci`.
@@ -15,6 +16,11 @@ build_dir="${LA1_BUILD_DIR:-$repo_root/build}"
 jobs=$(nproc 2>/dev/null || echo 2)
 smoke_only=0
 sanitize=0
+faults=0
+# Watchdog for the test suites: a hung test (a model-checking run that
+# stopped converging, a deadlocked harness) fails its suite instead of
+# wedging CI. Generous next to the observed per-test runtimes (< 10 s).
+test_timeout="${LA1_TEST_TIMEOUT:-300}"
 
 for arg in "$@"; do
   case "$arg" in
@@ -32,8 +38,11 @@ for arg in "$@"; do
     --sanitize)
       sanitize=1
       ;;
+    --faults)
+      faults=1
+      ;;
     *)
-      echo "usage: tools/ci.sh [--smoke-only | --sanitize | --install-hook]" >&2
+      echo "usage: tools/ci.sh [--smoke-only | --sanitize | --faults | --install-hook]" >&2
       exit 2
       ;;
   esac
@@ -45,7 +54,7 @@ if [ "$sanitize" -eq 1 ]; then
   asan_dir="${LA1_ASAN_BUILD_DIR:-$repo_root/build-asan}"
   cmake -B "$asan_dir" -S "$repo_root" -DLA1_SANITIZE=address,undefined
   cmake --build "$asan_dir" -j "$jobs"
-  (cd "$asan_dir" && ctest --output-on-failure -j "$jobs")
+  (cd "$asan_dir" && ctest --output-on-failure -j "$jobs" --timeout "$test_timeout")
   echo "ci: tier-1 verify passed under ASan/UBSan"
   exit 0
 fi
@@ -54,7 +63,7 @@ if [ "$smoke_only" -eq 0 ]; then
   # Tier-1 verify (ROADMAP.md).
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" -j "$jobs"
-  (cd "$build_dir" && ctest --output-on-failure -j "$jobs")
+  (cd "$build_dir" && ctest --output-on-failure -j "$jobs" --timeout "$test_timeout")
 fi
 
 smoke_dir="${TMPDIR:-/tmp}/la1-ci-smoke.$$"
@@ -92,6 +101,20 @@ for banks in 1 2 4; do
   grep -q '"errors": 0' "$smoke_dir/dfa-$banks.json"
   grep -q '"warnings": 0' "$smoke_dir/dfa-$banks.json"
 done
+
+# Fault-campaign gate (opt-in: --faults): a fixed-seed mutation campaign at
+# 1 and 2 banks must keep the mutation score at or above 0.9 with zero
+# false alarms on the unmutated device. la1check exits nonzero on either
+# violation, so the gate is just the exit status plus a shape check.
+if [ "$faults" -eq 1 ]; then
+  for banks in 1 2; do
+    "$build_dir/tools/la1check" faults --banks "$banks" --seed 1 \
+      --fail-under 0.9 --json "$smoke_dir/faults-$banks.json" > /dev/null
+    grep -q '"rows"' "$smoke_dir/faults-$banks.json"
+    grep -q '"ok": true' "$smoke_dir/faults-$banks.json"
+  done
+  echo "ci: fault-campaign gate passed (banks 1 and 2, seed 1)"
+fi
 
 # Bench smoke: every bench_table* binary must emit a parseable --json
 # report; the 3-way lockstep example must agree across the levels.

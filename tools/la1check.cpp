@@ -34,6 +34,7 @@
 #include <sstream>
 
 #include "dfa/sweep.hpp"
+#include "fault/campaign.hpp"
 #include "la1/asm_model.hpp"
 #include "la1/behavioral.hpp"
 #include "la1/host_bfm.hpp"
@@ -56,7 +57,7 @@ using namespace la1;
 
 int usage() {
   std::fputs(
-      "usage: la1check <sim|asm|rtl|verilog|flow|lint|dfa> [options]\n"
+      "usage: la1check <sim|asm|rtl|verilog|flow|lint|dfa|faults> [options]\n"
       "  common:  --banks N  --seed S\n"
       "  sim:     --prop \"<psl>\" | --vunit-file F   --ticks T\n"
       "  asm:     --prop \"<psl>\"   --max-states N\n"
@@ -64,7 +65,9 @@ int usage() {
       "  verilog: --out FILE\n"
       "  lint:    --json FILE|-  --fail-on warn|error|never\n"
       "           --prop \"<psl>\" | --vunit-file F  --inject DEFECT\n"
-      "  dfa:     --json FILE|-  --fail-on warn|error|never\n",
+      "  dfa:     --json FILE|-  --fail-on warn|error|never\n"
+      "  faults:  --json FILE|-  --fail-under SCORE  --transactions N\n"
+      "           --structural N  --protocol N  --no-mc\n",
       stderr);
   return 2;
 }
@@ -331,6 +334,48 @@ int run_dfa(const util::Cli& cli) {
   return report.fails(lint::severity_from_string(fail_on)) ? 1 : 0;
 }
 
+int run_faults(const util::Cli& cli) {
+  fault::CampaignOptions opt;
+  opt.banks = static_cast<int>(cli.get_int("banks", 1));
+  opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  opt.transactions = static_cast<int>(cli.get_int("transactions", 300));
+  opt.plan.structural =
+      static_cast<int>(cli.get_int("structural", opt.plan.structural));
+  opt.plan.protocol =
+      static_cast<int>(cli.get_int("protocol", opt.plan.protocol));
+  opt.run_mc = !cli.get_bool("no-mc", false);
+
+  const fault::CampaignReport report = fault::run_campaign(opt);
+
+  const std::string json = cli.get("json", "");
+  if (json == "-") {
+    std::fputs((report.to_json().dump(2) + "\n").c_str(), stdout);
+  } else {
+    std::fputs(report.render().c_str(), stdout);
+    if (!json.empty()) {
+      std::ofstream f(json);
+      if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json.c_str());
+        return 2;
+      }
+      f << report.to_json().dump(2) << '\n';
+      std::printf("wrote report to %s\n", json.c_str());
+    }
+  }
+
+  if (!report.clean_ok) {
+    std::fputs("FAIL: false alarm(s) on the unmutated device\n", stderr);
+    return 1;
+  }
+  const double fail_under = cli.get_double("fail-under", 0.0);
+  if (report.mutation_score() < fail_under) {
+    std::fprintf(stderr, "FAIL: mutation score %.2f below threshold %.2f\n",
+                 report.mutation_score(), fail_under);
+    return 1;
+  }
+  return 0;
+}
+
 int run_flow(const util::Cli& cli) {
   refine::FlowOptions opt;
   opt.banks = static_cast<int>(cli.get_int("banks", 1));
@@ -353,6 +398,7 @@ int main(int argc, char** argv) {
     if (mode == "flow") return run_flow(cli);
     if (mode == "lint") return run_lint(cli);
     if (mode == "dfa") return run_dfa(cli);
+    if (mode == "faults") return run_faults(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

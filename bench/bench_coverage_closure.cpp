@@ -1,0 +1,282 @@
+// Coverage-closure bench — the coverage-driven companion to the fault
+// campaign.
+//
+// Three experiments per run:
+//
+//   1. Closure vs uniform: for 1..max banks, run the closed-loop closure
+//      driver (src/tgen) to its target, then measure what plain uniform
+//      StimulusStream traffic covers at the *same* transaction count. The
+//      interesting column: the coverage gap — what the feedback loop buys
+//      over open-loop random stimulus.
+//   2. Shrinker: reduce a seeded failing stream (corrupt-read-data mutant
+//      vs pristine reference in lockstep) to a locally-minimal reproducer;
+//      reports the reduction ratio and whether the failure survived.
+//   3. Coverage vs detection: run a ladder of stimulus profiles from
+//      near-idle to closure-shaped, measure each profile's bin coverage
+//      and its lockstep detection score over a fixed protocol-fault set,
+//      and report the Pearson correlation — the cross-validation that the
+//      coverage model measures something the fault campaign cares about.
+//
+//   --max-banks N       highest bank count (default 2)
+//   --seed S            seed (default 1)
+//   --target C          closure target fraction (default 0.95)
+//   --epochs N          closure epoch budget (default 40)
+//   --transactions N    transactions per closure epoch (default 250)
+//   --json PATH         write the {bench, params, metrics} report
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cov/coverage.hpp"
+#include "fault/fault.hpp"
+#include "harness/adapters.hpp"
+#include "harness/lockstep.hpp"
+#include "tgen/closure.hpp"
+#include "tgen/shrink.hpp"
+#include "util/bench_report.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace la1;
+
+core::Config behavioral_config(const harness::Geometry& g) {
+  core::Config cfg;
+  cfg.banks = g.banks;
+  cfg.data_bits = g.data_bits;
+  cfg.addr_bits = g.mem_addr_bits + cfg.bank_bits();
+  return cfg;
+}
+
+/// Lockstep detection score of `profile` traffic against the four
+/// protocol-fault kinds: the fraction of mutants whose divergence the run
+/// exposes.
+double detection_score(const harness::Geometry& g,
+                       const tgen::Profile& profile, std::uint64_t seed,
+                       std::uint64_t transactions) {
+  const fault::FaultKind kinds[] = {
+      fault::FaultKind::kCorruptReadData, fault::FaultKind::kGlitchBankSelect,
+      fault::FaultKind::kDroppedTransfer, fault::FaultKind::kDelayedTransfer};
+  int caught = 0;
+  int total = 0;
+  for (fault::FaultKind kind : kinds) {
+    fault::FaultSpec spec;
+    spec.kind = kind;
+    spec.cycle = 3;
+    harness::BehavioralDeviceModel reference(behavioral_config(g));
+    fault::ProtocolFaultModel faulty(
+        std::make_unique<harness::BehavioralDeviceModel>(behavioral_config(g)),
+        spec);
+    tgen::ConstrainedStream stream(g, profile, seed);
+    harness::LockstepOptions lo;
+    lo.transactions = transactions;
+    const harness::LockstepReport r =
+        harness::run_lockstep({&reference, &faulty}, stream, lo);
+    ++total;
+    if (!r.ok) ++caught;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(caught) / total;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int max_banks = static_cast<int>(cli.get_int("max-banks", 2));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  // Default to full closure: the loop keeps re-biasing until every defined
+  // bin is hit, which is what makes the equal-transaction uniform baseline
+  // comparison meaningful (a partial target lets the baseline catch up).
+  const double target = cli.get_double("target", 1.0);
+  const int epochs = static_cast<int>(cli.get_int("epochs", 40));
+  const std::uint64_t per_epoch =
+      static_cast<std::uint64_t>(cli.get_int("transactions", 250));
+  util::BenchReport report("bench_coverage_closure");
+  report.param("max_banks", util::Json(max_banks))
+      .param("seed", util::Json(seed))
+      .param("target", util::Json(target))
+      .param("epochs", util::Json(epochs))
+      .param("transactions_per_epoch", util::Json(per_epoch));
+  cli.get("json", "");
+  for (const auto& unused : cli.unused()) {
+    std::fprintf(stderr, "unknown option --%s\n", unused.c_str());
+    return 2;
+  }
+
+  std::puts("Coverage Closure - Closed-Loop vs Open-Loop Stimulus");
+  std::printf("seed = %llu, target %.0f%%, %llu transactions/epoch\n\n",
+              static_cast<unsigned long long>(seed), 100.0 * target,
+              static_cast<unsigned long long>(per_epoch));
+
+  bool ok = true;
+
+  // --- 1. closure vs uniform at equal transaction count -----------------
+  util::Table table({"Number of Banks", "Bins", "Closure (%)", "Uniform (%)",
+                     "Epochs", "Transactions", "Beats Baseline"});
+  for (int banks = 1; banks <= max_banks; ++banks) {
+    tgen::ClosureOptions opt;
+    opt.geometry.banks = banks;
+    opt.seed = seed;
+    opt.target = target;
+    opt.transactions_per_epoch = per_epoch;
+    opt.budget.max_epochs = epochs;
+    const tgen::ClosureResult closure = tgen::run_closure(opt);
+    const cov::CoverageReport uniform =
+        tgen::uniform_coverage(opt.geometry, seed, closure.transactions);
+    const bool beats = closure.coverage() > uniform.coverage();
+    ok = ok && beats && closure.reached_target;
+
+    table.add_row({std::to_string(banks),
+                   std::to_string(closure.report.total_bins()),
+                   util::fmt_double(100.0 * closure.coverage(), 1),
+                   util::fmt_double(100.0 * uniform.coverage(), 1),
+                   std::to_string(closure.epochs),
+                   std::to_string(closure.transactions),
+                   beats ? "yes" : "NO"});
+
+    util::Json row = util::Json::object();
+    row.set("kind", "closure");
+    row.set("banks", banks);
+    row.set("total_bins", closure.report.total_bins());
+    row.set("closure_coverage", closure.coverage());
+    row.set("uniform_coverage", uniform.coverage());
+    row.set("epochs", closure.epochs);
+    row.set("transactions", closure.transactions);
+    row.set("reached_target", closure.reached_target);
+    row.set("beats_baseline", beats);
+    report.metric(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // --- 2. shrinker on a seeded lockstep failure -------------------------
+  harness::Geometry g;
+  g.banks = max_banks;
+  const std::uint64_t shrink_txns = 200;
+  harness::StimulusOptions so;
+  so.banks = g.banks;
+  so.mem_addr_bits = g.mem_addr_bits;
+  so.data_bits = g.data_bits;
+  harness::StimulusStream uniform_stream(so, seed);
+  std::vector<harness::Stimulus> stimuli;
+  for (std::uint64_t i = 0; i < shrink_txns; ++i) {
+    stimuli.push_back(uniform_stream.next());
+  }
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kCorruptReadData;
+  spec.cycle = 0;
+  const tgen::ShrinkResult shrunk = tgen::shrink(
+      harness::RecordedStream(g, std::move(stimuli)),
+      [&](harness::RecordedStream& candidate) {
+        harness::BehavioralDeviceModel reference(behavioral_config(g));
+        fault::ProtocolFaultModel faulty(
+            std::make_unique<harness::BehavioralDeviceModel>(
+                behavioral_config(g)),
+            spec);
+        harness::LockstepOptions lo;
+        lo.transactions = shrink_txns;
+        candidate.reset();
+        return !harness::run_lockstep({&reference, &faulty}, candidate, lo).ok;
+      });
+  ok = ok && shrunk.failure_preserved;
+  std::printf("\nshrink: %zu -> %zu transaction(s) (%.1f%% reduction), "
+              "%d probe(s), failure %s\n",
+              shrunk.original_size, shrunk.shrunk_size,
+              100.0 * shrunk.reduction(), shrunk.probes,
+              shrunk.failure_preserved ? "preserved" : "NOT preserved");
+  {
+    util::Json row = util::Json::object();
+    row.set("kind", "shrink");
+    row.set("banks", g.banks);
+    row.set("fault", spec.id());
+    row.set("original", shrunk.original_size);
+    row.set("shrunk", shrunk.shrunk_size);
+    row.set("reduction", shrunk.reduction());
+    row.set("probes", shrunk.probes);
+    row.set("still_fails", shrunk.failure_preserved);
+    report.metric(std::move(row));
+  }
+
+  // --- 3. coverage vs fault detection across a profile ladder -----------
+  struct Rung {
+    const char* name;
+    tgen::Profile profile;
+  };
+  std::vector<Rung> ladder;
+  {
+    tgen::Profile idle;
+    idle.read_rate = idle.write_rate = 0.0;
+    ladder.push_back({"idle", idle});
+    tgen::Profile wo;
+    wo.read_rate = 0.0;
+    wo.write_rate = 0.5;
+    ladder.push_back({"write_only", wo});
+    tgen::Profile sparse;
+    sparse.read_rate = 0.04;
+    sparse.write_rate = 0.04;
+    ladder.push_back({"sparse", sparse});
+    ladder.push_back({"uniform", tgen::Profile{}});
+    tgen::Profile rich;
+    rich.read_burst = 0.6;
+    rich.write_burst = 0.5;
+    rich.idle_burst = 0.5;
+    rich.raw = 0.3;
+    rich.war = 0.2;
+    ladder.push_back({"closure_shaped", rich});
+  }
+  const std::uint64_t ladder_txns = 200;
+  std::vector<double> coverages, scores;
+  util::Json rungs = util::Json::array();
+  std::printf("\n%-16s %10s %10s\n", "profile", "coverage", "detection");
+  for (const Rung& rung : ladder) {
+    cov::CoverageCollector collector(g);
+    tgen::ConstrainedStream stream(g, rung.profile, seed);
+    tgen::collect_stream(collector, stream, ladder_txns);
+    const double coverage = collector.report().coverage();
+    const double score = detection_score(g, rung.profile, seed, ladder_txns);
+    coverages.push_back(coverage);
+    scores.push_back(score);
+    std::printf("%-16s %9.1f%% %9.0f%%\n", rung.name, 100.0 * coverage,
+                100.0 * score);
+    util::Json jr = util::Json::object();
+    jr.set("profile", rung.name);
+    jr.set("coverage", coverage);
+    jr.set("detection", score);
+    rungs.push(std::move(jr));
+  }
+  const double r = pearson(coverages, scores);
+  std::printf("coverage-detection correlation (Pearson): %.2f\n", r);
+  {
+    util::Json row = util::Json::object();
+    row.set("kind", "correlation");
+    row.set("banks", g.banks);
+    row.set("transactions", ladder_txns);
+    row.set("pearson", r);
+    row.set("rungs", std::move(rungs));
+    report.metric(std::move(row));
+  }
+
+  if (!report.finish(cli)) return 2;
+  return ok ? 0 : 1;
+}

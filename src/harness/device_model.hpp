@@ -67,6 +67,8 @@ struct Stimulus {
   std::uint64_t write_addr = 0;
   std::uint64_t write_word = 0;  // two beats packed [beat1 | beat0]
   std::uint32_t be_mask = ~0u;   // one bit per 8-bit lane across both beats
+
+  bool operator==(const Stimulus& o) const = default;
 };
 
 /// The raw pin-bus state for one half-cycle edge. Data beats are carried

@@ -43,7 +43,7 @@ std::vector<std::string> tap_intersection(
 }
 
 LockstepReport run_lockstep(const std::vector<DeviceModel*>& models,
-                            StimulusStream& stream,
+                            StimulusSource& stream,
                             const LockstepOptions& options) {
   if (models.empty()) {
     throw std::invalid_argument("run_lockstep: no models");
@@ -56,7 +56,7 @@ LockstepReport run_lockstep(const std::vector<DeviceModel*>& models,
                                   m->name() + "'");
     }
   }
-  if (!(stream.options().geometry() == g)) {
+  if (!(stream.geometry() == g)) {
     throw std::invalid_argument("run_lockstep: stream geometry mismatch");
   }
 
@@ -90,6 +90,7 @@ LockstepReport run_lockstep(const std::vector<DeviceModel*>& models,
     }
     const EdgePins pins = transactor.next(edge);
     for (DeviceModel* m : models) m->apply_edge(pins);
+    if (options.on_edge) options.on_edge(pins);
     ++report.ticks_run;
     report.reads_issued = transactor.reads_issued();
     report.writes_issued = transactor.writes_issued();

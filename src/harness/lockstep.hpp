@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,12 @@ struct LockstepOptions {
   /// Optional recorder; receives one TraceStep per edge, sampled from the
   /// first model that models the read-data bus (else the first model).
   TraceRecorder* recorder = nullptr;
+
+  /// Optional per-edge observer, called with the broadcast pins after the
+  /// models applied them. The coverage collector (src/cov) attaches here —
+  /// pins are identical for every model, so pin-derived coverage is
+  /// adapter-agnostic by construction.
+  std::function<void(const EdgePins&)> on_edge;
 };
 
 struct LockstepReport {
@@ -53,11 +60,12 @@ struct LockstepReport {
 std::vector<std::string> tap_intersection(
     const std::vector<DeviceModel*>& models);
 
-/// Runs all models in lockstep on `stream`. Models are reset first; the
-/// stream is consumed from its current position (reset it for a replay).
-/// Stops at the first divergence.
+/// Runs all models in lockstep on `stream` — any StimulusSource: seeded
+/// uniform, constrained-random, or a recorded replay transcript. Models are
+/// reset first; the stream is consumed from its current position (reset it
+/// for a replay). Stops at the first divergence.
 LockstepReport run_lockstep(const std::vector<DeviceModel*>& models,
-                            StimulusStream& stream,
+                            StimulusSource& stream,
                             const LockstepOptions& options = {});
 
 }  // namespace la1::harness

@@ -64,4 +64,84 @@ Stimulus StimulusStream::next() {
   return s;
 }
 
+RecordedStream::RecordedStream(const Geometry& geometry,
+                               std::vector<Stimulus> stimuli)
+    : geometry_(geometry), stimuli_(std::move(stimuli)) {
+  if (geometry.banks < 1 || geometry.mem_addr_bits < 0 ||
+      geometry.data_bits < 1) {
+    throw std::invalid_argument("RecordedStream: bad geometry");
+  }
+}
+
+Stimulus RecordedStream::next() {
+  Stimulus s;
+  if (cursor_ < stimuli_.size()) s = stimuli_[cursor_];
+  ++cursor_;
+  return s;
+}
+
+util::Json RecordedStream::to_json() const {
+  util::Json geo = util::Json::object();
+  geo.set("banks", geometry_.banks);
+  geo.set("mem_addr_bits", geometry_.mem_addr_bits);
+  geo.set("data_bits", geometry_.data_bits);
+
+  util::Json list = util::Json::array();
+  for (const Stimulus& s : stimuli_) {
+    util::Json row = util::Json::object();
+    row.set("read", s.read);
+    row.set("read_addr", s.read_addr);
+    row.set("write", s.write);
+    row.set("write_addr", s.write_addr);
+    row.set("write_word", s.write_word);
+    row.set("be_mask", static_cast<std::uint64_t>(s.be_mask));
+    list.push(std::move(row));
+  }
+
+  util::Json doc = util::Json::object();
+  doc.set("geometry", std::move(geo));
+  doc.set("stimuli", std::move(list));
+  return doc;
+}
+
+RecordedStream RecordedStream::from_json(const util::Json& j) {
+  Geometry g;
+  const util::Json* geo = j.find("geometry");
+  if (geo == nullptr) {
+    throw std::invalid_argument("RecordedStream: missing 'geometry'");
+  }
+  if (const util::Json* v = geo->find("banks")) {
+    g.banks = static_cast<int>(v->as_int());
+  }
+  if (const util::Json* v = geo->find("mem_addr_bits")) {
+    g.mem_addr_bits = static_cast<int>(v->as_int());
+  }
+  if (const util::Json* v = geo->find("data_bits")) {
+    g.data_bits = static_cast<int>(v->as_int());
+  }
+
+  std::vector<Stimulus> stimuli;
+  if (const util::Json* list = j.find("stimuli")) {
+    for (const util::Json& row : list->items()) {
+      Stimulus s;
+      if (const util::Json* v = row.find("read")) s.read = v->as_bool();
+      if (const util::Json* v = row.find("read_addr")) {
+        s.read_addr = static_cast<std::uint64_t>(v->as_int());
+      }
+      if (const util::Json* v = row.find("write")) s.write = v->as_bool();
+      if (const util::Json* v = row.find("write_addr")) {
+        s.write_addr = static_cast<std::uint64_t>(v->as_int());
+      }
+      if (const util::Json* v = row.find("write_word")) {
+        s.write_word = static_cast<std::uint64_t>(v->as_int());
+      }
+      if (const util::Json* v = row.find("be_mask")) {
+        s.be_mask = static_cast<std::uint32_t>(v->as_int());
+      }
+      stimuli.push_back(s);
+    }
+  }
+  return RecordedStream(g, std::move(stimuli));
+}
+
 }  // namespace la1::harness

@@ -20,6 +20,7 @@
 #include "refine/conformance.hpp"
 #include "refine/lockstep.hpp"
 #include "rtl/verilog.hpp"
+#include "tgen/closure.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -254,7 +255,29 @@ FlowReport run_flow(const FlowOptions& options) {
     return bank.failures(sim) == 0;
   });
 
-  // 10. Fault-injection campaign: attack the checkers the earlier stages
+  // 10. Coverage closure: the constrained-random driver re-biases its
+  // weights toward uncovered protocol bins until the functional coverage
+  // model (src/cov) reports the target percentage. Gates on nearly-full
+  // coverage so the lockstep/ABV verdicts above rest on stimulus that
+  // demonstrably exercised the protocol space.
+  stage(report, "coverage closure", [&](std::string& detail) {
+    tgen::ClosureOptions copt;
+    copt.geometry.banks = banks;
+    copt.seed = options.seed;
+    copt.target = options.closure_target;
+    copt.transactions_per_epoch =
+        static_cast<std::uint64_t>(options.closure_transactions);
+    copt.budget.max_epochs = options.closure_epochs;
+    const tgen::ClosureResult closure = tgen::run_closure(copt);
+    std::ostringstream os;
+    os << closure.report.covered_bins() << "/" << closure.report.total_bins()
+       << " bins in " << closure.epochs << " epoch(s), "
+       << closure.transactions << " transactions";
+    detail = os.str();
+    return closure.coverage() >= options.closure_fail_under;
+  });
+
+  // 11. Fault-injection campaign: attack the checkers the earlier stages
   // relied on. A small fixed-seed mutant set must be overwhelmingly
   // caught, and the unmutated device must raise no alarm.
   stage(report, "fault-injection campaign", [&](std::string& detail) {
@@ -273,7 +296,7 @@ FlowReport run_flow(const FlowOptions& options) {
     return campaign.clean_ok && campaign.mutation_score() >= 0.8;
   });
 
-  // 11. Verilog emission — the flow's final artifact.
+  // 12. Verilog emission — the flow's final artifact.
   stage(report, "Verilog emission", [&](std::string& detail) {
     core::RtlDevice dev = core::build_device(rcfg);
     report.verilog = rtl::to_verilog(*dev.top);

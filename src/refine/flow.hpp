@@ -36,6 +36,10 @@ struct FlowOptions {
   int conformance_steps = 2000;  // ASM co-execution edges
   int lockstep_transactions = 500;
   std::size_t explore_max_states = 60000;  // ASM model-checking budget
+  double closure_target = 0.95;      // coverage-closure stop threshold
+  double closure_fail_under = 0.9;   // stage fails below this coverage
+  int closure_epochs = 20;           // coverage-closure epoch budget
+  int closure_transactions = 250;    // transactions per closure epoch
 };
 
 FlowReport run_flow(const FlowOptions& options);

@@ -1,0 +1,166 @@
+#include "tgen/shrink.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace la1::tgen {
+
+namespace {
+
+using harness::RecordedStream;
+using harness::Stimulus;
+
+/// Probe harness: counts evaluations and enforces the cap.
+class Prober {
+ public:
+  Prober(const harness::Geometry& geometry, const FailurePredicate& pred,
+         int max_probes)
+      : geometry_(geometry), pred_(pred), max_probes_(max_probes) {}
+
+  bool fails(const std::vector<Stimulus>& candidate) {
+    if (probes_ >= max_probes_) return false;
+    ++probes_;
+    RecordedStream s(geometry_, candidate);
+    return pred_(s);
+  }
+
+  bool exhausted() const { return probes_ >= max_probes_; }
+  int probes() const { return probes_; }
+
+ private:
+  harness::Geometry geometry_;
+  const FailurePredicate& pred_;
+  int max_probes_;
+  int probes_ = 0;
+};
+
+/// Classic ddmin: remove chunks at increasing granularity until no single
+/// chunk (or chunk complement) can be removed while the failure persists.
+std::vector<Stimulus> ddmin(std::vector<Stimulus> current, Prober& prober) {
+  std::size_t chunks = 2;
+  while (current.size() >= 2 && !prober.exhausted()) {
+    if (chunks > current.size()) chunks = current.size();
+    const std::size_t chunk_len =
+        (current.size() + chunks - 1) / chunks;  // ceil
+    bool reduced = false;
+
+    for (std::size_t c = 0; c * chunk_len < current.size(); ++c) {
+      const std::size_t lo = c * chunk_len;
+      const std::size_t hi = std::min(lo + chunk_len, current.size());
+      // Complement of chunk c: everything except [lo, hi).
+      std::vector<Stimulus> candidate;
+      candidate.reserve(current.size() - (hi - lo));
+      candidate.insert(candidate.end(), current.begin(),
+                       current.begin() + static_cast<std::ptrdiff_t>(lo));
+      candidate.insert(candidate.end(),
+                       current.begin() + static_cast<std::ptrdiff_t>(hi),
+                       current.end());
+      if (!candidate.empty() && prober.fails(candidate)) {
+        current = std::move(candidate);
+        chunks = chunks > 2 ? chunks - 1 : 2;
+        reduced = true;
+        break;
+      }
+      if (prober.exhausted()) break;
+    }
+
+    if (!reduced) {
+      if (chunks >= current.size()) break;  // single-transaction granularity
+      chunks = std::min(current.size(), 2 * chunks);
+    }
+  }
+  return current;
+}
+
+/// Per-transaction simplifications, tried in order of how much structure
+/// they remove. A simplification that keeps the failure sticks.
+std::vector<Stimulus> simplify_fields(std::vector<Stimulus> current,
+                                      const harness::Geometry& geometry,
+                                      Prober& prober) {
+  const std::uint32_t lane_mask = (1u << (2 * geometry.lanes())) - 1;
+  bool changed = true;
+  while (changed && !prober.exhausted()) {
+    changed = false;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      const Stimulus original = current[i];
+      std::vector<Stimulus> variants;
+      if (original.read) {
+        Stimulus v = original;
+        v.read = false;
+        v.read_addr = 0;
+        variants.push_back(v);
+      }
+      if (original.write) {
+        Stimulus v = original;
+        v.write = false;
+        v.write_addr = 0;
+        v.write_word = 0;
+        v.be_mask = ~0u;
+        variants.push_back(v);
+      }
+      if (original.read && original.read_addr != 0) {
+        Stimulus v = original;
+        v.read_addr = 0;
+        variants.push_back(v);
+      }
+      if (original.write && original.write_addr != 0) {
+        Stimulus v = original;
+        v.write_addr = 0;
+        variants.push_back(v);
+      }
+      if (original.write && original.write_word != 0) {
+        Stimulus v = original;
+        v.write_word = 0;
+        variants.push_back(v);
+      }
+      if (original.write && (original.be_mask & lane_mask) != lane_mask) {
+        Stimulus v = original;
+        v.be_mask = lane_mask;
+        variants.push_back(v);
+      }
+      for (const Stimulus& v : variants) {
+        if (v == original) continue;
+        current[i] = v;
+        if (prober.fails(current)) {
+          changed = true;
+          break;  // keep it, rescan this record with the new baseline
+        }
+        current[i] = original;
+        if (prober.exhausted()) return current;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const harness::RecordedStream& failing,
+                    const FailurePredicate& still_fails,
+                    const ShrinkOptions& options) {
+  ShrinkResult result{RecordedStream(failing.geometry(), failing.stimuli()),
+                      failing.size(),
+                      failing.size(),
+                      0,
+                      false};
+
+  Prober prober(failing.geometry(), still_fails, options.max_probes);
+  if (!prober.fails(failing.stimuli())) {
+    result.probes = prober.probes();
+    return result;  // input does not fail: nothing to shrink
+  }
+  result.failure_preserved = true;
+
+  std::vector<Stimulus> current = ddmin(failing.stimuli(), prober);
+  if (options.simplify_fields) {
+    current = simplify_fields(std::move(current), failing.geometry(), prober);
+  }
+
+  result.stream = RecordedStream(failing.geometry(), current);
+  result.shrunk_size = current.size();
+  result.probes = prober.probes();
+  return result;
+}
+
+}  // namespace la1::tgen

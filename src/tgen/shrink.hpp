@@ -1,0 +1,57 @@
+// Delta-debugging trace shrinker. A constrained-random failure (monitor
+// violation or lockstep divergence) typically needs only a handful of its
+// thousand transactions; this module reduces any failing RecordedStream to
+// a locally-minimal reproducer with ddmin chunk removal followed by
+// per-transaction field simplification, re-running the caller-supplied
+// failure predicate after every candidate edit. The result serializes with
+// RecordedStream::to_json so `la1check cov --replay` re-executes it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "harness/stimulus.hpp"
+
+namespace la1::tgen {
+
+/// Returns true when the candidate stream still triggers the original
+/// failure. The shrinker owns the stream object it passes in (fresh and
+/// rewound each probe); predicates typically run a lockstep or monitor
+/// replay over it.
+using FailurePredicate = std::function<bool(harness::RecordedStream&)>;
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations; the shrink stops at the best
+  /// stream found so far when exhausted. ddmin is O(n log n) probes in the
+  /// friendly case, O(n^2) worst case — the cap keeps replays bounded.
+  int max_probes = 4000;
+
+  /// Also try clearing individual fields (drop the read port, drop the
+  /// write port, zero addresses/data, full byte enables) once the
+  /// transaction list is minimal.
+  bool simplify_fields = true;
+};
+
+struct ShrinkResult {
+  harness::RecordedStream stream;  // locally-minimal failing stream
+  std::size_t original_size = 0;
+  std::size_t shrunk_size = 0;
+  int probes = 0;                  // predicate evaluations spent
+  bool failure_preserved = false;  // predicate holds on `stream`
+
+  double reduction() const {
+    if (original_size == 0) return 0.0;
+    return 1.0 -
+           static_cast<double>(shrunk_size) /
+               static_cast<double>(original_size);
+  }
+};
+
+/// Minimizes `failing` under `still_fails`. The input must itself satisfy
+/// the predicate (checked first; if not, the result reports
+/// failure_preserved = false and returns the input unchanged).
+ShrinkResult shrink(const harness::RecordedStream& failing,
+                    const FailurePredicate& still_fails,
+                    const ShrinkOptions& options = {});
+
+}  // namespace la1::tgen

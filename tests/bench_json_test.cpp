@@ -3,12 +3,16 @@
 // util::Json, and check the canonical {bench, params, metrics} shape.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "proptest.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 
 namespace la1 {
 namespace {
@@ -88,6 +92,76 @@ TEST(BenchJson, Table3AbvSim) {
   ASSERT_NE(row.find("ratio"), nullptr);
   ASSERT_NE(row.find("failures"), nullptr);
   EXPECT_EQ(row.find("failures")->as_int(), 0);
+}
+
+/// Random JSON document, depth-bounded. Doubles are odd multiples of 1/8 so
+/// they are exactly representable and never integral: %.17g prints integral
+/// doubles without a decimal point, which reparses as kInt and would turn a
+/// genuine round trip into a Kind mismatch.
+util::Json random_doc(util::Rng& rng, int depth) {
+  static const char kPalette[] =
+      "abcXYZ 019_-./\"\\\n\t\r\x01\x7f{}[]:,";
+  switch (rng.below(depth > 0 ? 7 : 5)) {
+    case 0:
+      return util::Json();
+    case 1:
+      return util::Json(rng.next_bool());
+    case 2:
+      return util::Json(rng.range(-1000000, 1000000));
+    case 3:
+      return util::Json(
+          static_cast<double>(2 * rng.range(-40000, 40000) + 1) / 8.0);
+    case 4: {
+      std::string s;
+      const std::uint64_t len = rng.below(12);
+      for (std::uint64_t i = 0; i < len; ++i)
+        s.push_back(kPalette[rng.below(sizeof(kPalette) - 1)]);
+      return util::Json(std::move(s));
+    }
+    case 5: {
+      util::Json arr = util::Json::array();
+      const std::uint64_t n = rng.below(5);
+      for (std::uint64_t i = 0; i < n; ++i)
+        arr.push(random_doc(rng, depth - 1));
+      return arr;
+    }
+    default: {
+      util::Json obj = util::Json::object();
+      const std::uint64_t n = rng.below(5);
+      for (std::uint64_t i = 0; i < n; ++i)
+        obj.set("k" + std::to_string(i), random_doc(rng, depth - 1));
+      return obj;
+    }
+  }
+}
+
+TEST(JsonProperty, RandomDocumentsRoundTrip) {
+  const auto result = proptest::check<util::Json>(
+      /*seed=*/20260805, /*cases=*/300,
+      [](util::Rng& rng) { return random_doc(rng, 4); },
+      [](const util::Json& doc) {
+        return util::Json::parse(doc.dump()) == doc &&
+               util::Json::parse(doc.dump(2)) == doc;
+      });
+  EXPECT_TRUE(result.ok) << "case " << result.failing_case
+                         << " failed round trip:\n"
+                         << result.counterexample.dump(2);
+  EXPECT_EQ(result.cases_run, 300);
+}
+
+TEST(JsonProperty, ShrinkConvergesToMinimalCounterexample) {
+  // Deliberately failing property to pin down the shrinker: values >= 100
+  // violate it, and {v/2, v-1} candidates must walk down to exactly 100.
+  const auto result = proptest::check<std::int64_t>(
+      /*seed=*/7, /*cases=*/100,
+      [](util::Rng& rng) { return rng.range(0, 1000); },
+      [](const std::int64_t& v) { return v < 100; },
+      [](const std::int64_t& v) {
+        return std::vector<std::int64_t>{v / 2, v - 1};
+      });
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.counterexample, 100);
+  EXPECT_GT(result.shrink_probes, 0);
 }
 
 }  // namespace

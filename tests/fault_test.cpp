@@ -4,11 +4,15 @@
 // campaign's mutation score / false-alarm gate at 1 and 2 banks.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <vector>
 
 #include "fault/campaign.hpp"
 #include "fault/fault.hpp"
 #include "harness/adapters.hpp"
+#include "harness/lockstep.hpp"
+#include "harness/stimulus.hpp"
 #include "la1/rtl_model.hpp"
 #include "mc/symbolic.hpp"
 #include "rtl/bitblast.hpp"
@@ -176,6 +180,134 @@ TEST(ProtocolFaultModel, CorruptsReadDataAgainstReference) {
     if (!(a == b)) diverged = true;
   }
   EXPECT_TRUE(diverged);
+}
+
+core::Config behavioural_config(const harness::Geometry& g) {
+  core::Config cfg;
+  cfg.banks = g.banks;
+  cfg.data_bits = g.data_bits;
+  cfg.addr_bits = g.mem_addr_bits + cfg.bank_bits();
+  return cfg;
+}
+
+struct PairRun {
+  int diverging_ticks = 0;
+  bool memory_equal = true;
+};
+
+/// Drives a pristine behavioural reference and a ProtocolFaultModel-wrapped
+/// twin through `txns` plus `idle_cycles_after` drain cycles, counting the
+/// ticks where their read-data buses disagree.
+PairRun run_against_reference(const harness::Geometry& g,
+                              const fault::FaultSpec& spec,
+                              const std::vector<harness::Stimulus>& txns,
+                              int idle_cycles_after) {
+  harness::BehavioralDeviceModel reference(behavioural_config(g));
+  fault::ProtocolFaultModel mutant(
+      std::make_unique<harness::BehavioralDeviceModel>(behavioural_config(g)),
+      spec);
+  reference.reset();
+  mutant.reset();
+  harness::Transactor tx(g);
+  const int cycles = static_cast<int>(txns.size()) + idle_cycles_after;
+  PairRun run;
+  for (int tick = 0; tick < 2 * cycles; ++tick) {
+    const harness::Edge edge = harness::edge_of_tick(tick % 2);
+    if (edge == harness::Edge::kK) {
+      const std::size_t k = static_cast<std::size_t>(tick) / 2;
+      if (k < txns.size()) tx.enqueue(txns[k]);
+    }
+    const harness::EdgePins pins = tx.next(edge);
+    reference.apply_edge(pins);
+    mutant.apply_edge(pins);
+    if (!(reference.dout() == mutant.dout())) ++run.diverging_ticks;
+  }
+  for (int bank = 0; bank < g.banks; ++bank) {
+    for (std::uint64_t a = 0; a < g.mem_depth(); ++a) {
+      run.memory_equal = run.memory_equal &&
+                         reference.memory_word(bank, a) ==
+                             mutant.memory_word(bank, a);
+    }
+  }
+  return run;
+}
+
+// The delayed read suppressed on the stream's very last transaction replays
+// on a K cycle past end-of-stream: the divergence only shows up during the
+// drain, and the fault must not corrupt memory.
+TEST(ProtocolFaultModel, DelayedTransferAtEndOfStream) {
+  harness::Geometry g;
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kDelayedTransfer;
+  spec.cycle = 0;
+  harness::Stimulus w;
+  w.write = true;
+  w.write_addr = 1;
+  w.write_word = 0xABCD;
+  harness::Stimulus r;
+  r.read = true;
+  r.read_addr = 1;
+  const PairRun run = run_against_reference(g, spec, {w, r}, 8);
+  EXPECT_GT(run.diverging_ticks, 0);
+  EXPECT_TRUE(run.memory_equal);
+}
+
+// A select glitch activated exactly on the final transaction redirects that
+// read into the wrong bank; the earlier writes (captured on K#, which the
+// glitch never touches) must land where they were aimed.
+TEST(ProtocolFaultModel, GlitchedBankSelectOnFinalTransaction) {
+  harness::Geometry g;
+  g.banks = 2;  // addr_bits = 3, so bit 2 is the bank select the glitch flips
+  harness::Stimulus w0;
+  w0.write = true;
+  w0.write_addr = 1;
+  w0.write_word = 0x1111;
+  harness::Stimulus w1;
+  w1.write = true;
+  w1.write_addr = 1 | (1ull << 2);
+  w1.write_word = 0x2222;
+  harness::Stimulus idle;
+  harness::Stimulus r;
+  r.read = true;
+  r.read_addr = 1;
+  const std::vector<harness::Stimulus> txns = {w0, w1, idle, idle, r};
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kGlitchBankSelect;
+  spec.cycle = static_cast<int>(txns.size()) - 1;  // only the final read
+  const PairRun run = run_against_reference(g, spec, txns, 8);
+  EXPECT_GT(run.diverging_ticks, 0);
+  EXPECT_TRUE(run.memory_equal);
+}
+
+// With no transfers at all, none of the protocol faults has anything to
+// corrupt: a zero-length stimulus must stay divergence-free through both
+// the raw edge loop and the official lockstep path.
+TEST(ProtocolFaultModel, ZeroLengthStimulusNeverActivates) {
+  harness::Geometry g;
+  for (fault::FaultKind kind :
+       {fault::FaultKind::kCorruptReadData, fault::FaultKind::kGlitchBankSelect,
+        fault::FaultKind::kDroppedTransfer,
+        fault::FaultKind::kDelayedTransfer}) {
+    fault::FaultSpec spec;
+    spec.kind = kind;
+    spec.cycle = 0;
+    const PairRun run = run_against_reference(g, spec, {}, 8);
+    EXPECT_EQ(run.diverging_ticks, 0) << fault::to_string(kind);
+    EXPECT_TRUE(run.memory_equal) << fault::to_string(kind);
+
+    harness::BehavioralDeviceModel reference(behavioural_config(g));
+    fault::ProtocolFaultModel mutant(
+        std::make_unique<harness::BehavioralDeviceModel>(
+            behavioural_config(g)),
+        spec);
+    harness::RecordedStream empty(g, {});
+    harness::LockstepOptions lo;
+    lo.transactions = 0;
+    const harness::LockstepReport report =
+        harness::run_lockstep({&reference, &mutant}, empty, lo);
+    EXPECT_TRUE(report.ok) << fault::to_string(kind) << ": "
+                           << report.mismatch;
+  }
 }
 
 fault::CampaignOptions small_campaign(int banks) {

@@ -1,0 +1,77 @@
+// Tiny property-testing helper for the GTest suites: seeded random case
+// generation with greedy shrink-on-fail, the unit-test-sized sibling of
+// the trace shrinker in src/tgen. Everything is deterministic in the seed,
+// so a reported counterexample replays exactly.
+//
+//   auto result = proptest::check<int>(
+//       /*seed=*/1, /*cases=*/200,
+//       [](util::Rng& rng) { return static_cast<int>(rng.below(1000)); },
+//       [](const int& v) { return v < 100; },
+//       [](const int& v) { return std::vector<int>{v / 2, v - 1}; });
+//   EXPECT_TRUE(result.ok) << "counterexample: " << result.counterexample;
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace la1::proptest {
+
+template <typename T>
+struct Result {
+  bool ok = true;
+  int cases_run = 0;
+  int failing_case = -1;  // index of the first failing draw, -1 when ok
+  std::uint64_t seed = 0;
+  int shrink_probes = 0;  // property evaluations spent shrinking
+  T counterexample{};     // locally minimal under the shrink candidates
+};
+
+/// Runs `prop` over `cases` values drawn from `gen(rng)`. On the first
+/// failure, repeatedly asks `shrinks(value)` for simpler candidates (most
+/// aggressive first) and descends into the first candidate that still
+/// fails, until no candidate fails or `max_shrink_probes` is spent.
+template <typename T, typename Gen, typename Prop, typename Shrinks>
+Result<T> check(std::uint64_t seed, int cases, Gen&& gen, Prop&& prop,
+                Shrinks&& shrinks, int max_shrink_probes = 1000) {
+  Result<T> result;
+  result.seed = seed;
+  util::Rng rng(seed);
+  for (int i = 0; i < cases; ++i) {
+    T value = gen(rng);
+    ++result.cases_run;
+    if (prop(static_cast<const T&>(value))) continue;
+
+    result.ok = false;
+    result.failing_case = i;
+    bool progress = true;
+    while (progress && result.shrink_probes < max_shrink_probes) {
+      progress = false;
+      for (T& candidate : shrinks(static_cast<const T&>(value))) {
+        ++result.shrink_probes;
+        if (!prop(static_cast<const T&>(candidate))) {
+          value = std::move(candidate);
+          progress = true;
+          break;
+        }
+        if (result.shrink_probes >= max_shrink_probes) break;
+      }
+    }
+    result.counterexample = std::move(value);
+    return result;
+  }
+  return result;
+}
+
+/// Shrink-free variant for properties whose counterexamples are already
+/// small (or where any failure is equally informative).
+template <typename T, typename Gen, typename Prop>
+Result<T> check(std::uint64_t seed, int cases, Gen&& gen, Prop&& prop) {
+  return check<T>(seed, cases, static_cast<Gen&&>(gen),
+                  static_cast<Prop&&>(prop),
+                  [](const T&) { return std::vector<T>{}; });
+}
+
+}  // namespace la1::proptest

@@ -12,6 +12,8 @@
 #include "sim/signal.hpp"
 #include "sim/sync.hpp"
 #include "sim/vcd.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace la1::sim {
 namespace {
@@ -239,6 +241,42 @@ TEST(Vcd, ProducesHeaderAndChanges) {
   EXPECT_NE(s.find("$timescale"), std::string::npos);
   EXPECT_NE(s.find("$var wire 1"), std::string::npos);
   EXPECT_NE(s.find("#5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// Golden-file regression for the VCD writer: a seeded workload must emit a
+// byte-identical file forever. Any nondeterminism on the dump path (wall
+// clock in the header, container ordering, format drift) moves the hash.
+// If a deliberate format change moves it, re-pin from the printed value.
+TEST(Vcd, GoldenHashByteReproducibility) {
+  const std::string path = ::testing::TempDir() + "la1_vcd_golden.vcd";
+  {
+    Kernel k;
+    Wire strobe(k, "strobe", false);
+    Signal<std::uint32_t> bus(k, "bus", 0);
+    VcdTracer tracer(k, path);
+    tracer.trace(strobe, "strobe");
+    tracer.trace(bus, "bus", 8);
+    util::Rng rng(2004);  // fixed seed: DATE 2004, the source paper
+    Time at = 0;
+    for (int i = 0; i < 64; ++i) {
+      at += 1 + rng.below(9);
+      const bool level = rng.next_bool();
+      const auto word = static_cast<std::uint32_t>(rng.below(256));
+      k.schedule(at, [&strobe, &bus, level, word] {
+        strobe.write(level);
+        bus.write(word);
+      });
+    }
+    k.run_to_completion();
+    tracer.close();
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream text;
+  text << in.rdbuf();
+  const std::uint64_t hash = util::fnv1a64(text.str());
+  EXPECT_EQ(hash, 0x5c60026f4d851fbbull)
+      << "actual hash: 0x" << std::hex << hash;
   std::remove(path.c_str());
 }
 

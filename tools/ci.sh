@@ -6,6 +6,9 @@
 #   tools/ci.sh --smoke-only    # skip build/ctest, just lint gate + smoke
 #   tools/ci.sh --sanitize      # tier-1 under ASan/UBSan in a separate tree
 #   tools/ci.sh --faults        # also run the fixed-seed fault campaign gate
+#   tools/ci.sh --cov           # also run the coverage-closure + shrinker gate
+#   tools/ci.sh --line-cov      # gcov line-coverage build in a separate tree,
+#                               # reported as a BenchReport-shaped JSON metric
 #   tools/ci.sh --install-hook  # install as .git/hooks/pre-push
 #
 # Also wired as a CTest-adjacent CMake target: `cmake --build build --target ci`.
@@ -17,6 +20,8 @@ jobs=$(nproc 2>/dev/null || echo 2)
 smoke_only=0
 sanitize=0
 faults=0
+cov=0
+line_cov=0
 # Watchdog for the test suites: a hung test (a model-checking run that
 # stopped converging, a deadlocked harness) fails its suite instead of
 # wedging CI. Generous next to the observed per-test runtimes (< 10 s).
@@ -41,8 +46,14 @@ for arg in "$@"; do
     --faults)
       faults=1
       ;;
+    --cov)
+      cov=1
+      ;;
+    --line-cov)
+      line_cov=1
+      ;;
     *)
-      echo "usage: tools/ci.sh [--smoke-only | --sanitize | --faults | --install-hook]" >&2
+      echo "usage: tools/ci.sh [--smoke-only | --sanitize | --faults | --cov | --line-cov | --install-hook]" >&2
       exit 2
       ;;
   esac
@@ -56,6 +67,31 @@ if [ "$sanitize" -eq 1 ]; then
   cmake --build "$asan_dir" -j "$jobs"
   (cd "$asan_dir" && ctest --output-on-failure -j "$jobs" --timeout "$test_timeout")
   echo "ci: tier-1 verify passed under ASan/UBSan"
+  exit 0
+fi
+
+if [ "$line_cov" -eq 1 ]; then
+  # Tier-1 under gcov instrumentation (-DLA1_COVERAGE=ON) in a separate
+  # build tree, then aggregate the line rate across every object the test
+  # run touched and report it in the canonical BenchReport JSON shape.
+  cov_dir="${LA1_COV_BUILD_DIR:-$repo_root/build-cov}"
+  cmake -B "$cov_dir" -S "$repo_root" -DLA1_COVERAGE=ON
+  cmake --build "$cov_dir" -j "$jobs"
+  (cd "$cov_dir" && ctest --output-on-failure -j "$jobs" --timeout "$test_timeout")
+  report="$cov_dir/line-coverage.json"
+  find "$cov_dir/src" -name '*.gcda' -exec gcov -n {} + 2>/dev/null |
+    awk -F'[:% ]+' -v out="$report" '
+      /^Lines executed:/ { covered += $3 / 100 * $5; total += $5 }
+      END {
+        rate = total ? covered / total : 0
+        printf "{\n  \"bench\": \"ci_line_coverage\",\n" > out
+        printf "  \"params\": {\"option\": \"LA1_COVERAGE\"},\n" >> out
+        printf "  \"metrics\": [{\"kind\": \"line_coverage\", \"line_rate\": %.4f, \"lines_covered\": %d, \"lines_total\": %d}]\n}\n", \
+               rate, covered, total >> out
+        printf "ci: line coverage %.1f%% (%d/%d lines) -> %s\n", \
+               100 * rate, covered, total, out
+      }'
+  echo "ci: tier-1 verify passed under gcov instrumentation"
   exit 0
 fi
 
@@ -114,6 +150,24 @@ if [ "$faults" -eq 1 ]; then
     grep -q '"ok": true' "$smoke_dir/faults-$banks.json"
   done
   echo "ci: fault-campaign gate passed (banks 1 and 2, seed 1)"
+fi
+
+# Coverage-closure gate (opt-in: --cov): fixed-seed closure at 1 and 2 banks
+# must reach 90% of the functional-coverage bins, and the shrinker must
+# reduce the seeded failing stream to a reproducer that still fails on
+# replay. la1check exits nonzero on either violation.
+if [ "$cov" -eq 1 ]; then
+  for banks in 1 2; do
+    "$build_dir/tools/la1check" cov --banks "$banks" --seed 1 \
+      --fail-under 0.9 --json "$smoke_dir/cov-$banks.json" > /dev/null
+    grep -q '"groups"' "$smoke_dir/cov-$banks.json"
+    grep -q '"coverage"' "$smoke_dir/cov-$banks.json"
+  done
+  "$build_dir/tools/la1check" cov --banks 1 --seed 1 --shrink \
+    --out "$smoke_dir/cov-repro.json" > /dev/null
+  "$build_dir/tools/la1check" cov --replay "$smoke_dir/cov-repro.json" \
+    > /dev/null
+  echo "ci: coverage-closure gate passed (banks 1 and 2, seed 1)"
 fi
 
 # Bench smoke: every bench_table* binary must emit a parseable --json

@@ -33,8 +33,12 @@
 #include <fstream>
 #include <sstream>
 
+#include "cov/coverage.hpp"
 #include "dfa/sweep.hpp"
 #include "fault/campaign.hpp"
+#include "fault/fault.hpp"
+#include "harness/adapters.hpp"
+#include "harness/lockstep.hpp"
 #include "la1/asm_model.hpp"
 #include "la1/behavioral.hpp"
 #include "la1/host_bfm.hpp"
@@ -48,6 +52,8 @@
 #include "psl/parse.hpp"
 #include "refine/flow.hpp"
 #include "rtl/verilog.hpp"
+#include "tgen/closure.hpp"
+#include "tgen/shrink.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
@@ -57,7 +63,8 @@ using namespace la1;
 
 int usage() {
   std::fputs(
-      "usage: la1check <sim|asm|rtl|verilog|flow|lint|dfa|faults> [options]\n"
+      "usage: la1check <sim|asm|rtl|verilog|flow|lint|dfa|faults|cov> "
+      "[options]\n"
       "  common:  --banks N  --seed S\n"
       "  sim:     --prop \"<psl>\" | --vunit-file F   --ticks T\n"
       "  asm:     --prop \"<psl>\"   --max-states N\n"
@@ -67,7 +74,11 @@ int usage() {
       "           --prop \"<psl>\" | --vunit-file F  --inject DEFECT\n"
       "  dfa:     --json FILE|-  --fail-on warn|error|never\n"
       "  faults:  --json FILE|-  --fail-under SCORE  --transactions N\n"
-      "           --structural N  --protocol N  --no-mc\n",
+      "           --structural N  --protocol N  --no-mc\n"
+      "  cov:     closure: --target C  --epochs N  --transactions N\n"
+      "           --wall-ms MS  --json FILE|-  --fail-under C\n"
+      "           shrink:  --shrink  --transactions N  --out FILE\n"
+      "           replay:  --replay FILE\n",
       stderr);
   return 2;
 }
@@ -376,6 +387,175 @@ int run_faults(const util::Cli& cli) {
   return 0;
 }
 
+harness::Geometry cov_geometry(const util::Cli& cli) {
+  harness::Geometry g;
+  g.banks = static_cast<int>(cli.get_int("banks", 1));
+  g.mem_addr_bits = static_cast<int>(cli.get_int("mem-addr-bits", 2));
+  g.data_bits = static_cast<int>(cli.get_int("data-bits", 8));
+  return g;
+}
+
+core::Config behavioral_config(const harness::Geometry& g) {
+  core::Config cfg;
+  cfg.banks = g.banks;
+  cfg.data_bits = g.data_bits;
+  cfg.addr_bits = g.mem_addr_bits + cfg.bank_bits();
+  return cfg;
+}
+
+/// Replays `stream` in lockstep: a pristine behavioural reference against
+/// the same model wrapped in the protocol-fault decorator. Returns the
+/// lockstep report (ok == false when the fault is visible).
+harness::LockstepReport replay_fault(const harness::Geometry& g,
+                                     harness::RecordedStream& stream,
+                                     const fault::FaultSpec& spec,
+                                     std::uint64_t transactions) {
+  harness::BehavioralDeviceModel reference(behavioral_config(g));
+  fault::ProtocolFaultModel faulty(
+      std::make_unique<harness::BehavioralDeviceModel>(behavioral_config(g)),
+      spec);
+  harness::LockstepOptions lo;
+  lo.transactions = transactions;
+  stream.reset();
+  return harness::run_lockstep({&reference, &faulty}, stream, lo);
+}
+
+int run_cov_replay(const util::Cli& cli) {
+  const std::string path = cli.get("replay", "");
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream text;
+  text << in.rdbuf();
+  const util::Json doc = util::Json::parse(text.str());
+
+  const util::Json* jstream = doc.find("stream");
+  const util::Json* jfault = doc.find("fault");
+  if (jstream == nullptr || jfault == nullptr) {
+    std::fprintf(stderr, "%s: not a reproducer (need 'stream' + 'fault')\n",
+                 path.c_str());
+    return 2;
+  }
+  harness::RecordedStream stream = harness::RecordedStream::from_json(*jstream);
+  const fault::FaultSpec spec = fault::FaultSpec::from_json(*jfault);
+  std::uint64_t transactions = stream.size();
+  if (const util::Json* v = doc.find("transactions")) {
+    transactions = static_cast<std::uint64_t>(v->as_int());
+  }
+
+  const harness::LockstepReport report =
+      replay_fault(stream.geometry(), stream, spec, transactions);
+  std::printf("replayed %zu transaction(s) against fault %s\n", stream.size(),
+              spec.id().c_str());
+  if (!report.ok) {
+    std::printf("failure reproduced: %s\n", report.mismatch.c_str());
+    return 0;
+  }
+  std::puts("failure did NOT reproduce");
+  return 1;
+}
+
+int run_cov_shrink(const util::Cli& cli) {
+  const harness::Geometry g = cov_geometry(cli);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::uint64_t transactions =
+      static_cast<std::uint64_t>(cli.get_int("transactions", 200));
+
+  // Seeded failure: uniform traffic against a corrupt-read-data mutant.
+  harness::StimulusOptions so;
+  so.banks = g.banks;
+  so.mem_addr_bits = g.mem_addr_bits;
+  so.data_bits = g.data_bits;
+  harness::StimulusStream uniform(so, seed);
+  std::vector<harness::Stimulus> stimuli;
+  for (std::uint64_t i = 0; i < transactions; ++i) {
+    stimuli.push_back(uniform.next());
+  }
+  harness::RecordedStream failing(g, std::move(stimuli));
+
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kCorruptReadData;
+  spec.cycle = 0;
+
+  const tgen::ShrinkResult result = tgen::shrink(
+      failing,
+      [&](harness::RecordedStream& candidate) {
+        return !replay_fault(g, candidate, spec, transactions).ok;
+      });
+
+  std::printf("shrink: %zu -> %zu transaction(s) (%.1f%% reduction), "
+              "%d probe(s), failure %s\n",
+              result.original_size, result.shrunk_size,
+              100.0 * result.reduction(), result.probes,
+              result.failure_preserved ? "preserved" : "NOT preserved");
+
+  const std::string out = cli.get("out", "");
+  if (!out.empty()) {
+    util::Json doc = util::Json::object();
+    doc.set("stream", result.stream.to_json());
+    doc.set("fault", spec.to_json());
+    doc.set("transactions", transactions);
+    std::ofstream f(out);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 2;
+    }
+    f << doc.dump(2) << '\n';
+    std::printf("wrote reproducer to %s\n", out.c_str());
+  }
+  return result.failure_preserved ? 0 : 1;
+}
+
+int run_cov(const util::Cli& cli) {
+  if (cli.has("replay")) return run_cov_replay(cli);
+  if (cli.get_bool("shrink", false)) return run_cov_shrink(cli);
+
+  tgen::ClosureOptions opt;
+  opt.geometry = cov_geometry(cli);
+  opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  opt.target = cli.get_double("target", 0.95);
+  opt.transactions_per_epoch =
+      static_cast<std::uint64_t>(cli.get_int("transactions", 250));
+  opt.budget.max_epochs = static_cast<int>(cli.get_int("epochs", 40));
+  opt.budget.wall_ms = static_cast<std::uint64_t>(cli.get_int("wall-ms", 0));
+
+  const tgen::ClosureResult result = tgen::run_closure(opt);
+
+  const std::string json = cli.get("json", "");
+  if (json == "-") {
+    std::fputs((result.to_json().dump(2) + "\n").c_str(), stdout);
+  } else {
+    std::fputs(result.report.render().c_str(), stdout);
+    std::printf("closure: %d epoch(s), %llu transaction(s), target %.0f%% %s\n",
+                result.epochs,
+                static_cast<unsigned long long>(result.transactions),
+                100.0 * opt.target,
+                result.reached_target ? "reached"
+                : result.budget_exhausted ? "NOT reached (budget exhausted)"
+                                          : "NOT reached");
+    if (!json.empty()) {
+      std::ofstream f(json);
+      if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json.c_str());
+        return 2;
+      }
+      f << result.to_json().dump(2) << '\n';
+      std::printf("wrote report to %s\n", json.c_str());
+    }
+  }
+
+  const double fail_under = cli.get_double("fail-under", 0.0);
+  if (result.coverage() < fail_under) {
+    std::fprintf(stderr, "FAIL: coverage %.3f below threshold %.2f\n",
+                 result.coverage(), fail_under);
+    return 1;
+  }
+  return 0;
+}
+
 int run_flow(const util::Cli& cli) {
   refine::FlowOptions opt;
   opt.banks = static_cast<int>(cli.get_int("banks", 1));
@@ -399,6 +579,7 @@ int main(int argc, char** argv) {
     if (mode == "lint") return run_lint(cli);
     if (mode == "dfa") return run_dfa(cli);
     if (mode == "faults") return run_faults(cli);
+    if (mode == "cov") return run_cov(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

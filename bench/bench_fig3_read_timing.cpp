@@ -10,7 +10,7 @@
 #include "harness/adapters.hpp"
 #include "harness/trace.hpp"
 #include "la1/behavioral.hpp"
-#include "la1/uml_spec.hpp"
+#include "la1/msc_spec.hpp"
 #include "uml/render.hpp"
 #include "util/bench_report.hpp"
 #include "util/cli.hpp"

@@ -1,13 +1,14 @@
 // The complete Figure-2 methodology, end to end, with the intermediate
-// artifacts printed: the UML spec (PlantUML), the derived properties, the
-// per-stage verification results, and the final synthesizable Verilog.
+// artifacts printed: the UML class diagram (PlantUML), the MSC spec source
+// and the properties compiled from it, the per-stage verification results,
+// and the final synthesizable Verilog.
 //
 //   $ ./refinement_flow [--banks N] [--quiet]
 #include <cstdio>
 
-#include "la1/uml_spec.hpp"
+#include "la1/msc_spec.hpp"
+#include "msc/compile.hpp"
 #include "refine/flow.hpp"
-#include "uml/derive.hpp"
 #include "uml/render.hpp"
 #include "util/cli.hpp"
 
@@ -21,14 +22,18 @@ int main(int argc, char** argv) {
   if (!quiet) {
     std::puts("=== UML level: class diagram (PlantUML) ===");
     std::fputs(uml::to_plantuml(core::la1_class_diagram()).c_str(), stdout);
-    std::puts("\n=== UML level: read-mode sequence diagram ===");
-    std::fputs(uml::to_plantuml(core::read_mode_sequence()).c_str(), stdout);
+    std::puts("\n=== spec level: read-mode chart (examples/read_mode.msc) ===");
+    std::fputs(core::read_mode_msc(), stdout);
 
-    std::puts("\n=== properties derived from the sequence diagram ===");
-    for (const auto& d : uml::derive_latency_properties(
-             core::read_mode_sequence(), core::tap_namer(0))) {
+    std::puts("\n=== properties compiled from the chart ===");
+    const msc::MonitorSuite suite = msc::to_psl(core::read_mode_chart());
+    for (const auto& d : suite.asserts) {
       std::printf("  %-40s %s\n", d.name.c_str(), d.source.c_str());
       std::printf("    %s\n", psl::to_string(*d.prop).c_str());
+    }
+    for (const auto& c : suite.covers) {
+      std::printf("  %-40s cover %s\n", c.name.c_str(),
+                  psl::to_string(*c.sere).c_str());
     }
     std::puts("");
   }

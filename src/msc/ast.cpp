@@ -1,0 +1,191 @@
+#include "msc/ast.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace la1::msc {
+
+const char* to_string(Clock c) { return c == Clock::kK ? "K" : "K#"; }
+
+const char* to_string(Trigger t) {
+  return t == Trigger::kRead ? "read" : "write";
+}
+
+std::string Message::annotation() const {
+  std::ostringstream out;
+  out << operation << '[' << cycle_lo;
+  if (!exact()) out << ".." << cycle_hi;
+  out << "]()@" << to_string(clock);
+  if (duration > 0) out << '/' << duration;
+  return out.str();
+}
+
+Item Item::of(Message m) {
+  Item i;
+  i.kind = Item::Kind::kMessage;
+  i.message = std::move(m);
+  return i;
+}
+
+Item Item::of(Region r) {
+  Item i;
+  i.kind = Item::Kind::kRegion;
+  i.region = std::move(r);
+  return i;
+}
+
+const SignalBinding* Chart::binding(const std::string& operation) const {
+  for (const SignalBinding& b : signals) {
+    if (b.operation == operation) return &b;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void collect_messages(const std::vector<Item>& items, bool recurse,
+                      std::vector<const Message*>& out) {
+  for (const Item& item : items) {
+    if (item.kind == Item::Kind::kMessage) {
+      out.push_back(&item.message);
+    } else if (recurse) {
+      collect_messages(item.region.items, recurse, out);
+    }
+  }
+}
+
+/// Validates one timeline (monotone ticks, message well-formedness) and
+/// recurses into region-local timelines.
+void validate_items(const std::vector<Item>& items,
+                    const std::set<std::string>& lanes,
+                    const std::string& where,
+                    std::vector<std::string>& issues) {
+  int last_tick = -1;
+  int region_index = 0;
+  for (const Item& item : items) {
+    if (item.kind == Item::Kind::kMessage) {
+      const Message& m = item.message;
+      if (lanes.count(m.from) == 0) {
+        issues.push_back(where + "message from unknown lifeline: " + m.from);
+      }
+      if (lanes.count(m.to) == 0) {
+        issues.push_back(where + "message to unknown lifeline: " + m.to);
+      }
+      if (m.cycle_lo < 0) {
+        issues.push_back(where + "negative cycle on " + m.annotation());
+      }
+      if (m.cycle_hi < m.cycle_lo) {
+        issues.push_back(where + "inverted latency window on " +
+                         m.annotation());
+      }
+      if (m.duration < 0) {
+        issues.push_back(where + "negative duration on " + m.annotation());
+      }
+      if (m.tick_lo() < last_tick) {
+        issues.push_back(where + "message order violates time: " +
+                         m.annotation());
+      }
+      last_tick = m.tick_lo();
+    } else {
+      const Region& r = item.region;
+      const std::string kind = r.kind == Region::Kind::kOpt ? "opt" : "loop";
+      const std::string inner =
+          where + kind + "#" + std::to_string(region_index) + ": ";
+      ++region_index;
+      if (r.items.empty()) {
+        issues.push_back(where + "empty " + kind + " region");
+      }
+      if (r.kind == Region::Kind::kLoop) {
+        if (r.count < 1) {
+          issues.push_back(where + "loop count must be >= 1");
+        }
+        if (r.period < 1) {
+          issues.push_back(where + "loop period must be >= 1");
+        }
+      }
+      // Region bodies are local timelines: validation restarts at tick 0
+      // and the enclosing timeline's clock position is unaffected.
+      validate_items(r.items, lanes, inner, issues);
+    }
+  }
+}
+
+void render_items(std::ostringstream& out, const std::vector<Item>& items,
+                  int depth) {
+  const std::string pad(static_cast<std::size_t>(2 * depth), ' ');
+  for (const Item& item : items) {
+    if (item.kind == Item::Kind::kMessage) {
+      const Message& m = item.message;
+      out << pad << m.from << " -> " << m.to << " : " << m.annotation()
+          << '\n';
+    } else {
+      const Region& r = item.region;
+      if (r.kind == Region::Kind::kOpt) {
+        out << pad << "opt {\n";
+      } else {
+        out << pad << "loop [" << r.count << "] period " << r.period
+            << " {\n";
+      }
+      render_items(out, r.items, depth + 1);
+      out << pad << "}\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<const Message*> Chart::mandatory() const {
+  std::vector<const Message*> out;
+  collect_messages(items, /*recurse=*/false, out);
+  return out;
+}
+
+std::vector<const Message*> Chart::all_messages() const {
+  std::vector<const Message*> out;
+  collect_messages(items, /*recurse=*/true, out);
+  return out;
+}
+
+std::vector<std::string> Chart::validate() const {
+  std::vector<std::string> issues;
+  if (name.empty()) issues.push_back("chart has no name");
+  if (lifelines.empty()) issues.push_back("chart has no lifelines");
+
+  std::set<std::string> lanes;
+  for (const std::string& l : lifelines) {
+    if (!lanes.insert(l).second) {
+      issues.push_back("duplicate lifeline: " + l);
+    }
+  }
+
+  std::set<std::string> bound;
+  for (const SignalBinding& b : signals) {
+    if (!bound.insert(b.operation).second) {
+      issues.push_back("duplicate signal binding for operation: " +
+                       b.operation);
+    }
+    if (b.signal.empty()) {
+      issues.push_back("empty signal binding for operation: " + b.operation);
+    }
+  }
+
+  validate_items(items, lanes, "", issues);
+  return issues;
+}
+
+std::string to_text(const Chart& chart) {
+  std::ostringstream out;
+  out << "msc " << chart.name << " {\n";
+  for (const std::string& l : chart.lifelines) {
+    out << "  lifeline " << l << '\n';
+  }
+  out << "  trigger " << to_string(chart.trigger) << '\n';
+  for (const SignalBinding& b : chart.signals) {
+    out << "  signal " << b.operation << " = " << b.signal << '\n';
+  }
+  render_items(out, chart.items, 1);
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace la1::msc

@@ -7,7 +7,7 @@
 #include "la1/host_bfm.hpp"
 #include "la1/properties.hpp"
 #include "la1/rtl_model.hpp"
-#include "la1/uml_spec.hpp"
+#include "la1/msc_spec.hpp"
 #include "dfa/sweep.hpp"
 #include "fault/campaign.hpp"
 #include "lint/netlist_lint.hpp"
@@ -15,6 +15,7 @@
 #include "lint/seq_lint.hpp"
 #include "mc/explicit.hpp"
 #include "mc/symbolic.hpp"
+#include "msc/compile.hpp"
 #include "ovl/ovl.hpp"
 #include "psl/monitor.hpp"
 #include "refine/conformance.hpp"
@@ -59,18 +60,30 @@ FlowReport run_flow(const FlowOptions& options) {
   FlowReport report;
   const int banks = options.banks;
 
-  // 1. UML level: capture + validate the spec, derive properties.
-  stage(report, "UML specification", [&](std::string& detail) {
+  // 1. Spec compilation: validate the class diagram and the shipped .msc
+  // charts, then compile the three artifacts the later stages consume —
+  // monitors (stage 4), coverage bins and biased stimulus (stage 10).
+  stage(report, "MSC spec compilation", [&](std::string& detail) {
     const uml::ClassDiagram cd = core::la1_class_diagram();
-    const uml::SequenceDiagram read_sd = core::read_mode_sequence();
-    const uml::SequenceDiagram write_sd = core::write_mode_sequence();
+    const msc::Chart read_chart = core::read_mode_chart();
+    const msc::Chart write_chart = core::write_mode_chart();
     auto issues = cd.validate();
-    for (const auto& i : read_sd.validate()) issues.push_back(i);
-    for (const auto& i : write_sd.validate()) issues.push_back(i);
-    const auto derived =
-        uml::derive_latency_properties(read_sd, core::tap_namer(0));
-    detail = std::to_string(cd.classes().size()) + " classes, " +
-             std::to_string(derived.size()) + " derived properties";
+    for (const auto& i : read_chart.validate()) issues.push_back(i);
+    for (const auto& i : write_chart.validate()) issues.push_back(i);
+    std::size_t asserts = 0;
+    std::size_t covers = 0;
+    std::size_t bins = 0;
+    for (const msc::Chart* chart : {&read_chart, &write_chart}) {
+      const msc::MonitorSuite suite = msc::to_psl(*chart);
+      asserts += suite.asserts.size();
+      covers += suite.covers.size();
+      for (const cov::Covergroup& g : msc::to_coverage(*chart)) {
+        bins += g.bins.size();
+      }
+    }
+    detail = std::to_string(cd.classes().size()) + " classes, 2 charts -> " +
+             std::to_string(asserts) + " asserts, " + std::to_string(covers) +
+             " covers, " + std::to_string(bins) + " coverage bins";
     return issues.empty();
   });
 
@@ -102,7 +115,8 @@ FlowReport run_flow(const FlowOptions& options) {
     return r.ok;
   });
 
-  // 4. Behavioural ABV: compiled PSL monitors over random traffic.
+  // 4. Behavioural ABV: compiled PSL monitors over random traffic — the
+  // hand-written suite plus the monitors compiled from the stage-1 charts.
   core::Config bcfg;
   bcfg.banks = banks;
   stage(report, "behavioural ABV (PSL monitors)", [&](std::string& detail) {
@@ -111,12 +125,34 @@ FlowReport run_flow(const FlowOptions& options) {
     harness.host().push_random(rng, options.abv_ticks / 2);
     psl::VUnit vunit = core::behavioral_vunit(bcfg);
     psl::VUnitRunner runner(vunit);
-    harness.run_ticks(options.abv_ticks,
-                      [&](int) { runner.step(harness.env()); });
-    detail = std::to_string(vunit.directives().size()) + " directives, " +
-             std::to_string(runner.failures()) + " failures, scoreboard " +
+    psl::VUnit derived("msc_derived");
+    for (int b = 0; b < banks; ++b) {
+      msc::CompileOptions copts;
+      copts.bank = b;
+      const msc::MonitorSuite suite =
+          msc::to_psl(core::read_mode_chart(), copts);
+      for (const msc::CompiledProperty& d : suite.asserts) {
+        derived.add_assert("b" + std::to_string(b) + "." + d.name, d.prop,
+                           psl::DirSeverity::kMajor, d.source);
+      }
+    }
+    for (const msc::CompiledProperty& d :
+         msc::to_psl(core::write_mode_chart()).asserts) {
+      derived.add_assert(d.name, d.prop, psl::DirSeverity::kMajor, d.source);
+    }
+    psl::VUnitRunner derived_runner(derived);
+    harness.run_ticks(options.abv_ticks, [&](int) {
+      runner.step(harness.env());
+      derived_runner.step(harness.env());
+    });
+    detail = std::to_string(vunit.directives().size()) + " directives + " +
+             std::to_string(derived.directives().size()) +
+             " spec-compiled, " +
+             std::to_string(runner.failures() + derived_runner.failures()) +
+             " failures, scoreboard " +
              std::to_string(harness.host().data_mismatches()) + " mismatches";
-    return runner.failures() == 0 && harness.host().data_mismatches() == 0 &&
+    return runner.failures() == 0 && derived_runner.failures() == 0 &&
+           harness.host().data_mismatches() == 0 &&
            harness.host().parity_errors() == 0;
   });
 
@@ -268,6 +304,10 @@ FlowReport run_flow(const FlowOptions& options) {
     copt.transactions_per_epoch =
         static_cast<std::uint64_t>(options.closure_transactions);
     copt.budget.max_epochs = options.closure_epochs;
+    // The stage-1 chart contributes its scenario bins to the closure
+    // target, and its compiled profile to the re-bias rule table.
+    msc::ScenarioCoverage scenario(core::read_mode_chart(), copt.geometry);
+    copt.plugins.push_back(&scenario);
     const tgen::ClosureResult closure = tgen::run_closure(copt);
     std::ostringstream os;
     os << closure.report.covered_bins() << "/" << closure.report.total_bins()

@@ -57,15 +57,25 @@ util::Json ClosureResult::to_json() const {
 void collect_stream(cov::CoverageCollector& collector,
                     harness::StimulusSource& source,
                     std::uint64_t transactions) {
+  collect_stream(collector, source, transactions, {});
+}
+
+void collect_stream(cov::CoverageCollector& collector,
+                    harness::StimulusSource& source,
+                    std::uint64_t transactions,
+                    const std::vector<CoveragePlugin*>& plugins) {
   harness::Transactor transactor(source.geometry());
   const std::uint64_t ticks = 2 * transactions;
   for (std::uint64_t tick = 0; tick < ticks; ++tick) {
     const harness::Edge edge =
         harness::edge_of_tick(static_cast<int>(tick % 2));
     if (edge == harness::Edge::kK) transactor.enqueue(source.next());
-    collector.observe_edge(transactor.next(edge));
+    const harness::EdgePins pins = transactor.next(edge);
+    collector.observe_edge(pins);
+    for (CoveragePlugin* p : plugins) p->observe_edge(pins);
   }
   collector.end_stream();
+  for (CoveragePlugin* p : plugins) p->end_stream();
 }
 
 Profile profile_for(const std::string& group, const std::string& bin,
@@ -208,6 +218,23 @@ Profile profile_for(const std::string& group, const std::string& bin,
   return p;
 }
 
+namespace {
+
+/// The built-in report plus every plugin's groups — the view closure
+/// targets and reports over.
+cov::CoverageReport merged_report(const cov::CoverageCollector& collector,
+                                  const std::vector<CoveragePlugin*>& plugins) {
+  cov::CoverageReport report = collector.report();
+  for (const CoveragePlugin* p : plugins) {
+    for (cov::Covergroup& g : p->groups()) {
+      report.groups.push_back(std::move(g));
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
 ClosureResult run_closure(const ClosureOptions& options) {
   util::Stopwatch wall;
   cov::CoverageCollector collector(options.geometry);
@@ -230,20 +257,31 @@ ClosureResult run_closure(const ClosureOptions& options) {
                        options.budget.max_transactions - result.transactions);
     }
 
-    const Profile profile =
-        epoch == 0 ? Profile{}
-                   : profile_for(target_group, target_bin, options.geometry);
+    Profile profile;
+    if (epoch != 0) {
+      profile = profile_for(target_group, target_bin, options.geometry);
+      // A plugin-owned group re-biases via the plugin's own rule table.
+      for (CoveragePlugin* p : options.plugins) {
+        if (p->owns(target_group)) {
+          profile = p->profile_for(target_group, target_bin, options.geometry);
+          break;
+        }
+      }
+    }
     ConstrainedStream stream(options.geometry, profile,
                              options.seed + static_cast<std::uint64_t>(epoch));
-    collect_stream(collector, stream, batch);
+    collect_stream(collector, stream, batch, options.plugins);
     result.transactions += batch;
     ++result.epochs;
+
+    const cov::CoverageReport merged =
+        merged_report(collector, options.plugins);
 
     EpochRecord rec;
     rec.epoch = epoch;
     rec.targeted =
         epoch == 0 ? std::string() : target_group + "." + target_bin;
-    rec.coverage = collector.report().coverage();
+    rec.coverage = merged.coverage();
     result.trajectory.push_back(rec);
 
     if (rec.coverage >= options.target) {
@@ -255,12 +293,12 @@ ClosureResult run_closure(const ClosureOptions& options) {
     // group (definition order breaks ties), so successive epochs sweep the
     // whole model instead of hammering one group.
     const cov::Covergroup* worst = nullptr;
-    for (const cov::Covergroup& g : collector.report().groups) {
+    for (const cov::Covergroup& g : merged.groups) {
       if (g.coverage() >= 1.0) continue;
       if (worst == nullptr || g.coverage() < worst->coverage()) worst = &g;
     }
     if (worst == nullptr) {  // defensive: nothing uncovered but target unmet
-      result.reached_target = collector.report().coverage() >= options.target;
+      result.reached_target = merged.coverage() >= options.target;
       break;
     }
     target_group = worst->name;
@@ -271,7 +309,7 @@ ClosureResult run_closure(const ClosureOptions& options) {
       result.epochs >= options.budget.max_epochs) {
     result.budget_exhausted = true;
   }
-  result.report = collector.report();
+  result.report = merged_report(collector, options.plugins);
   return result;
 }
 

@@ -24,12 +24,44 @@ struct ClosureBudget {
   std::uint64_t wall_ms = 0;           // wall-clock ceiling, 0 = unlimited
 };
 
+/// Extension point for spec-compiled coverage models (e.g. the MSC scenario
+/// coverage in src/msc): a plugin observes the same pin stream as the
+/// built-in CoverageCollector, contributes extra covergroups to the closure
+/// report, and supplies the re-bias Profile for the bins it owns — so
+/// closure can aim at spec-derived bins exactly as it aims at the built-in
+/// ones. Plugins are non-owning: the caller keeps them alive for the run.
+class CoveragePlugin {
+ public:
+  virtual ~CoveragePlugin() = default;
+
+  /// The plugin's covergroups with their current hit counts. Group names
+  /// must not collide with cov::make_model's.
+  virtual std::vector<cov::Covergroup> groups() const = 0;
+
+  /// Observes one half-cycle edge (called for every edge, in order).
+  virtual void observe_edge(const harness::EdgePins& pins) = 0;
+
+  /// Epoch boundary: rewind sequential trackers, keep hit counts.
+  virtual void end_stream() = 0;
+
+  /// True when `group` is one of this plugin's groups.
+  virtual bool owns(const std::string& group) const = 0;
+
+  /// The profile most likely to hit `group`.`bin` (the plugin-side
+  /// equivalent of tgen::profile_for).
+  virtual Profile profile_for(const std::string& group,
+                              const std::string& bin,
+                              const harness::Geometry& geometry) const = 0;
+};
+
 struct ClosureOptions {
   harness::Geometry geometry;
   std::uint64_t seed = 1;
   double target = 0.95;  // stop once coverage() reaches this fraction
   std::uint64_t transactions_per_epoch = 250;
   ClosureBudget budget;
+  /// Extra coverage models closed over alongside the built-in one.
+  std::vector<CoveragePlugin*> plugins;
 };
 
 /// One epoch of the closure trajectory: which bin the profile was aimed at
@@ -58,6 +90,13 @@ struct ClosureResult {
 void collect_stream(cov::CoverageCollector& collector,
                     harness::StimulusSource& source,
                     std::uint64_t transactions);
+
+/// As above, but also broadcasts every edge to the plugins and ends their
+/// streams (the plugin-aware path run_closure uses).
+void collect_stream(cov::CoverageCollector& collector,
+                    harness::StimulusSource& source,
+                    std::uint64_t transactions,
+                    const std::vector<CoveragePlugin*>& plugins);
 
 /// The deterministic re-bias rule table: the Profile most likely to hit
 /// `group`.`bin` for this geometry. Unknown names return the default

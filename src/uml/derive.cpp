@@ -4,36 +4,6 @@
 
 namespace la1::uml {
 
-std::vector<DerivedProperty> derive_latency_properties(
-    const SequenceDiagram& sd, const SignalNamer& signal_of) {
-  std::vector<DerivedProperty> out;
-  const auto& msgs = sd.messages();
-  for (std::size_t i = 0; i + 1 < msgs.size(); ++i) {
-    const Message& a = msgs[i];
-    const Message& b = msgs[i + 1];
-    const int dt = SequenceDiagram::tick_of(b) - SequenceDiagram::tick_of(a);
-    if (dt < 0) continue;  // validate() reports these
-    DerivedProperty d;
-    d.name = sd.name() + "." + a.operation + "_to_" + b.operation;
-    d.prop = psl::p_impl_next(psl::b_sig(signal_of(a)), dt,
-                              psl::b_sig(signal_of(b)));
-    d.source = SequenceDiagram::annotation(a) + " => " +
-               SequenceDiagram::annotation(b);
-    out.push_back(std::move(d));
-  }
-  return out;
-}
-
-std::vector<std::pair<std::string, psl::SerePtr>> derive_covers(
-    const SequenceDiagram& sd, const SignalNamer& signal_of) {
-  std::vector<std::pair<std::string, psl::SerePtr>> out;
-  for (const Message& m : sd.messages()) {
-    out.emplace_back(sd.name() + ".cover_" + m.operation,
-                     psl::s_bool(psl::b_sig(signal_of(m))));
-  }
-  return out;
-}
-
 asml::Machine derive_asm_skeleton(const ClassDiagram& cd) {
   asml::Machine machine(cd.name());
   machine.initial().set("SystemFlag", asml::Value::symbol("CREATED"));

@@ -1,42 +1,20 @@
-// Derivations from the UML spec — the arrows out of the UML level in the
-// paper's Figure 2: sequence diagrams yield PSL properties, the class
-// diagram yields the ASM model skeleton and (as text) the module skeletons
-// of the implementation levels.
+// Derivations from the UML class diagram — the structural arrows out of
+// the UML level in the paper's Figure 2: the class diagram yields the ASM
+// model skeleton and (as text) the module skeletons of the implementation
+// levels.
+//
+// The behavioural derivations (sequence diagram -> latency properties /
+// cover directives) moved to the MSC spec compiler: msc::to_psl generalizes
+// them with latency windows, optional regions and loop covers, compiled
+// from parsed `.msc` charts instead of hand-built diagrams.
 #pragma once
 
-#include <functional>
 #include <string>
-#include <utility>
-#include <vector>
 
 #include "asml/machine.hpp"
-#include "psl/temporal.hpp"
 #include "uml/model.hpp"
 
 namespace la1::uml {
-
-/// Maps a message to the boolean signal a monitor samples when the message's
-/// operation is active (e.g. "OnReadRequest" on lifeline ReadPort ->
-/// "rp_read_req").
-using SignalNamer = std::function<std::string(const Message&)>;
-
-/// One derived property with provenance back to the diagram.
-struct DerivedProperty {
-  std::string name;
-  psl::PropPtr prop;
-  std::string source;  // the annotations it was derived from
-};
-
-/// Derives latency properties from a sequence diagram: for each consecutive
-/// message pair (m_i, m_j), "always (sig_i -> next[dt] sig_j)" where dt is
-/// the half-cycle tick distance (K edges even, K# edges odd). This encodes
-/// Figure 3's read-mode contract directly as PSL.
-std::vector<DerivedProperty> derive_latency_properties(
-    const SequenceDiagram& sd, const SignalNamer& signal_of);
-
-/// Derives a cover directive per message ("the scenario actually happens").
-std::vector<std::pair<std::string, psl::SerePtr>> derive_covers(
-    const SequenceDiagram& sd, const SignalNamer& signal_of);
 
 /// Derives an ASM machine skeleton from a class diagram: one `<Class>.state`
 /// location (UNINIT/READY symbols) per class plus an `Init_<Class>` rule

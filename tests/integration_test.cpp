@@ -8,11 +8,11 @@
 #include "la1/host_bfm.hpp"
 #include "la1/properties.hpp"
 #include "la1/rtl_model.hpp"
-#include "la1/uml_spec.hpp"
+#include "la1/msc_spec.hpp"
 #include "mc/explicit.hpp"
 #include "mc/symbolic.hpp"
+#include "msc/compile.hpp"
 #include "psl/parse.hpp"
-#include "uml/derive.hpp"
 #include "util/rng.hpp"
 
 namespace la1 {
@@ -26,11 +26,10 @@ TEST(Integration, PropertySourcesParse) {
   }
 }
 
-TEST(Integration, UmlDerivedPropertiesHoldOnBehavioralModel) {
-  // Figure 3 -> derived latency properties -> monitors over the kernel model.
-  const uml::SequenceDiagram sd = core::read_mode_sequence();
-  const auto derived = uml::derive_latency_properties(sd, core::tap_namer(0));
-  ASSERT_FALSE(derived.empty());
+TEST(Integration, MscDerivedPropertiesHoldOnBehavioralModel) {
+  // Figure 3 (.msc spec) -> compiled latency monitors over the kernel model.
+  const msc::MonitorSuite suite = msc::to_psl(core::read_mode_chart());
+  ASSERT_FALSE(suite.asserts.empty());
 
   core::Config cfg;
   cfg.banks = 1;
@@ -40,13 +39,13 @@ TEST(Integration, UmlDerivedPropertiesHoldOnBehavioralModel) {
   h.host().push_random(rng, 150);
 
   std::vector<std::unique_ptr<psl::Monitor>> monitors;
-  for (const auto& d : derived) monitors.push_back(psl::compile(d.prop));
+  for (const auto& d : suite.asserts) monitors.push_back(psl::compile(d.prop));
   h.run_ticks(400, [&](int) {
     for (auto& m : monitors) m->step(h.env());
   });
   for (std::size_t i = 0; i < monitors.size(); ++i) {
     EXPECT_NE(monitors[i]->current(), psl::Verdict::kFailed)
-        << derived[i].name << " (" << derived[i].source << ")";
+        << suite.asserts[i].name << " (" << suite.asserts[i].source << ")";
   }
 }
 

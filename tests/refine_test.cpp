@@ -103,7 +103,7 @@ TEST(Flow, EndToEndOneBank) {
   EXPECT_EQ(report.stages.size(), 12u);
   EXPECT_NE(report.verilog.find("module la1_device"), std::string::npos);
   const std::string rendered = report.render();
-  EXPECT_NE(rendered.find("UML specification"), std::string::npos);
+  EXPECT_NE(rendered.find("MSC spec compilation"), std::string::npos);
   EXPECT_NE(rendered.find("coverage closure"), std::string::npos);
   EXPECT_NE(rendered.find("fault-injection campaign"), std::string::npos);
   EXPECT_NE(rendered.find("RTL static lint"), std::string::npos);

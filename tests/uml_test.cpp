@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
-#include "la1/uml_spec.hpp"
+#include "la1/msc_spec.hpp"
+#include "msc/compile.hpp"
 #include "uml/derive.hpp"
 #include "uml/model.hpp"
 #include "uml/render.hpp"
@@ -63,23 +64,25 @@ TEST(SequenceDiagramTest, ValidateOrderAndLifelines) {
 }
 
 TEST(DeriveTest, LatencyPropertiesFromFigure3) {
-  const SequenceDiagram sd = core::read_mode_sequence();
-  EXPECT_TRUE(sd.validate().empty());
-  const auto props = derive_latency_properties(sd, core::tap_namer(0));
-  ASSERT_EQ(props.size(), 3u);
+  const msc::Chart chart = core::read_mode_chart();
+  EXPECT_TRUE(chart.validate().empty());
+  const msc::MonitorSuite suite = msc::to_psl(chart);
+  ASSERT_GE(suite.asserts.size(), 3u);
   // Request -> fetch is 2 ticks (1 K cycle).
-  EXPECT_NE(props[0].source.find("OnReadRequest[0]()@K"), std::string::npos);
-  // The derived property strings mention the tap names.
+  EXPECT_NE(suite.asserts[0].source.find("OnReadRequest[0]()@K"),
+            std::string::npos);
+  // The compiled property mentions the bound tap names.
   std::set<std::string> sigs;
-  psl::collect_signals(*props[0].prop, sigs);
+  psl::collect_signals(*suite.asserts[0].prop, sigs);
   EXPECT_TRUE(sigs.count("b0.read_start"));
   EXPECT_TRUE(sigs.count("b0.fetch"));
 }
 
 TEST(DeriveTest, CoversPerMessage) {
-  const SequenceDiagram sd = core::read_mode_sequence();
-  const auto covers = derive_covers(sd, core::tap_namer(0));
-  EXPECT_EQ(covers.size(), sd.messages().size());
+  const msc::Chart chart = core::read_mode_chart();
+  const msc::MonitorSuite suite = msc::to_psl(chart);
+  // One occurrence cover per distinct mandatory message, plus the loop cover.
+  EXPECT_GE(suite.covers.size(), chart.mandatory().size());
 }
 
 TEST(DeriveTest, AsmSkeletonEnforcesInitOrder) {

@@ -128,6 +128,17 @@ for pair in loop:NET-COMB-LOOP double-driver:NET-MULTI-DRIVE \
   grep -q "\"rule_id\": \"$rule\"" "$smoke_dir/lint-$defect.json"
 done
 
+# MSC spec gate: every shipped chart must parse, validate, and compile, and
+# the compiled monitors must come through the PSL linter with no findings
+# of any severity. A chart edit that breaks a derived property fails here,
+# before anything simulates.
+for chart in "$repo_root"/examples/*.msc; do
+  "$build_dir/tools/la1check" msc "$chart" --lint --fail-on warn \
+    --json "$smoke_dir/msc-$(basename "$chart" .msc).json" > /dev/null
+  grep -q '"errors": 0' "$smoke_dir/msc-$(basename "$chart" .msc).json"
+  grep -q '"warnings": 0' "$smoke_dir/msc-$(basename "$chart" .msc).json"
+done
+
 # Sequential-dataflow gate: the stock model-checking geometry must come out
 # of the ternary fixpoint + register sweep with zero findings of any
 # severity at every bank count the Table-2 benches exercise.

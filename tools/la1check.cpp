@@ -26,6 +26,13 @@
 //       ternary fixpoint + register sweeping (NET-CONST, NET-X-RESET,
 //       NET-DEAD-LOGIC, NET-EQUIV-REG) plus the full list of sweep-proven
 //       invariants the symbolic engine can substitute.
+//   la1check msc FILE [--emit psl|cov|profile|dot|text] [--bank N]
+//       [--lint] [--json F|-] [--fail-on warn|error|never]
+//       parses a clock-annotated MSC chart and compiles it: --emit picks
+//       the artifact (PSL monitors, coverage bins, stimulus profile,
+//       Graphviz, canonical text); --lint runs the compiled monitors
+//       through the PSL linter. Parse errors print file:line:col with a
+//       caret snippet.
 //
 // Common options: --banks N (default 1), --seed S, --ticks T (sim),
 // --max-states N (asm), --node-limit N / --no-coi (rtl).
@@ -49,6 +56,8 @@
 #include "lint/seq_lint.hpp"
 #include "mc/explicit.hpp"
 #include "mc/symbolic.hpp"
+#include "msc/compile.hpp"
+#include "msc/parse.hpp"
 #include "psl/parse.hpp"
 #include "refine/flow.hpp"
 #include "rtl/verilog.hpp"
@@ -65,6 +74,7 @@ int usage() {
   std::fputs(
       "usage: la1check <sim|asm|rtl|verilog|flow|lint|dfa|faults|cov> "
       "[options]\n"
+      "       la1check msc FILE [options]\n"
       "  common:  --banks N  --seed S\n"
       "  sim:     --prop \"<psl>\" | --vunit-file F   --ticks T\n"
       "  asm:     --prop \"<psl>\"   --max-states N\n"
@@ -78,7 +88,9 @@ int usage() {
       "  cov:     closure: --target C  --epochs N  --transactions N\n"
       "           --wall-ms MS  --json FILE|-  --fail-under C\n"
       "           shrink:  --shrink  --transactions N  --out FILE\n"
-      "           replay:  --replay FILE\n",
+      "           replay:  --replay FILE\n"
+      "  msc:     --emit psl|cov|profile|dot|text  --bank N  --lint\n"
+      "           --json FILE|-  --fail-on warn|error|never\n",
       stderr);
   return 2;
 }
@@ -556,6 +568,116 @@ int run_cov(const util::Cli& cli) {
   return 0;
 }
 
+int run_msc(const util::Cli& cli) {
+  const std::string path = cli.positional()[1];
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream text;
+  text << in.rdbuf();
+
+  msc::Chart chart;
+  try {
+    chart = msc::parse_chart(text.str(), path);
+  } catch (const msc::ParseError& e) {
+    std::fputs((e.diagnostic().render() + "\n").c_str(), stderr);
+    return 1;
+  }
+  const std::vector<std::string> issues = chart.validate();
+  if (!issues.empty()) {
+    for (const std::string& issue : issues) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), issue.c_str());
+    }
+    return 1;
+  }
+
+  msc::CompileOptions copts;
+  copts.bank = static_cast<int>(cli.get_int("bank", 0));
+  const msc::MonitorSuite suite = msc::to_psl(chart, copts);
+  const std::vector<cov::Covergroup> groups = msc::to_coverage(chart);
+  int bins = 0;
+  for (const cov::Covergroup& g : groups) {
+    bins += static_cast<int>(g.bins.size());
+  }
+
+  const std::string emit = cli.get("emit", "");
+  if (emit == "text") {
+    std::fputs(msc::to_text(chart).c_str(), stdout);
+  } else if (emit == "dot") {
+    std::fputs(msc::to_dot(chart).c_str(), stdout);
+  } else if (emit == "psl") {
+    for (const msc::CompiledProperty& d : suite.asserts) {
+      std::printf("assert %-36s -- %s\n  %s\n", d.name.c_str(),
+                  d.source.c_str(), psl::to_string(*d.prop).c_str());
+    }
+    for (const msc::CompiledCover& c : suite.covers) {
+      std::printf("cover  %-36s -- %s\n  {%s}\n", c.name.c_str(),
+                  c.source.c_str(), psl::to_string(*c.sere).c_str());
+    }
+  } else if (emit == "cov") {
+    for (const cov::Covergroup& g : groups) {
+      std::printf("covergroup %s\n", g.name.c_str());
+      for (const cov::Bin& b : g.bins) std::printf("  bin %s\n", b.name.c_str());
+    }
+  } else if (emit == "profile") {
+    std::fputs((msc::to_profile(chart).to_json().dump(2) + "\n").c_str(),
+               stdout);
+  } else if (!emit.empty()) {
+    std::fprintf(stderr,
+                 "unknown --emit '%s' (expected psl|cov|profile|dot|text)\n",
+                 emit.c_str());
+    return 2;
+  } else {
+    std::printf("%s: chart '%s' ok: %zu lifeline(s), %zu mandatory + %zu "
+                "total message(s)\n",
+                path.c_str(), chart.name.c_str(), chart.lifelines.size(),
+                chart.mandatory().size(), chart.all_messages().size());
+    std::printf("  compiles to %zu assert(s), %zu cover(s), %d coverage "
+                "bin(s)\n",
+                suite.asserts.size(), suite.covers.size(), bins);
+  }
+
+  lint::LintReport lint_report;
+  const bool do_lint = cli.get_bool("lint", false);
+  if (do_lint) {
+    lint_report = lint::lint_vunit(suite.vunit());
+    if (emit.empty()) std::fputs(lint_report.render().c_str(), stdout);
+  }
+
+  const std::string json = cli.get("json", "");
+  if (!json.empty()) {
+    util::Json doc = util::Json::object();
+    doc.set("file", util::Json(path));
+    doc.set("chart", util::Json(chart.name));
+    doc.set("asserts", util::Json(static_cast<std::int64_t>(
+                           suite.asserts.size())));
+    doc.set("covers", util::Json(static_cast<std::int64_t>(
+                          suite.covers.size())));
+    doc.set("coverage_bins", util::Json(static_cast<std::int64_t>(bins)));
+    if (do_lint) doc.set("lint", lint_report.to_json());
+    if (json == "-") {
+      std::fputs((doc.dump(2) + "\n").c_str(), stdout);
+    } else {
+      std::ofstream f(json);
+      if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json.c_str());
+        return 2;
+      }
+      f << doc.dump(2) << '\n';
+      std::printf("wrote summary to %s\n", json.c_str());
+    }
+  }
+
+  const std::string fail_on = cli.get("fail-on", "error");
+  if (do_lint && fail_on != "never" &&
+      lint_report.fails(lint::severity_from_string(fail_on))) {
+    return 1;
+  }
+  return 0;
+}
+
 int run_flow(const util::Cli& cli) {
   refine::FlowOptions opt;
   opt.banks = static_cast<int>(cli.get_int("banks", 1));
@@ -568,9 +690,12 @@ int run_flow(const util::Cli& cli) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  if (cli.positional().size() != 1) return usage();
+  if (cli.positional().empty()) return usage();
   const std::string mode = cli.positional()[0];
+  const std::size_t expected = mode == "msc" ? 2u : 1u;
+  if (cli.positional().size() != expected) return usage();
   try {
+    if (mode == "msc") return run_msc(cli);
     if (mode == "sim") return run_sim(cli);
     if (mode == "asm") return run_asm(cli);
     if (mode == "rtl") return run_rtl(cli);

@@ -1,0 +1,137 @@
+// Semantic cone-of-influence reduction (flow::mc_cone -> mc use_coi).
+//
+// For each bank count, every RTL property is checked twice: with the
+// default structural cone of influence, and with the semantic cone — the
+// structural cone folded with sweep-proven invariants plus the new input
+// restriction (only inputs the cone mentions are encoded). The flow
+// engine's claim is *verdict identity at lower cost*, so the two columns
+// to read are:
+//
+//   * outcome and iteration parity on every row (soundness), and
+//   * for the read-mode property — the Table-2 workload — strictly fewer
+//     state bits, fewer encoded input bits, and fewer peak BDD nodes.
+//
+// The satellite properties ride along parity-checked only: P1's cone is
+// already alias-free, so the semantic cone matches the structural one on
+// state bits and the gain is confined to the input side.
+//
+//   --banks-list CSV  bank counts to run (default "1,2,4")
+//   --node-limit N    live-BDD-node budget (default 2000000)
+//   --json PATH       write the {bench, params, metrics} report
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "la1/rtl_model.hpp"
+#include "mc/symbolic.hpp"
+#include "rtl/bitblast.hpp"
+#include "util/bench_report.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace la1;
+  const util::Cli cli(argc, argv);
+  const std::string banks_csv = cli.get("banks-list", "1,2,4");
+  const std::uint64_t node_limit =
+      static_cast<std::uint64_t>(cli.get_int("node-limit", 2000000));
+  util::BenchReport report("bench_coi");
+  report.param("banks_list", util::Json(banks_csv))
+      .param("node_limit", util::Json(node_limit));
+  cli.get("json", "");
+  for (const auto& unused : cli.unused()) {
+    std::fprintf(stderr, "unknown option --%s\n", unused.c_str());
+    return 2;
+  }
+  std::vector<int> banks_list;
+  for (const std::string& tok : util::split(banks_csv, ',')) {
+    banks_list.push_back(std::stoi(tok));
+  }
+
+  std::puts("Semantic Cone-of-Influence Reduction (flow::mc_cone)");
+  std::printf("node budget = %llu live BDD nodes\n\n",
+              static_cast<unsigned long long>(node_limit));
+
+  util::Table table({"Banks", "Property", "Cone", "CPU Time (s)", "State Bits",
+                     "Input Bits", "BDD Nodes (peak)", "Substituted",
+                     "Result"});
+
+  bool sound = true;
+  bool reduced = true;
+  for (int banks : banks_list) {
+    const core::RtlConfig cfg = core::RtlConfig::model_checking(banks);
+    core::RtlDevice dev = core::build_device(cfg);
+    const rtl::Module flat = rtl::expand_memories(dev.flatten());
+    const rtl::BitBlast bb = rtl::bitblast(flat, core::clock_schedule(flat));
+
+    std::vector<std::pair<std::string, psl::PropPtr>> props;
+    props.emplace_back("READ_MODE", core::rtl_read_mode_property(cfg));
+    for (auto& p : core::rtl_properties(cfg)) props.push_back(p);
+
+    for (const auto& [name, prop] : props) {
+      mc::SymbolicResult rows[2];
+      for (int semantic = 0; semantic < 2; ++semantic) {
+        mc::SymbolicOptions opt;
+        opt.node_limit = node_limit;
+        opt.use_coi = semantic != 0;
+        rows[semantic] = mc::check(bb, prop, opt);
+        const mc::SymbolicResult& r = rows[semantic];
+
+        std::string result;
+        switch (r.outcome) {
+          case mc::SymbolicResult::Outcome::kHolds:
+            result = "verified";
+            break;
+          case mc::SymbolicResult::Outcome::kFails:
+            result = "VIOLATED";
+            break;
+          case mc::SymbolicResult::Outcome::kStateExplosion:
+            result = "State Explosion";
+            break;
+        }
+        const std::string variant = semantic ? "semantic" : "structural";
+        table.add_row({std::to_string(banks), name, variant,
+                       util::fmt_double(r.cpu_seconds, 2),
+                       std::to_string(r.state_bits),
+                       std::to_string(r.input_bits),
+                       util::fmt_count(r.peak_bdd_nodes),
+                       std::to_string(r.invariants_applied), result});
+        util::Json row = util::Json::object();
+        row.set("banks", util::Json(banks));
+        row.set("property", util::Json(name));
+        row.set("cone", util::Json(variant));
+        row.set("cpu_seconds", util::Json(r.cpu_seconds));
+        row.set("state_bits", util::Json(r.state_bits));
+        row.set("input_bits", util::Json(r.input_bits));
+        row.set("peak_bdd_nodes",
+                util::Json(static_cast<std::int64_t>(r.peak_bdd_nodes)));
+        row.set("substituted", util::Json(r.invariants_applied));
+        row.set("result", util::Json(result));
+        report.metric(std::move(row));
+        std::fflush(stdout);
+      }
+      const bool parity = rows[0].outcome == rows[1].outcome &&
+                          rows[0].iterations == rows[1].iterations;
+      sound = sound && parity;
+      if (name == "READ_MODE") {
+        // The headline workload must show a real reduction, not just parity.
+        reduced = reduced && rows[1].state_bits < rows[0].state_bits &&
+                  rows[1].input_bits < rows[0].input_bits &&
+                  rows[1].peak_bdd_nodes < rows[0].peak_bdd_nodes;
+      }
+    }
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nverdict parity across cones:  %s\n",
+              sound ? "identical (sound)" : "MISMATCH");
+  std::printf("read-mode reduction (state bits, input bits, peak nodes): %s\n",
+              reduced ? "strict" : "NOT STRICT");
+  std::puts(
+      "Shape check: the semantic cone folds sweep-proven invariants into\n"
+      "the structural cone and drops out-of-cone inputs from the encoding\n"
+      "entirely, so every verdict matches at a lower encoded size.");
+  return report.finish(cli) && sound && reduced ? 0 : 1;
+}

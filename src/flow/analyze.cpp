@@ -1,0 +1,162 @@
+#include "flow/analyze.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "flow/mc_cone.hpp"
+#include "flow/rules.hpp"
+#include "flow/taint.hpp"
+
+namespace la1::flow {
+
+namespace {
+
+/// Domain prefixes present in the module ("bank0", "bank1", ...), in
+/// numeric order. Empty when the module is not banked.
+std::vector<std::string> find_domains(const rtl::Module& flat,
+                                      const std::string& prefix) {
+  std::set<std::string> found;
+  for (const rtl::Net& n : flat.nets()) {
+    if (n.name.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::size_t dot = n.name.find('.', prefix.size());
+    if (dot == std::string::npos) continue;
+    const std::string digits = n.name.substr(prefix.size(), dot - prefix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    found.insert(n.name.substr(0, dot));
+  }
+  std::vector<std::string> out(found.begin(), found.end());
+  std::sort(out.begin(), out.end(), [&](const std::string& a,
+                                        const std::string& b) {
+    return std::stoi(a.substr(prefix.size())) <
+           std::stoi(b.substr(prefix.size()));
+  });
+  return out;
+}
+
+std::vector<std::string> prefixed(const std::string& prefix,
+                                  const std::vector<std::string>& names) {
+  std::vector<std::string> out;
+  for (const std::string& n : names) {
+    out.push_back(prefix.empty() ? n : prefix + "." + n);
+  }
+  return out;
+}
+
+}  // namespace
+
+FlowReport analyze(
+    const rtl::Module& flat,
+    const std::vector<std::pair<std::string, psl::PropPtr>>& properties,
+    const AnalyzeOptions& opt, const rtl::BitBlast* design,
+    const dfa::InvariantSet* invariants) {
+  FlowReport report;
+  report.target = flat.name();
+
+  const dfa::Facts facts = dfa::analyze(flat);
+  const DepGraph g(flat, &facts);
+
+  // Isolation domains by instance prefix; a non-banked module becomes one
+  // unprefixed domain (no leak findings possible, labels still reported).
+  std::vector<std::string> prefixes = find_domains(flat, opt.domain_prefix);
+  report.banks = static_cast<int>(prefixes.size());
+  if (prefixes.empty()) prefixes.push_back("");
+
+  std::vector<Domain> domains;
+  for (const std::string& p : prefixes) {
+    Domain d;
+    d.name = p.empty() ? flat.name() : p;
+    d.source_nets = prefixed(p, opt.source_regs);
+    d.source_mems = prefixed(p, opt.source_mems);
+    d.sink_nets = prefixed(p, opt.sink_regs);
+    domains.push_back(std::move(d));
+  }
+  report.findings.merge(lint_non_interference(g, domains));
+
+  // Control-pin taint: every domain's read-data registers, every memory
+  // content and the top-level data outputs must stay free of control
+  // values on data paths.
+  std::vector<std::string> data_sinks = opt.data_outputs;
+  std::vector<std::string> data_sink_mems;
+  for (const Domain& d : domains) {
+    data_sinks.insert(data_sinks.end(), d.sink_nets.begin(),
+                      d.sink_nets.end());
+    data_sink_mems.insert(data_sink_mems.end(), d.source_mems.begin(),
+                          d.source_mems.end());
+  }
+  report.findings.merge(
+      lint_control_in_data(g, opt.control_pins, data_sinks, data_sink_mems));
+
+  for (const auto& [name, prop] : properties) {
+    report.findings.merge(lint_property_atoms(g, prop, name));
+  }
+
+  // Label summary: re-run the domain taint to report spread and which
+  // watched sinks each label touched (own-domain sinks included).
+  {
+    std::vector<TaintSource> sources;
+    for (const Domain& d : domains) {
+      sources.push_back(
+          TaintSource{d.name, {}});
+    }
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+      const rtl::Module& m = g.module();
+      for (const std::string& net : domains[i].source_nets) {
+        const rtl::NetId id = m.find_net(net);
+        if (id == rtl::kInvalidId) continue;
+        for (int n : g.net_bits(id)) sources[i].nodes.push_back(n);
+      }
+      for (const std::string& mem : domains[i].source_mems) {
+        for (std::size_t mi = 0; mi < m.memories().size(); ++mi) {
+          if (m.memories()[mi].name != mem) continue;
+          for (int b = 0; b < m.memories()[mi].width; ++b) {
+            sources[i].nodes.push_back(g.mem_bit(static_cast<int>(mi), b));
+          }
+        }
+      }
+    }
+    const TaintFacts taint(g, sources, TaintOptions{});
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+      LabelFlow l;
+      l.label = domains[i].name;
+      l.seed_bits = static_cast<int>(sources[i].nodes.size());
+      l.reached_bits = taint.count_with(static_cast<int>(i));
+      for (const Domain& d : domains) {
+        for (const std::string& sink : d.sink_nets) {
+          const rtl::NetId id = g.module().find_net(sink);
+          if (id == rtl::kInvalidId) continue;
+          if (taint.net_taint(id) & taint.label_bit(static_cast<int>(i))) {
+            l.tainted_sinks.push_back(sink);
+          }
+        }
+      }
+      report.labels.push_back(std::move(l));
+    }
+  }
+
+  // Per-property semantic MC cones, when the caller supplied the blasted
+  // design and its proven invariants.
+  if (design != nullptr && invariants != nullptr) {
+    for (const auto& [name, prop] : properties) {
+      std::set<std::string> atom_set;
+      psl::collect_signals(*prop, atom_set);
+      const McCone cone =
+          mc_cone(*design, std::vector<std::string>(atom_set.begin(),
+                                                    atom_set.end()),
+                  *invariants);
+      PropertyCone c;
+      c.property = name;
+      c.cone_state_bits = cone.state_bits();
+      c.total_state_bits = static_cast<int>(design->state_vars.size());
+      c.cone_inputs = cone.input_bits();
+      c.total_inputs = static_cast<int>(design->input_vars.size());
+      c.substituted = cone.substituted;
+      report.cones.push_back(std::move(c));
+    }
+  }
+  return report;
+}
+
+}  // namespace la1::flow

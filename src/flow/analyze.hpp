@@ -1,0 +1,45 @@
+// One-call flow-analysis driver for LA-1-shaped devices.
+//
+// Derives the isolation domains from the flattened module's instance
+// prefixes ("bank0.", "bank1.", ...), seeds per-domain taint from the
+// write-data path, runs the whole rule catalog (rules.hpp) plus the
+// per-property atom checks, and — when the blasted design and a proven
+// invariant set are supplied — reports each property's semantic MC cone.
+// `la1check flowan`, the refinement flow's flow-analysis stage and the CI
+// gate all go through this entry point.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dfa/invariants.hpp"
+#include "flow/report.hpp"
+#include "psl/temporal.hpp"
+#include "rtl/bitblast.hpp"
+#include "rtl/netlist.hpp"
+
+namespace la1::flow {
+
+/// The LA-1 interface contract: which per-domain registers carry write
+/// data, which hold returned read data, and which top-level pins are
+/// control. Fixtures and tests override these to shape mini devices.
+struct AnalyzeOptions {
+  std::vector<std::string> source_regs = {"w_beat0", "w_beat1"};
+  std::vector<std::string> source_mems = {"sram"};
+  std::vector<std::string> sink_regs = {"dout_q", "beat1_q"};
+  std::vector<std::string> control_pins = {"R_n", "W_n", "BWE_n", "A"};
+  std::vector<std::string> data_outputs = {"DOUT", "Q"};
+  std::string domain_prefix = "bank";
+};
+
+/// Runs the full analysis over `flat` (elaborated, memories native).
+/// `properties` feed the atom vacuity rules; `design`/`invariants`
+/// (optional, both or neither) add per-property cone geometry.
+FlowReport analyze(
+    const rtl::Module& flat,
+    const std::vector<std::pair<std::string, psl::PropPtr>>& properties,
+    const AnalyzeOptions& opt = {}, const rtl::BitBlast* design = nullptr,
+    const dfa::InvariantSet* invariants = nullptr);
+
+}  // namespace la1::flow

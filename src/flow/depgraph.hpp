@@ -1,0 +1,121 @@
+// Bit-level dependence graph over an elaborated rtl::Module.
+//
+// Every bit of every net — plus one summary word per memory, mirroring
+// dfa::abstract's memory model — becomes a node; an edge records that the
+// source bit can influence the sink bit through one driver. Edges carry two
+// tags the consumers dispatch on:
+//
+//   * `control`: the influence passes through a select/enable/address
+//     position (mux select, tristate enable, memory write enable or
+//     address, byte-lane enable). Dropping control edges yields explicit
+//     (data-only) flow, the distinction the FLOW-CTRL-IN-DATA rule needs.
+//   * `seq`: the edge crosses a register or memory write port and therefore
+//     one clock cycle. Cone traversal can bound the number of sequential
+//     crossings (`max_cycles`), giving cycle-indexed fan-in/fan-out.
+//
+// When dfa::Facts are supplied, edges that the abstract interpretation
+// proves dead are pruned: a constant bit propagates nothing, a mux whose
+// select is constant keeps only the taken branch, an AND/OR with a
+// controlling-constant operand cuts the other side. This is what makes the
+// cones *semantic* rather than purely structural.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dfa/abstract.hpp"
+#include "rtl/netlist.hpp"
+
+namespace la1::flow {
+
+struct ConeOptions {
+  bool data_only = false;  // drop control edges: explicit flow only
+  int max_cycles = -1;     // bound on register crossings; -1 = unbounded
+};
+
+class DepGraph {
+ public:
+  struct Edge {
+    int from = -1;         // predecessor (fan_in) or successor (fan_out) node
+    bool control = false;  // influence via a select/enable/address position
+    bool seq = false;      // crosses a register or memory write (one cycle)
+
+    bool operator==(const Edge& o) const = default;
+  };
+
+  /// What a node denotes: one bit of a net, or one bit of a memory's
+  /// summary word (the join over all words, as in dfa::abstract).
+  struct BitRef {
+    bool is_mem = false;
+    int id = rtl::kInvalidId;  // NetId, or MemId when is_mem
+    int bit = 0;
+  };
+
+  /// Builds the graph for `flat` (elaborated, instance-free). `facts`, when
+  /// non-null, must come from dfa::analyze of the same module and enables
+  /// constant-based edge pruning. Throws std::invalid_argument on a
+  /// hierarchical module.
+  explicit DepGraph(const rtl::Module& flat,
+                    const dfa::Facts* facts = nullptr);
+
+  const rtl::Module& module() const { return *mod_; }
+  int node_count() const { return static_cast<int>(preds_.size()); }
+
+  int net_bit(rtl::NetId net, int bit) const;
+  int mem_bit(rtl::MemId mem, int bit) const;
+  /// All bit nodes of a net, LSB first.
+  std::vector<int> net_bits(rtl::NetId net) const;
+  const BitRef& ref(int node) const;
+  /// "name[bit]" for multi-bit nets, "name" for 1-bit nets,
+  /// "name[*][bit]" for memory summary bits.
+  std::string node_name(int node) const;
+
+  const std::vector<Edge>& preds(int node) const;
+  const std::vector<Edge>& succs(int node) const;
+
+  struct Cone {
+    std::vector<char> in;  // membership per node id
+    int depth = 0;         // max register crossings actually used
+    bool contains(int node) const { return in[static_cast<std::size_t>(node)] != 0; }
+    int count() const;
+  };
+
+  /// Everything that can influence the seeds (transitive predecessors,
+  /// seeds included). Register crossings are counted per path, 0/1-BFS
+  /// style, so `max_cycles = 0` is the pure combinational cone.
+  Cone fan_in(const std::vector<int>& seeds,
+              const ConeOptions& opt = ConeOptions()) const;
+  /// Everything the seeds can influence (transitive successors).
+  Cone fan_out(const std::vector<int>& seeds,
+               const ConeOptions& opt = ConeOptions()) const;
+
+  /// True when the abstract interpretation pinned this net bit to a
+  /// constant (always false without facts).
+  bool bit_constant(rtl::NetId net, int bit) const;
+
+ private:
+  // Adds edges into node `to` from bit `bit` of expression `e`; `control`
+  // marks the walk as having passed a control position, `seq` marks a
+  // register/memory-write driver.
+  void collect(rtl::ExprId e, int bit, int to, bool control, bool seq);
+  void add_edge(int to, int from, bool control, bool seq);
+  // Abstract value of one expression bit under the facts (kAbsTop without).
+  dfa::AbsBit eval_abs(rtl::ExprId e, int bit) const;
+  Cone traverse(const std::vector<int>& seeds, const ConeOptions& opt,
+                bool forward) const;
+
+  const rtl::Module* mod_ = nullptr;
+  const dfa::Facts* facts_ = nullptr;
+  mutable std::unordered_map<std::uint64_t, dfa::AbsBit> eval_memo_;
+  std::unordered_set<std::uint64_t> walk_seen_;  // per-target-bit walk memo
+  std::vector<int> net_base_;  // NetId -> first node id
+  std::vector<int> mem_base_;  // MemId -> first node id
+  std::vector<BitRef> refs_;
+  std::vector<std::vector<Edge>> preds_;
+  std::vector<std::vector<Edge>> succs_;
+};
+
+}  // namespace la1::flow

@@ -1,0 +1,173 @@
+#include "flow/mc_cone.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace la1::flow {
+
+namespace {
+
+/// Resolves an atom name against the blasted design: "net" (1-bit),
+/// "net[i]" (bit i), or "net.__conflict" (tristate conflict flag). Same
+/// grammar as the model checker's resolver.
+int atom_bit_node(const rtl::BitBlast& bb, const std::string& name) {
+  const std::string conflict_suffix = ".__conflict";
+  if (name.size() > conflict_suffix.size() &&
+      name.compare(name.size() - conflict_suffix.size(),
+                   conflict_suffix.size(), conflict_suffix) == 0) {
+    const std::string net =
+        name.substr(0, name.size() - conflict_suffix.size());
+    auto it = bb.conflict_bits.find(net);
+    if (it == bb.conflict_bits.end()) {
+      throw std::invalid_argument(
+          "flow::mc_cone: no tristate conflict bit for net: " + net);
+    }
+    return it->second;
+  }
+  std::string net = name;
+  int bit = 0;
+  const std::size_t lb = name.rfind('[');
+  if (lb != std::string::npos && name.back() == ']') {
+    net = name.substr(0, lb);
+    bit = std::stoi(name.substr(lb + 1, name.size() - lb - 2));
+  }
+  auto it = bb.net_bits.find(net);
+  if (it == bb.net_bits.end()) {
+    throw std::invalid_argument(
+        "flow::mc_cone: property atom refers to unknown net: " + net);
+  }
+  if (bit < 0 || bit >= static_cast<int>(it->second.size())) {
+    throw std::invalid_argument("flow::mc_cone: atom bit out of range: " +
+                                name);
+  }
+  return it->second[static_cast<std::size_t>(bit)];
+}
+
+}  // namespace
+
+int McCone::state_bits() const {
+  int n = 0;
+  for (char c : state_in_cone) n += c != 0;
+  return n;
+}
+
+int McCone::input_bits() const {
+  int n = 0;
+  for (char c : input_in_cone) n += c != 0;
+  return n;
+}
+
+McCone mc_cone(const rtl::BitBlast& design,
+               const std::vector<std::string>& atoms,
+               const dfa::InvariantSet& invariants) {
+  const std::size_t n = design.state_vars.size();
+  McCone cone;
+  cone.subst.assign(n, McCone::Subst{});
+  cone.state_in_cone.assign(n, 0);
+  cone.input_in_cone.assign(design.input_vars.size(), 0);
+
+  // Substitution table: validate every invariant against the reset state
+  // and collapse alias chains, so each surviving alias points at a live
+  // representative.
+  std::map<std::string, std::size_t> pos_of;
+  for (std::size_t k = 0; k < n; ++k) {
+    pos_of[design.vars[static_cast<std::size_t>(design.state_vars[k])].name] =
+        k;
+  }
+  auto position = [&](const std::string& name) {
+    const auto it = pos_of.find(name);
+    if (it == pos_of.end()) {
+      throw std::invalid_argument(
+          "flow::mc_cone: invariant names unknown state bit '" + name + "'");
+    }
+    return it->second;
+  };
+  auto init_of = [&](std::size_t k) {
+    return design.vars[static_cast<std::size_t>(design.state_vars[k])].init;
+  };
+  std::vector<McCone::Subst>& subs = cone.subst;
+  for (const dfa::Invariant& i : invariants.invariants()) {
+    if (i.kind == dfa::Invariant::Kind::kConst) {
+      const std::size_t k = position(i.a);
+      if (init_of(k) != i.value) {
+        throw std::invalid_argument("flow::mc_cone: constant invariant on '" +
+                                    i.a + "' contradicts the reset state");
+      }
+      subs[k] = McCone::Subst{McCone::SubstKind::kConst, i.value, 0, false};
+      continue;
+    }
+    const bool negate = i.kind == dfa::Invariant::Kind::kComplement;
+    const std::size_t root = position(i.a);
+    const std::size_t twin = position(i.b);
+    if (root == twin || (init_of(twin) != (init_of(root) != negate))) {
+      throw std::invalid_argument("flow::mc_cone: pair invariant '" + i.a +
+                                  "' / '" + i.b +
+                                  "' contradicts the reset state");
+    }
+    subs[twin] = McCone::Subst{McCone::SubstKind::kAlias, false, root, negate};
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    if (subs[k].kind != McCone::SubstKind::kAlias) continue;
+    std::size_t root = subs[k].root;
+    bool negate = subs[k].negate;
+    std::size_t hops = 0;
+    while (subs[root].kind == McCone::SubstKind::kAlias && hops++ <= n) {
+      negate ^= subs[root].negate;
+      root = subs[root].root;
+    }
+    if (hops > n) {
+      throw std::invalid_argument("flow::mc_cone: cyclic pair invariants");
+    }
+    if (subs[root].kind == McCone::SubstKind::kConst) {
+      subs[k] = McCone::Subst{McCone::SubstKind::kConst,
+                              subs[root].value != negate, 0, false};
+    } else {
+      subs[k].root = root;
+      subs[k].negate = negate;
+    }
+  }
+  for (const McCone::Subst& s : subs) {
+    if (s.kind != McCone::SubstKind::kNone) ++cone.substituted;
+  }
+
+  // Alias-aware closure: seed with the atoms' supports, then expand the
+  // next-state function of every in-cone bit. A substituted bit never
+  // enters — constants vanish, aliases pull in their representative.
+  std::vector<bool> var_mask(design.vars.size(), false);
+  for (const std::string& name : atoms) {
+    design.graph.support(atom_bit_node(design, name), var_mask);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!var_mask[static_cast<std::size_t>(design.state_vars[k])]) continue;
+      if (subs[k].kind == McCone::SubstKind::kAlias) {
+        const std::size_t root_var =
+            static_cast<std::size_t>(design.state_vars[subs[k].root]);
+        if (!var_mask[root_var]) {
+          var_mask[root_var] = true;
+          changed = true;
+        }
+        continue;
+      }
+      if (cone.state_in_cone[k] || subs[k].kind != McCone::SubstKind::kNone) {
+        continue;
+      }
+      cone.state_in_cone[k] = 1;
+      design.graph.support(design.next_fn[k], var_mask);
+      changed = true;
+    }
+  }
+
+  // Inputs: exactly those the surviving transition functions or atoms
+  // mention. Everything else stays out of the encoding.
+  for (std::size_t j = 0; j < design.input_vars.size(); ++j) {
+    if (var_mask[static_cast<std::size_t>(design.input_vars[j])]) {
+      cone.input_in_cone[j] = 1;
+    }
+  }
+  return cone;
+}
+
+}  // namespace la1::flow

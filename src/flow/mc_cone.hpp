@@ -1,0 +1,63 @@
+// Semantic cone of influence for the symbolic model checker.
+//
+// The structural cone (mc's default) closes the property atoms' support
+// over the next-state functions. The *semantic* cone computed here starts
+// from the same closure but consults proven invariants (dfa::sweep):
+//
+//   * a state bit proven constant is cut — it contributes a terminal, not a
+//     variable, and its fan-in never enters the cone;
+//   * of a proven equal/complement pair only the representative stays — the
+//     twin is rewritten to (the negation of) the representative, so its
+//     next-state function is dropped from the transition relation;
+//   * primary inputs outside the resulting cone are not encoded at all.
+//     mc historically encoded every input unconditionally; restricting them
+//     shrinks the BDD variable universe per property.
+//
+// Soundness: the substitutions are inductive invariants (they hold in the
+// reset state and are preserved by every transition — dfa::sweep proves
+// exactly that), so rewriting twins/constants preserves the reachable set
+// projected onto the surviving variables; and an out-of-cone input occurs
+// in no transition conjunct and no atom, so quantifying over it is vacuous.
+// Verdicts are therefore identical with the cone on or off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfa/invariants.hpp"
+#include "rtl/bitblast.hpp"
+
+namespace la1::flow {
+
+struct McCone {
+  enum class SubstKind { kNone, kConst, kAlias };
+  struct Subst {
+    SubstKind kind = SubstKind::kNone;
+    bool value = false;    // kConst
+    std::size_t root = 0;  // kAlias: state position of the representative
+    bool negate = false;   // kAlias: complement pair
+  };
+
+  /// Per state position (parallel to design.state_vars). A substituted bit
+  /// is never in the cone; an alias's representative is whenever the alias
+  /// is referenced.
+  std::vector<Subst> subst;
+  std::vector<char> state_in_cone;
+  /// Per input position (parallel to design.input_vars).
+  std::vector<char> input_in_cone;
+  /// Substitutions that actually apply (kConst + kAlias entries).
+  int substituted = 0;
+
+  int state_bits() const;
+  int input_bits() const;
+};
+
+/// Computes the semantic cone for a property given by its atom names
+/// ("net", "net[i]", "net.__conflict" — the observer's alphabet). Throws
+/// std::invalid_argument on unknown atoms, on invariants naming unknown
+/// state bits, or on invariants contradicting the reset state.
+McCone mc_cone(const rtl::BitBlast& design,
+               const std::vector<std::string>& atoms,
+               const dfa::InvariantSet& invariants);
+
+}  // namespace la1::flow

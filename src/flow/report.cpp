@@ -1,0 +1,133 @@
+#include "flow/report.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace la1::flow {
+
+std::string FlowReport::render() const {
+  std::ostringstream out;
+  out << "flow analysis of " << target;
+  if (banks > 0) out << " (" << banks << " bank(s))";
+  out << "\n";
+  out << findings.render();
+  if (!labels.empty()) {
+    util::Table t({"Label", "Seed Bits", "Reached Bits", "Tainted Sinks"});
+    for (const LabelFlow& l : labels) {
+      std::string sinks;
+      for (const std::string& s : l.tainted_sinks) {
+        if (!sinks.empty()) sinks += ", ";
+        sinks += s;
+      }
+      if (sinks.empty()) sinks = "-";
+      t.add_row({l.label, std::to_string(l.seed_bits),
+                 std::to_string(l.reached_bits), sinks});
+    }
+    out << t.render();
+  }
+  if (!cones.empty()) {
+    util::Table t({"Property", "Cone Regs", "Total Regs", "Cone Inputs",
+                   "Total Inputs", "Substituted"});
+    for (const PropertyCone& c : cones) {
+      t.add_row({c.property, std::to_string(c.cone_state_bits),
+                 std::to_string(c.total_state_bits),
+                 std::to_string(c.cone_inputs),
+                 std::to_string(c.total_inputs),
+                 std::to_string(c.substituted)});
+    }
+    out << t.render();
+  }
+  return out.str();
+}
+
+util::Json FlowReport::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("target", target);
+  j.set("banks", banks);
+  j.set("findings", findings.to_json());
+  util::Json larr = util::Json::array();
+  for (const LabelFlow& l : labels) {
+    util::Json item = util::Json::object();
+    item.set("label", l.label);
+    item.set("seed_bits", l.seed_bits);
+    item.set("reached_bits", l.reached_bits);
+    util::Json sinks = util::Json::array();
+    for (const std::string& s : l.tainted_sinks) sinks.push(s);
+    item.set("tainted_sinks", std::move(sinks));
+    larr.push(std::move(item));
+  }
+  j.set("labels", std::move(larr));
+  util::Json carr = util::Json::array();
+  for (const PropertyCone& c : cones) {
+    util::Json item = util::Json::object();
+    item.set("property", c.property);
+    item.set("cone_state_bits", c.cone_state_bits);
+    item.set("total_state_bits", c.total_state_bits);
+    item.set("cone_inputs", c.cone_inputs);
+    item.set("total_inputs", c.total_inputs);
+    item.set("substituted", c.substituted);
+    carr.push(std::move(item));
+  }
+  j.set("cones", std::move(carr));
+  return j;
+}
+
+FlowReport FlowReport::from_json(const util::Json& j) {
+  const util::Json* target = j.find("target");
+  const util::Json* banks = j.find("banks");
+  const util::Json* findings = j.find("findings");
+  const util::Json* labels = j.find("labels");
+  const util::Json* cones = j.find("cones");
+  if (target == nullptr || banks == nullptr || findings == nullptr ||
+      labels == nullptr || !labels->is_array() || cones == nullptr ||
+      !cones->is_array()) {
+    throw std::invalid_argument("FlowReport::from_json: malformed report");
+  }
+  FlowReport r;
+  r.target = target->as_string();
+  r.banks = static_cast<int>(banks->as_int());
+  r.findings = lint::LintReport::from_json(*findings);
+  for (const util::Json& item : labels->items()) {
+    const util::Json* label = item.find("label");
+    const util::Json* seed = item.find("seed_bits");
+    const util::Json* reached = item.find("reached_bits");
+    const util::Json* sinks = item.find("tainted_sinks");
+    if (label == nullptr || seed == nullptr || reached == nullptr ||
+        sinks == nullptr || !sinks->is_array()) {
+      throw std::invalid_argument("FlowReport::from_json: malformed label");
+    }
+    LabelFlow l;
+    l.label = label->as_string();
+    l.seed_bits = static_cast<int>(seed->as_int());
+    l.reached_bits = static_cast<int>(reached->as_int());
+    for (const util::Json& s : sinks->items()) {
+      l.tainted_sinks.push_back(s.as_string());
+    }
+    r.labels.push_back(std::move(l));
+  }
+  for (const util::Json& item : cones->items()) {
+    const util::Json* property = item.find("property");
+    const util::Json* cs = item.find("cone_state_bits");
+    const util::Json* ts = item.find("total_state_bits");
+    const util::Json* ci = item.find("cone_inputs");
+    const util::Json* ti = item.find("total_inputs");
+    const util::Json* sub = item.find("substituted");
+    if (property == nullptr || cs == nullptr || ts == nullptr ||
+        ci == nullptr || ti == nullptr || sub == nullptr) {
+      throw std::invalid_argument("FlowReport::from_json: malformed cone");
+    }
+    PropertyCone c;
+    c.property = property->as_string();
+    c.cone_state_bits = static_cast<int>(cs->as_int());
+    c.total_state_bits = static_cast<int>(ts->as_int());
+    c.cone_inputs = static_cast<int>(ci->as_int());
+    c.total_inputs = static_cast<int>(ti->as_int());
+    c.substituted = static_cast<int>(sub->as_int());
+    r.cones.push_back(std::move(c));
+  }
+  return r;
+}
+
+}  // namespace la1::flow

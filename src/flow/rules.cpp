@@ -1,0 +1,174 @@
+#include "flow/rules.hpp"
+
+#include <set>
+
+#include "flow/taint.hpp"
+
+namespace la1::flow {
+
+namespace {
+
+/// All bit nodes of the named nets and memories that exist in the module.
+std::vector<int> resolve_nodes(const DepGraph& g,
+                               const std::vector<std::string>& nets,
+                               const std::vector<std::string>& mems) {
+  const rtl::Module& m = g.module();
+  std::vector<int> nodes;
+  for (const std::string& name : nets) {
+    const rtl::NetId id = m.find_net(name);
+    if (id == rtl::kInvalidId) continue;
+    for (int n : g.net_bits(id)) nodes.push_back(n);
+  }
+  for (const std::string& name : mems) {
+    for (std::size_t mi = 0; mi < m.memories().size(); ++mi) {
+      if (m.memories()[mi].name != name) continue;
+      for (int b = 0; b < m.memories()[mi].width; ++b) {
+        nodes.push_back(g.mem_bit(static_cast<int>(mi), b));
+      }
+    }
+  }
+  return nodes;
+}
+
+}  // namespace
+
+lint::LintReport lint_non_interference(const DepGraph& g,
+                                       const std::vector<Domain>& domains) {
+  lint::LintReport report;
+  std::vector<TaintSource> sources;
+  for (const Domain& d : domains) {
+    sources.push_back(
+        TaintSource{d.name, resolve_nodes(g, d.source_nets, d.source_mems)});
+  }
+  const TaintFacts taint(g, sources, TaintOptions{});  // implicit flow
+
+  const rtl::Module& m = g.module();
+  for (std::size_t j = 0; j < domains.size(); ++j) {
+    for (const std::string& sink : domains[j].sink_nets) {
+      const rtl::NetId id = m.find_net(sink);
+      if (id == rtl::kInvalidId) continue;
+      const LabelSet t = taint.net_taint(id);
+      for (std::size_t i = 0; i < domains.size(); ++i) {
+        if (i == j || (t & (LabelSet{1} << i)) == 0) continue;
+        report.add(kRuleBankLeak, lint::Severity::kError, sink,
+                   "write data of " + domains[i].name +
+                       " can influence read data returned by " +
+                       domains[j].name);
+      }
+    }
+  }
+  return report;
+}
+
+lint::LintReport lint_control_in_data(
+    const DepGraph& g, const std::vector<std::string>& control_pins,
+    const std::vector<std::string>& data_sinks,
+    const std::vector<std::string>& data_sink_mems) {
+  lint::LintReport report;
+  const rtl::Module& m = g.module();
+  std::vector<TaintSource> sources;
+  std::vector<std::string> present;
+  for (const std::string& pin : control_pins) {
+    const rtl::NetId id = m.find_net(pin);
+    if (id == rtl::kInvalidId) continue;
+    sources.push_back(TaintSource{pin, g.net_bits(id)});
+    present.push_back(pin);
+  }
+  TaintOptions opt;
+  opt.implicit = false;  // explicit (data-edge) flow only
+  const TaintFacts taint(g, sources, opt);
+
+  auto check_sink = [&](const std::string& location, LabelSet t) {
+    for (std::size_t p = 0; p < present.size(); ++p) {
+      if ((t & (LabelSet{1} << p)) == 0) continue;
+      report.add(kRuleCtrlInData, lint::Severity::kError, location,
+                 "value of control pin '" + present[p] +
+                     "' flows into this data sink through data paths");
+    }
+  };
+  for (const std::string& sink : data_sinks) {
+    const rtl::NetId id = m.find_net(sink);
+    if (id != rtl::kInvalidId) check_sink(sink, taint.net_taint(id));
+  }
+  for (const std::string& name : data_sink_mems) {
+    for (std::size_t mi = 0; mi < m.memories().size(); ++mi) {
+      if (m.memories()[mi].name == name) {
+        check_sink(name + "[*]", taint.mem_taint(static_cast<int>(mi)));
+      }
+    }
+  }
+  return report;
+}
+
+lint::LintReport lint_property_atoms(const DepGraph& g,
+                                     const psl::PropPtr& prop,
+                                     const std::string& property_name) {
+  lint::LintReport report;
+  const rtl::Module& m = g.module();
+  std::set<std::string> atoms;
+  psl::collect_signals(*prop, atoms);
+
+  const std::string conflict_suffix = ".__conflict";
+  for (const std::string& atom : atoms) {
+    std::string net_name = atom;
+    int bit = 0;
+    bool is_conflict = false;
+    bool has_bit = false;
+    if (net_name.size() > conflict_suffix.size() &&
+        net_name.compare(net_name.size() - conflict_suffix.size(),
+                         conflict_suffix.size(), conflict_suffix) == 0) {
+      net_name = net_name.substr(0, net_name.size() - conflict_suffix.size());
+      is_conflict = true;
+    } else {
+      const std::size_t lb = net_name.rfind('[');
+      if (lb != std::string::npos && net_name.back() == ']') {
+        bit = std::stoi(net_name.substr(lb + 1, net_name.size() - lb - 2));
+        net_name = net_name.substr(0, lb);
+        has_bit = true;
+      }
+    }
+    const rtl::NetId id = m.find_net(net_name);
+    if (id == rtl::kInvalidId || bit < 0 || bit >= m.net(id).width) {
+      // Unknown atoms are the structural linter's business, not ours.
+      continue;
+    }
+
+    // Dead first: a constant atom subsumes the undriven check.
+    if (!is_conflict) {
+      const std::vector<int> bits =
+          has_bit ? std::vector<int>{g.net_bit(id, bit)} : g.net_bits(id);
+      bool all_const = true;
+      for (int n : bits) {
+        const DepGraph::BitRef& r = g.ref(n);
+        if (!g.bit_constant(r.id, r.bit)) all_const = false;
+      }
+      if (all_const) {
+        report.add(kRuleDeadAtom, lint::Severity::kWarning, atom,
+                   "atom of property '" + property_name +
+                       "' is statically constant in every reachable state");
+        continue;
+      }
+    }
+
+    const std::vector<int> seeds =
+        is_conflict || !has_bit ? g.net_bits(id)
+                                : std::vector<int>{g.net_bit(id, bit)};
+    const DepGraph::Cone cone = g.fan_in(seeds);
+    bool sees_input = false;
+    for (int n = 0; n < g.node_count() && !sees_input; ++n) {
+      if (!cone.contains(n)) continue;
+      const DepGraph::BitRef& r = g.ref(n);
+      if (!r.is_mem && m.net(r.id).kind == rtl::NetKind::kInput) {
+        sees_input = true;
+      }
+    }
+    if (!sees_input) {
+      report.add(kRuleUndrivenAtom, lint::Severity::kWarning, atom,
+                 "atom of property '" + property_name +
+                     "' has no primary input in its fan-in cone");
+    }
+  }
+  return report;
+}
+
+}  // namespace la1::flow

@@ -1,0 +1,70 @@
+// Flow rule catalog: non-interference and property-vacuity rules.
+//
+// Extends the structural (src/lint) and value-based (src/dfa) analyzer
+// families with dependence-aware rules. Findings go through the shared
+// lint::LintReport so `la1check`, the refinement flow and CI render and
+// gate them like every other rule.
+//
+//   FLOW-BANK-LEAK     write data of domain i can influence a read-data
+//                      sink of domain j != i (implicit flow counts: a write
+//                      that changes *whether* foreign data appears is still
+//                      a leak). The per-packet lookup-integrity property of
+//                      the multi-bank device.
+//   FLOW-CTRL-IN-DATA  a control pin's *value* reaches a data sink through
+//                      data edges alone. Control pins legitimately steer
+//                      selects/enables (control positions); their level
+//                      showing up inside data words is a wiring bug.
+//   FLOW-UNDRIVEN-ATOM a property atom whose fan-in cone contains no
+//                      primary input: the property constrains logic nothing
+//                      can steer — vacuous before any monitor runs.
+//   FLOW-DEAD-ATOM     a property atom the abstract interpretation pins to
+//                      a constant in every reachable state. Subsumes
+//                      FLOW-UNDRIVEN-ATOM when both would fire.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/depgraph.hpp"
+#include "lint/report.hpp"
+#include "psl/temporal.hpp"
+
+namespace la1::flow {
+
+inline constexpr const char* kRuleBankLeak = "FLOW-BANK-LEAK";
+inline constexpr const char* kRuleCtrlInData = "FLOW-CTRL-IN-DATA";
+inline constexpr const char* kRuleUndrivenAtom = "FLOW-UNDRIVEN-ATOM";
+inline constexpr const char* kRuleDeadAtom = "FLOW-DEAD-ATOM";
+
+/// One isolation domain: its taint sources (write-data registers, memory
+/// contents) and the read-data sinks that must stay free of *other*
+/// domains' labels. Names resolve against the DepGraph's module; absent
+/// names are skipped (a domain may lack a memory, say).
+struct Domain {
+  std::string name;
+  std::vector<std::string> source_nets;
+  std::vector<std::string> source_mems;
+  std::vector<std::string> sink_nets;
+};
+
+/// FLOW-BANK-LEAK over the given domains (implicit flow, unbounded).
+lint::LintReport lint_non_interference(const DepGraph& g,
+                                       const std::vector<Domain>& domains);
+
+/// FLOW-CTRL-IN-DATA: per-pin explicit-flow taint from `control_pins`
+/// (input net names) into `data_sinks` (nets) and `data_sink_mems`.
+lint::LintReport lint_control_in_data(
+    const DepGraph& g, const std::vector<std::string>& control_pins,
+    const std::vector<std::string>& data_sinks,
+    const std::vector<std::string>& data_sink_mems);
+
+/// FLOW-UNDRIVEN-ATOM / FLOW-DEAD-ATOM for one property's atoms. The
+/// DepGraph must have been built with dfa facts for the dead-atom check to
+/// have any teeth. A "net.__conflict" atom is approximated by the net's own
+/// fan-in (enables and values both reach the resolved bus), and skips the
+/// dead check.
+lint::LintReport lint_property_atoms(const DepGraph& g,
+                                     const psl::PropPtr& prop,
+                                     const std::string& property_name);
+
+}  // namespace la1::flow

@@ -40,6 +40,18 @@ void LintReport::add(std::string rule_id, Severity severity,
                      std::string location, std::string message) {
   Finding f{std::move(rule_id), severity, std::move(location),
             std::move(message)};
+  // The same rule can fire on the same net with the same diagnosis through
+  // two analyzer passes (netlist + seq + flow run over one module, then
+  // merge): collapse those to one finding, keeping the highest severity.
+  const auto dup = std::find_if(
+      findings_.begin(), findings_.end(), [&](const Finding& e) {
+        return e.rule_id == f.rule_id && e.location == f.location &&
+               e.message == f.message;
+      });
+  if (dup != findings_.end()) {
+    if (f.severity <= dup->severity) return;
+    findings_.erase(dup);  // re-insert below so the order stays canonical
+  }
   const auto at = std::upper_bound(
       findings_.begin(), findings_.end(), f,
       [](const Finding& a, const Finding& b) {

@@ -33,7 +33,10 @@ struct Finding {
 /// A collection of findings with rendering and JSON round-trip. Findings
 /// are kept in a canonical order (rule id, then location, then severity and
 /// message) regardless of insertion order, so serialized reports diff
-/// deterministically across analyzer passes and CI runs.
+/// deterministically across analyzer passes and CI runs. Duplicates on
+/// (rule, location, message) — the same diagnosis reached via two analyzer
+/// paths — collapse to a single finding at the highest severity, both on
+/// add() and on merge().
 class LintReport {
  public:
   void add(std::string rule_id, Severity severity, std::string location,

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "dfa/sweep.hpp"
+#include "flow/mc_cone.hpp"
 #include "lint/psl_lint.hpp"
 #include "util/mem.hpp"
 #include "util/stopwatch.hpp"
@@ -121,6 +122,7 @@ struct Encoding {
   std::vector<bool> quantify_mask;     // current + input vars
   std::vector<int> rename_next_to_cur;
   std::vector<int> state_at_rank;      // rank -> index into bb->state_vars
+  std::vector<int> input_pos;          // encoded j -> index into bb->input_vars
   std::vector<int> last_use;           // per var: last conjunct mentioning it
 
   std::string state_bit_name(int rank) const;
@@ -408,7 +410,8 @@ std::vector<std::map<std::string, bool>> extract_trace(
     for (int j = 0; j < enc.n_inputs; ++j) {
       const std::string name =
           enc.bb->vars[static_cast<std::size_t>(
-                           enc.bb->input_vars[static_cast<std::size_t>(j)])]
+                           enc.bb->input_vars[static_cast<std::size_t>(
+                               enc.input_pos[j])])]
               .name;
       trace[i - 1][name] = full[static_cast<std::size_t>(enc.input(j))];
     }
@@ -456,12 +459,41 @@ SymbolicResult check_once(const rtl::BitBlast& design, const psl::PropPtr& prop,
   const Observer obs = build_observer(prop);
   const unsigned letters = 1u << obs.atoms.size();
 
-  // Invariant substitution table (empty when use_invariants is off).
-  // Substituted bits are excluded from the active set below: constants
-  // contribute nothing, aliases redirect to their representative.
+  // Invariant substitution table (empty when use_invariants and use_coi are
+  // both off). Substituted bits are excluded from the active set below:
+  // constants contribute nothing, aliases redirect to their representative.
   std::vector<Substitution> subs(design.state_vars.size());
   dfa::InvariantSet swept;
-  if (options.use_invariants) {
+  flow::McCone cone;
+  bool have_cone = false;
+  if (options.use_coi) {
+    const dfa::InvariantSet* inv = options.invariants;
+    if (inv == nullptr) {
+      swept = dfa::sweep(design);
+      inv = &swept;
+    }
+    cone = flow::mc_cone(
+        design, std::vector<std::string>(obs.atoms.begin(), obs.atoms.end()),
+        *inv);
+    have_cone = true;
+    for (std::size_t k = 0; k < cone.subst.size(); ++k) {
+      switch (cone.subst[k].kind) {
+        case flow::McCone::SubstKind::kNone:
+          break;
+        case flow::McCone::SubstKind::kConst:
+          subs[k].kind = Substitution::Kind::kConst;
+          subs[k].value = cone.subst[k].value;
+          ++result.invariants_applied;
+          break;
+        case flow::McCone::SubstKind::kAlias:
+          subs[k].kind = Substitution::Kind::kAlias;
+          subs[k].root = cone.subst[k].root;
+          subs[k].negate = cone.subst[k].negate;
+          ++result.invariants_applied;
+          break;
+      }
+    }
+  } else if (options.use_invariants) {
     const dfa::InvariantSet* inv = options.invariants;
     if (inv == nullptr) {
       swept = dfa::sweep(design);
@@ -483,7 +515,13 @@ SymbolicResult check_once(const rtl::BitBlast& design, const psl::PropPtr& prop,
   std::vector<std::size_t> active;
   {
     const std::size_t n = design.state_vars.size();
-    if (options.cone_of_influence) {
+    if (have_cone) {
+      // The semantic cone already folded the substitutions in: a
+      // substituted bit is never in_cone, an alias pulled in its root.
+      for (std::size_t k = 0; k < n; ++k) {
+        if (cone.state_in_cone[k]) active.push_back(k);
+      }
+    } else if (options.cone_of_influence) {
       std::vector<bool> var_mask(design.vars.size(), false);
       for (const std::string& name : obs.atoms) {
         design.graph.support(atom_bit_node(design, name), var_mask);
@@ -527,7 +565,14 @@ SymbolicResult check_once(const rtl::BitBlast& design, const psl::PropPtr& prop,
   enc.n_obs = 0;
   while ((1 << enc.n_obs) < obs.state_count) ++enc.n_obs;
   enc.n_state = enc.n_model + enc.n_obs;
-  enc.n_inputs = static_cast<int>(design.input_vars.size());
+  // Inputs outside the semantic cone occur in no conjunct and no atom, so
+  // encoding them would only widen the quantification mask for nothing.
+  for (std::size_t j = 0; j < design.input_vars.size(); ++j) {
+    if (!have_cone || cone.input_in_cone[j]) {
+      enc.input_pos.push_back(static_cast<int>(j));
+    }
+  }
+  enc.n_inputs = static_cast<int>(enc.input_pos.size());
   result.state_bits = enc.n_state;
   result.input_bits = enc.n_inputs;
 
@@ -617,9 +662,10 @@ SymbolicResult check_once(const rtl::BitBlast& design, const psl::PropPtr& prop,
       state_at_rank[static_cast<std::size_t>(rank_of_active[a])] =
           static_cast<int>(k);
     }
-    for (std::size_t j = 0; j < design.input_vars.size(); ++j) {
-      var_map[static_cast<std::size_t>(design.input_vars[j])] =
-          enc.input(static_cast<int>(j));
+    for (int j = 0; j < enc.n_inputs; ++j) {
+      var_map[static_cast<std::size_t>(
+          design.input_vars[static_cast<std::size_t>(enc.input_pos[j])])] =
+          enc.input(j);
     }
     // Invariant substitution: rewrite every occurrence of a proven-redundant
     // state bit. Constants become terminals; aliases become the (possibly

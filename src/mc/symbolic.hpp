@@ -105,6 +105,18 @@ struct SymbolicOptions {
   /// inconsistent with the design's reset state, throw
   /// std::invalid_argument.
   const dfa::InvariantSet* invariants = nullptr;
+  /// Semantic cone of influence (flow::mc_cone): the structural cone above
+  /// folded together with the proven invariants — constants cut, alias
+  /// twins merged into their representative so the twin's fan-in never
+  /// enters the cone — and, new over both older knobs, the encoded
+  /// *inputs* restricted to those the cone actually mentions (historically
+  /// every primary input was encoded unconditionally). Uses `invariants`
+  /// when provided, else runs the sweep internally. Subsumes
+  /// `use_invariants` and takes precedence over `cone_of_influence` when
+  /// set. Verdict-identical: the substitutions are inductive invariants
+  /// and an out-of-cone input occurs in no conjunct (bench_coi measures
+  /// the reduction).
+  bool use_coi = false;
 };
 
 struct SymbolicResult {

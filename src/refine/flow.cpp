@@ -10,6 +10,7 @@
 #include "la1/msc_spec.hpp"
 #include "dfa/sweep.hpp"
 #include "fault/campaign.hpp"
+#include "flow/analyze.hpp"
 #include "lint/netlist_lint.hpp"
 #include "lint/psl_lint.hpp"
 #include "lint/seq_lint.hpp"
@@ -62,7 +63,7 @@ FlowReport run_flow(const FlowOptions& options) {
 
   // 1. Spec compilation: validate the class diagram and the shipped .msc
   // charts, then compile the three artifacts the later stages consume —
-  // monitors (stage 4), coverage bins and biased stimulus (stage 10).
+  // monitors (stage 4), coverage bins and biased stimulus (stage 11).
   stage(report, "MSC spec compilation", [&](std::string& detail) {
     const uml::ClassDiagram cd = core::la1_class_diagram();
     const msc::Chart read_chart = core::read_mode_chart();
@@ -171,7 +172,7 @@ FlowReport run_flow(const FlowOptions& options) {
   const core::RtlConfig mc_cfg = core::RtlConfig::model_checking(banks);
   stage(report, "RTL static lint", [&](std::string& detail) {
     lint::LintReport all;
-    // Full-geometry device (what stages 7-8 simulate and emit)...
+    // Full-geometry device (what stages 7-9 simulate and emit)...
     core::RtlConfig full_cfg;
     full_cfg.banks = banks;
     full_cfg.data_bits = bcfg.data_bits;
@@ -194,7 +195,7 @@ FlowReport run_flow(const FlowOptions& options) {
   // 7. Sequential dataflow analysis: ternary fixpoint over the reset state
   // plus inductive register sweeping. Defects it proves (stuck registers,
   // unrecoverable X, dead cones, duplicated state) fail the flow before the
-  // symbolic engine runs; the invariants it proves strengthen stage 8.
+  // symbolic engine runs; the invariants it proves strengthen stage 9.
   dfa::InvariantSet invariants;
   stage(report, "sequential dataflow analysis", [&](std::string& detail) {
     core::RtlDevice dev = core::build_device(mc_cfg);
@@ -208,28 +209,48 @@ FlowReport run_flow(const FlowOptions& options) {
     return !seq.fails(lint::Severity::kWarning);
   });
 
-  // 8. RTL symbolic model checking (RuleBase-style), read-mode property,
-  // strengthened with the stage-7 invariants (substituted into the
-  // encoding before reachability).
+  // 8. Flow analysis: bit-level taint over the dependence graph proves the
+  // banks non-interfering (write data of one bank cannot reach another's
+  // read path, control levels cannot leak into data) and that no property
+  // atom is undriven or statically dead — the vacuity and isolation checks
+  // the symbolic stage silently assumes.
+  stage(report, "flow analysis (taint + cones)", [&](std::string& detail) {
+    core::RtlDevice dev = core::build_device(mc_cfg);
+    const rtl::Module flat = dev.flatten();
+    std::vector<std::pair<std::string, psl::PropPtr>> props;
+    props.emplace_back("READ_MODE", core::rtl_read_mode_property(mc_cfg));
+    for (auto& p : core::rtl_properties(mc_cfg)) props.push_back(p);
+    const flow::FlowReport fr = flow::analyze(flat, props);
+    detail = std::to_string(fr.findings.size()) + " findings over " +
+             std::to_string(fr.banks) + " isolation domain(s), " +
+             std::to_string(fr.labels.size()) + " taint labels";
+    return fr.clean(lint::Severity::kWarning);
+  });
+
+  // 9. RTL symbolic model checking (RuleBase-style), read-mode property,
+  // under the semantic cone of influence: the stage-7 invariants folded
+  // into the cone (substituted into the encoding before reachability) and
+  // out-of-cone primary inputs dropped from the encoding entirely.
   stage(report, "RTL symbolic model checking", [&](std::string& detail) {
     core::RtlDevice dev = core::build_device(mc_cfg);
     const rtl::Module flat = rtl::expand_memories(dev.flatten());
     const rtl::BitBlast bb = rtl::bitblast(flat, core::clock_schedule(flat));
     mc::SymbolicOptions sopt;
     sopt.node_limit = 4'000'000;
-    sopt.use_invariants = true;
+    sopt.use_coi = true;
     sopt.invariants = &invariants;
     const mc::SymbolicResult r =
         mc::check(bb, core::rtl_read_mode_property(mc_cfg), sopt);
     std::ostringstream d;
-    d << r.state_bits << " state bits, " << r.iterations << " iterations, "
-      << r.peak_bdd_nodes << " peak BDD nodes, " << r.invariants_applied
+    d << r.state_bits << " state bits, " << r.input_bits << " input bits, "
+      << r.iterations << " iterations, " << r.peak_bdd_nodes
+      << " peak BDD nodes, " << r.invariants_applied
       << " invariants substituted";
     detail = d.str();
     return r.outcome == mc::SymbolicResult::Outcome::kHolds;
   });
 
-  // 9. RTL simulation with OVL monitors.
+  // 10. RTL simulation with OVL monitors.
   core::RtlConfig rcfg;
   rcfg.banks = banks;
   rcfg.data_bits = bcfg.data_bits;
@@ -291,7 +312,7 @@ FlowReport run_flow(const FlowOptions& options) {
     return bank.failures(sim) == 0;
   });
 
-  // 10. Coverage closure: the constrained-random driver re-biases its
+  // 11. Coverage closure: the constrained-random driver re-biases its
   // weights toward uncovered protocol bins until the functional coverage
   // model (src/cov) reports the target percentage. Gates on nearly-full
   // coverage so the lockstep/ABV verdicts above rest on stimulus that
@@ -317,7 +338,7 @@ FlowReport run_flow(const FlowOptions& options) {
     return closure.coverage() >= options.closure_fail_under;
   });
 
-  // 11. Fault-injection campaign: attack the checkers the earlier stages
+  // 12. Fault-injection campaign: attack the checkers the earlier stages
   // relied on. A small fixed-seed mutant set must be overwhelmingly
   // caught, and the unmutated device must raise no alarm.
   stage(report, "fault-injection campaign", [&](std::string& detail) {
@@ -327,7 +348,7 @@ FlowReport run_flow(const FlowOptions& options) {
     copt.transactions = 150;
     copt.plan.structural = 5;
     copt.plan.protocol = 2;
-    copt.run_mc = false;  // the symbolic column already ran as stage 8
+    copt.run_mc = false;  // the symbolic column already ran as stage 9
     const fault::CampaignReport campaign = fault::run_campaign(copt);
     detail = std::to_string(campaign.caught_count()) + "/" +
              std::to_string(campaign.rows.size()) + " mutants caught, " +
@@ -336,7 +357,7 @@ FlowReport run_flow(const FlowOptions& options) {
     return campaign.clean_ok && campaign.mutation_score() >= 0.8;
   });
 
-  // 12. Verilog emission — the flow's final artifact.
+  // 13. Verilog emission — the flow's final artifact.
   stage(report, "Verilog emission", [&](std::string& detail) {
     core::RtlDevice dev = core::build_device(rcfg);
     report.verilog = rtl::to_verilog(*dev.top);

@@ -94,6 +94,30 @@ TEST(BenchJson, Table3AbvSim) {
   EXPECT_EQ(row.find("failures")->as_int(), 0);
 }
 
+TEST(BenchJson, Coi) {
+  // Also the ctest-level watchdog for bench_coi (the ci.sh smoke entry):
+  // a nonzero exit means verdict-parity or the read-mode reduction broke.
+  const util::Json doc = run_bench("bench_coi", "--banks-list 1");
+  expect_report_shape(doc, "bench_coi");
+  const util::Json* structural = nullptr;
+  const util::Json* semantic = nullptr;
+  for (const util::Json& row : doc.find("metrics")->items()) {
+    if (row.find("property")->as_string() != "READ_MODE") continue;
+    if (row.find("cone")->as_string() == "structural") structural = &row;
+    if (row.find("cone")->as_string() == "semantic") semantic = &row;
+  }
+  ASSERT_NE(structural, nullptr);
+  ASSERT_NE(semantic, nullptr);
+  EXPECT_EQ(structural->find("result")->as_string(),
+            semantic->find("result")->as_string());
+  EXPECT_LT(semantic->find("state_bits")->as_int(),
+            structural->find("state_bits")->as_int());
+  EXPECT_LT(semantic->find("input_bits")->as_int(),
+            structural->find("input_bits")->as_int());
+  EXPECT_LT(semantic->find("peak_bdd_nodes")->as_int(),
+            structural->find("peak_bdd_nodes")->as_int());
+}
+
 /// Random JSON document, depth-bounded. Doubles are odd multiples of 1/8 so
 /// they are exactly representable and never integral: %.17g prints integral
 /// doubles without a decimal point, which reparses as kInt and would turn a

@@ -1,0 +1,227 @@
+// Tests for the bit-level dependence/taint engine (src/flow): cone
+// construction and pruning, taint modes, the FLOW-* rule catalog against
+// its injected-defect fixtures, the semantic MC cone, and the FlowReport
+// JSON round trip.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dfa/abstract.hpp"
+#include "dfa/sweep.hpp"
+#include "flow/analyze.hpp"
+#include "flow/depgraph.hpp"
+#include "flow/fixtures.hpp"
+#include "flow/mc_cone.hpp"
+#include "flow/rules.hpp"
+#include "flow/taint.hpp"
+#include "la1/rtl_model.hpp"
+#include "psl/temporal.hpp"
+#include "rtl/bitblast.hpp"
+#include "rtl/netlist.hpp"
+
+namespace la1 {
+namespace {
+
+// A 1-bit register steered by a mux: R <= S ? A : R, W = A ^ R. Exercises
+// data vs control edges and the register-crossing bound in one module.
+rtl::Module mux_reg_module() {
+  rtl::Module m("mux_reg");
+  const rtl::NetId k = m.input("K", 1);
+  const rtl::NetId a = m.input("A", 1);
+  const rtl::NetId s = m.input("S", 1);
+  const rtl::NetId r = m.reg("R", 1, 0);
+  const rtl::NetId w = m.wire("W", 1);
+  const rtl::ProcId p = m.process("on_k", k, rtl::Edge::kPos);
+  m.nonblocking(p, r, m.mux(m.ref(s), m.ref(a), m.ref(r)));
+  m.assign(w, m.op_xor(m.ref(a), m.ref(r)));
+  return m;
+}
+
+TEST(DepGraph, FanInSeparatesDataControlAndCycles) {
+  const rtl::Module m = mux_reg_module();
+  const flow::DepGraph g(m);
+  const int a = g.net_bit(m.find_net("A"), 0);
+  const int s = g.net_bit(m.find_net("S"), 0);
+  const int r = g.net_bit(m.find_net("R"), 0);
+  const int w = g.net_bit(m.find_net("W"), 0);
+
+  // Unbounded fan-in of W: everything but the clock.
+  const flow::DepGraph::Cone full = g.fan_in({w});
+  EXPECT_TRUE(full.contains(a));
+  EXPECT_TRUE(full.contains(s));
+  EXPECT_TRUE(full.contains(r));
+  EXPECT_FALSE(full.contains(g.net_bit(m.find_net("K"), 0)));
+
+  // The mux select only reaches W through R's *registered* driver, so the
+  // pure combinational cone stops at R's current value.
+  flow::ConeOptions comb;
+  comb.max_cycles = 0;
+  const flow::DepGraph::Cone now = g.fan_in({w}, comb);
+  EXPECT_TRUE(now.contains(a));
+  EXPECT_TRUE(now.contains(r));
+  EXPECT_FALSE(now.contains(s));
+  EXPECT_EQ(now.depth, 0);
+
+  // Dropping control edges removes the select but keeps the data operands.
+  flow::ConeOptions data_only;
+  data_only.data_only = true;
+  const flow::DepGraph::Cone data = g.fan_in({w}, data_only);
+  EXPECT_TRUE(data.contains(a));
+  EXPECT_FALSE(data.contains(s));
+}
+
+TEST(DepGraph, FanOutIsTheMirrorImage) {
+  const rtl::Module m = mux_reg_module();
+  const flow::DepGraph g(m);
+  const int s = g.net_bit(m.find_net("S"), 0);
+  const int r = g.net_bit(m.find_net("R"), 0);
+  const int w = g.net_bit(m.find_net("W"), 0);
+
+  const flow::DepGraph::Cone from_s = g.fan_out({s});
+  EXPECT_TRUE(from_s.contains(r));
+  EXPECT_TRUE(from_s.contains(w));
+
+  flow::ConeOptions data_only;
+  data_only.data_only = true;
+  const flow::DepGraph::Cone from_s_data = g.fan_out({s}, data_only);
+  EXPECT_FALSE(from_s_data.contains(r));
+  EXPECT_FALSE(from_s_data.contains(w));
+}
+
+TEST(DepGraph, FactsPruneConstantDrivenEdges) {
+  rtl::Module m("const_and");
+  const rtl::NetId a = m.input("A", 1);
+  const rtl::NetId gnd = m.wire("GND", 1);
+  const rtl::NetId g0 = m.wire("G", 1);
+  m.assign(gnd, m.lit_uint(0, 1));
+  // G = A & 0: the abstract interpretation pins G to 0, so A must not
+  // appear in its (semantic) fan-in.
+  m.assign(g0, m.op_and(m.ref(a), m.ref(gnd)));
+  const dfa::Facts facts = dfa::analyze(m);
+  const flow::DepGraph g(m, &facts);
+  EXPECT_TRUE(g.bit_constant(g0, 0));
+  const flow::DepGraph::Cone cone = g.fan_in({g.net_bit(g0, 0)});
+  EXPECT_FALSE(cone.contains(g.net_bit(a, 0)));
+
+  // Without facts the same cone is purely structural and keeps A.
+  const flow::DepGraph g_plain(m);
+  const flow::DepGraph::Cone structural =
+      g_plain.fan_in({g_plain.net_bit(g0, 0)});
+  EXPECT_TRUE(structural.contains(g_plain.net_bit(a, 0)));
+}
+
+TEST(Taint, ImplicitFlowsThroughSelectsExplicitDoesNot) {
+  const rtl::Module m = mux_reg_module();
+  const flow::DepGraph g(m);
+  std::vector<flow::TaintSource> sources;
+  sources.push_back({"sel", {g.net_bit(m.find_net("S"), 0)}});
+
+  const flow::TaintFacts implicit(g, sources);
+  EXPECT_NE(implicit.net_taint(m.find_net("R")), 0u);
+  EXPECT_NE(implicit.net_taint(m.find_net("W")), 0u);
+
+  flow::TaintOptions explicit_only;
+  explicit_only.implicit = false;
+  const flow::TaintFacts data(g, sources, explicit_only);
+  EXPECT_EQ(data.net_taint(m.find_net("R")), 0u);
+  EXPECT_EQ(data.net_taint(m.find_net("W")), 0u);
+}
+
+TEST(FlowRules, EveryFixtureTripsExactlyItsRule) {
+  for (const flow::InjectedDefect& defect : flow::injected_defects()) {
+    const flow::FlowReport report = flow::analyze_injected(defect.name);
+    ASSERT_EQ(report.findings.size(), 1u) << defect.name << ":\n"
+                                          << report.findings.render();
+    EXPECT_EQ(report.findings.findings().front().rule_id,
+              defect.expected_rule)
+        << defect.name;
+    EXPECT_FALSE(report.clean(lint::Severity::kWarning)) << defect.name;
+  }
+}
+
+TEST(FlowRules, UnknownFixtureThrows) {
+  EXPECT_THROW(flow::analyze_injected("no-such-defect"),
+               std::invalid_argument);
+}
+
+TEST(FlowAnalyze, StockDeviceIsFlowCleanAtEveryBankCount) {
+  for (int banks : {1, 2, 4}) {
+    const core::RtlConfig cfg = core::RtlConfig::model_checking(banks);
+    core::RtlDevice dev = core::build_device(cfg);
+    const rtl::Module flat = dev.flatten();
+    const flow::FlowReport report = flow::analyze(flat, {});
+    EXPECT_TRUE(report.clean(lint::Severity::kWarning))
+        << banks << " banks:\n"
+        << report.render();
+    EXPECT_EQ(report.banks, banks);
+    // One taint label per bank, each confined to its own read-data sinks.
+    ASSERT_EQ(static_cast<int>(report.labels.size()), banks);
+    for (int b = 0; b < banks; ++b) {
+      const flow::LabelFlow& l = report.labels[static_cast<std::size_t>(b)];
+      EXPECT_GT(l.seed_bits, 0);
+      EXPECT_GT(l.reached_bits, l.seed_bits);
+      const std::string own = "bank" + std::to_string(b) + ".";
+      for (const std::string& sink : l.tainted_sinks) {
+        EXPECT_EQ(sink.compare(0, own.size(), own), 0)
+            << l.label << " tainted foreign sink " << sink;
+      }
+    }
+  }
+}
+
+TEST(McCone, SemanticConeShrinksStateAndInputs) {
+  const core::RtlConfig cfg = core::RtlConfig::model_checking(1);
+  core::RtlDevice dev = core::build_device(cfg);
+  const rtl::Module flat = dev.flatten();
+  const rtl::Module expanded = rtl::expand_memories(flat);
+  const rtl::BitBlast bb = rtl::bitblast(expanded, core::clock_schedule(flat));
+  const dfa::InvariantSet invariants = dfa::sweep(bb);
+
+  std::vector<std::pair<std::string, psl::PropPtr>> props;
+  props.emplace_back("READ_MODE", core::rtl_read_mode_property(cfg));
+  const flow::FlowReport report =
+      flow::analyze(flat, props, {}, &bb, &invariants);
+
+  ASSERT_EQ(report.cones.size(), 1u);
+  const flow::PropertyCone& cone = report.cones.front();
+  EXPECT_EQ(cone.property, "READ_MODE");
+  EXPECT_GT(cone.cone_state_bits, 0);
+  EXPECT_LT(cone.cone_state_bits, cone.total_state_bits);
+  // The read-mode property watches the read handshake alone: of the six
+  // primary inputs only R_n steers its cone.
+  EXPECT_EQ(cone.cone_inputs, 1);
+  EXPECT_EQ(cone.total_inputs, 6);
+  EXPECT_GT(cone.substituted, 0);
+}
+
+TEST(McCone, UnknownAtomThrows) {
+  const core::RtlConfig cfg = core::RtlConfig::model_checking(1);
+  core::RtlDevice dev = core::build_device(cfg);
+  const rtl::Module flat = rtl::expand_memories(dev.flatten());
+  const rtl::BitBlast bb = rtl::bitblast(flat, core::clock_schedule(flat));
+  const dfa::InvariantSet invariants = dfa::sweep(bb);
+  EXPECT_THROW(flow::mc_cone(bb, {"no.such.net"}, invariants),
+               std::invalid_argument);
+}
+
+TEST(FlowReport, JsonRoundTripsAndRenders) {
+  const flow::FlowReport report = flow::analyze_injected("bank-leak");
+  const util::Json j = report.to_json();
+  const flow::FlowReport back = flow::FlowReport::from_json(j);
+  EXPECT_TRUE(back == report);
+  // dump -> parse -> from_json is the same fixed point la1check relies on.
+  const flow::FlowReport reparsed =
+      flow::FlowReport::from_json(util::Json::parse(j.dump(2)));
+  EXPECT_TRUE(reparsed == report);
+  EXPECT_NE(report.render().find("FLOW-BANK-LEAK"), std::string::npos);
+}
+
+TEST(FlowReport, MalformedJsonThrows) {
+  EXPECT_THROW(flow::FlowReport::from_json(util::Json(7)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace la1

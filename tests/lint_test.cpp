@@ -227,6 +227,39 @@ TEST(LintReportTest, FindingsKeepCanonicalOrder) {
   EXPECT_EQ(merged.findings()[0].rule_id, "AAA-FIRST");
 }
 
+TEST(LintReportTest, DuplicateFindingsCollapseKeepingHighestSeverity) {
+  // Two analyzer passes over one module (netlist + seq + flow run, then
+  // merge) can diagnose the same defect identically: the report must hold
+  // one finding per (rule, location, message), not one per pass.
+  LintReport r;
+  r.add("NET-CONST", Severity::kWarning, "top.q", "stuck at 0");
+  r.add("NET-CONST", Severity::kWarning, "top.q", "stuck at 0");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.findings().front().severity, Severity::kWarning);
+
+  // A higher-severity duplicate upgrades the survivor in place...
+  r.add("NET-CONST", Severity::kError, "top.q", "stuck at 0");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.findings().front().severity, Severity::kError);
+  // ...and a lower-severity one is absorbed without a downgrade.
+  r.add("NET-CONST", Severity::kInfo, "top.q", "stuck at 0");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.findings().front().severity, Severity::kError);
+
+  // A different message (or location, or rule) is a distinct finding.
+  r.add("NET-CONST", Severity::kWarning, "top.q", "stuck at 1");
+  EXPECT_EQ(r.size(), 2u);
+
+  // merge() routes through add(), so cross-report duplicates collapse too,
+  // and the canonical order survives the dedupe.
+  LintReport other;
+  other.add("NET-CONST", Severity::kWarning, "top.q", "stuck at 0");
+  other.add("AAA-FIRST", Severity::kInfo, "a", "m");
+  r.merge(other);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.findings().front().rule_id, "AAA-FIRST");
+}
+
 TEST(LintReportTest, SeverityNames) {
   EXPECT_EQ(severity_from_string("warn"), Severity::kWarning);
   EXPECT_EQ(severity_from_string("warning"), Severity::kWarning);

@@ -9,7 +9,12 @@
 #   tools/ci.sh --cov           # also run the coverage-closure + shrinker gate
 #   tools/ci.sh --line-cov      # gcov line-coverage build in a separate tree,
 #                               # reported as a BenchReport-shaped JSON metric
+#   tools/ci.sh --tidy          # clang-tidy gate against tools/tidy-baseline.txt
+#                               # (skips with a notice when clang-tidy is absent)
 #   tools/ci.sh --install-hook  # install as .git/hooks/pre-push
+#
+# Every gate prints its wall-clock on completion, so a slow gate is visible
+# in the log rather than hiding inside the total.
 #
 # Also wired as a CTest-adjacent CMake target: `cmake --build build --target ci`.
 set -eu
@@ -22,10 +27,20 @@ sanitize=0
 faults=0
 cov=0
 line_cov=0
+tidy=0
 # Watchdog for the test suites: a hung test (a model-checking run that
 # stopped converging, a deadlocked harness) fails its suite instead of
 # wedging CI. Generous next to the observed per-test runtimes (< 10 s).
 test_timeout="${LA1_TEST_TIMEOUT:-300}"
+
+# Per-gate wall-clock: gate_done NAME prints the seconds since the previous
+# gate finished (or since startup for the first gate).
+gate_t0=$(date +%s)
+gate_done() {
+  gate_t1=$(date +%s)
+  echo "ci: [$((gate_t1 - gate_t0))s] $1"
+  gate_t0=$gate_t1
+}
 
 for arg in "$@"; do
   case "$arg" in
@@ -52,8 +67,11 @@ for arg in "$@"; do
     --line-cov)
       line_cov=1
       ;;
+    --tidy)
+      tidy=1
+      ;;
     *)
-      echo "usage: tools/ci.sh [--smoke-only | --sanitize | --faults | --cov | --line-cov | --install-hook]" >&2
+      echo "usage: tools/ci.sh [--smoke-only | --sanitize | --faults | --cov | --line-cov | --tidy | --install-hook]" >&2
       exit 2
       ;;
   esac
@@ -95,11 +113,48 @@ if [ "$line_cov" -eq 1 ]; then
   exit 0
 fi
 
+if [ "$tidy" -eq 1 ]; then
+  # clang-tidy gate over the library/tool/bench sources, judged against the
+  # committed baseline: any (file, check) pair the baseline does not list
+  # fails the gate. Fixing a warning (shrinking the run below the baseline)
+  # always passes — regenerate the baseline to lock the improvement in:
+  #   tools/ci.sh --tidy  # then copy the printed current list over
+  #                       # tools/tidy-baseline.txt
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "ci: clang-tidy not installed; tidy gate skipped"
+    exit 0
+  fi
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    > /dev/null
+  tidy_dir="${TMPDIR:-/tmp}/la1-ci-tidy.$$"
+  mkdir -p "$tidy_dir"
+  trap 'rm -rf "$tidy_dir"' EXIT
+  # One (file, check) pair per line, repo-relative, sorted: stable across
+  # line-number churn so the baseline only moves when a warning appears in
+  # a new file or a new check fires.
+  find "$repo_root/src" "$repo_root/tools" "$repo_root/bench" \
+    -name '*.cpp' -print | sort | xargs clang-tidy --quiet -p "$build_dir" \
+    2> /dev/null |
+    sed -n "s|^$repo_root/||; s/^\([^:]*\):[0-9][0-9]*:[0-9][0-9]*: warning: .*\[\([a-z0-9.,-]*\)\]\$/\1 \2/p" |
+    sort -u > "$tidy_dir/current.txt" || true
+  grep -v '^#' "$repo_root/tools/tidy-baseline.txt" | grep -v '^$' |
+    sort -u > "$tidy_dir/baseline.txt" || true
+  if new_warnings=$(comm -23 "$tidy_dir/current.txt" "$tidy_dir/baseline.txt") \
+     && [ -n "$new_warnings" ]; then
+    echo "ci: clang-tidy warnings not in tools/tidy-baseline.txt:" >&2
+    echo "$new_warnings" >&2
+    exit 1
+  fi
+  gate_done "clang-tidy gate passed ($(wc -l < "$tidy_dir/current.txt") baselined warning(s))"
+  exit 0
+fi
+
 if [ "$smoke_only" -eq 0 ]; then
   # Tier-1 verify (ROADMAP.md).
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" -j "$jobs"
   (cd "$build_dir" && ctest --output-on-failure -j "$jobs" --timeout "$test_timeout")
+  gate_done "tier-1 verify passed"
 fi
 
 smoke_dir="${TMPDIR:-/tmp}/la1-ci-smoke.$$"
@@ -127,6 +182,7 @@ for pair in loop:NET-COMB-LOOP double-driver:NET-MULTI-DRIVE \
   fi
   grep -q "\"rule_id\": \"$rule\"" "$smoke_dir/lint-$defect.json"
 done
+gate_done "static-lint gate passed"
 
 # MSC spec gate: every shipped chart must parse, validate, and compile, and
 # the compiled monitors must come through the PSL linter with no findings
@@ -138,6 +194,7 @@ for chart in "$repo_root"/examples/*.msc; do
   grep -q '"errors": 0' "$smoke_dir/msc-$(basename "$chart" .msc).json"
   grep -q '"warnings": 0' "$smoke_dir/msc-$(basename "$chart" .msc).json"
 done
+gate_done "MSC spec gate passed"
 
 # Sequential-dataflow gate: the stock model-checking geometry must come out
 # of the ternary fixpoint + register sweep with zero findings of any
@@ -148,6 +205,31 @@ for banks in 1 2 4; do
   grep -q '"errors": 0' "$smoke_dir/dfa-$banks.json"
   grep -q '"warnings": 0' "$smoke_dir/dfa-$banks.json"
 done
+gate_done "sequential-dataflow gate passed"
+
+# Flow-analysis gate: bit-level taint must prove the stock device's banks
+# non-interfering (zero findings of any severity) at every bank count the
+# Table-2 benches exercise, and every injected flow defect must fail with
+# exactly its expected rule id.
+for banks in 1 2 4; do
+  "$build_dir/tools/la1check" flowan --banks "$banks" --fail-on warn \
+    --json "$smoke_dir/flowan-$banks.json" > /dev/null
+  grep -q '"errors": 0' "$smoke_dir/flowan-$banks.json"
+  grep -q '"warnings": 0' "$smoke_dir/flowan-$banks.json"
+done
+
+for pair in bank-leak:FLOW-BANK-LEAK ctrl-in-data:FLOW-CTRL-IN-DATA \
+            undriven-atom:FLOW-UNDRIVEN-ATOM dead-atom:FLOW-DEAD-ATOM; do
+  defect=${pair%%:*}
+  rule=${pair#*:}
+  if "$build_dir/tools/la1check" flowan --inject "$defect" --fail-on warn \
+       --json "$smoke_dir/flowan-$defect.json" > /dev/null; then
+    echo "ci: flowan --inject $defect unexpectedly passed" >&2
+    exit 1
+  fi
+  grep -q "\"rule_id\": \"$rule\"" "$smoke_dir/flowan-$defect.json"
+done
+gate_done "flow-analysis gate passed"
 
 # Fault-campaign gate (opt-in: --faults): a fixed-seed mutation campaign at
 # 1 and 2 banks must keep the mutation score at or above 0.9 with zero
@@ -160,7 +242,7 @@ if [ "$faults" -eq 1 ]; then
     grep -q '"rows"' "$smoke_dir/faults-$banks.json"
     grep -q '"ok": true' "$smoke_dir/faults-$banks.json"
   done
-  echo "ci: fault-campaign gate passed (banks 1 and 2, seed 1)"
+  gate_done "fault-campaign gate passed (banks 1 and 2, seed 1)"
 fi
 
 # Coverage-closure gate (opt-in: --cov): fixed-seed closure at 1 and 2 banks
@@ -178,7 +260,7 @@ if [ "$cov" -eq 1 ]; then
     --out "$smoke_dir/cov-repro.json" > /dev/null
   "$build_dir/tools/la1check" cov --replay "$smoke_dir/cov-repro.json" \
     > /dev/null
-  echo "ci: coverage-closure gate passed (banks 1 and 2, seed 1)"
+  gate_done "coverage-closure gate passed (banks 1 and 2, seed 1)"
 fi
 
 # Bench smoke: every bench_table* binary must emit a parseable --json
@@ -191,14 +273,17 @@ fi
   --json "$smoke_dir/BENCH_table2_invariants.json" > /dev/null
 "$build_dir/bench/bench_table3_abv_sim" --banks-list 1 --sc-ticks 400 \
   --rtl-ticks 200 --json "$smoke_dir/table3.json" > /dev/null
+"$build_dir/bench/bench_coi" --banks-list 1 \
+  --json "$smoke_dir/coi.json" > /dev/null
 "$build_dir/examples/nway_lockstep" --banks-list 1,2 --transactions 200 \
   --json "$smoke_dir/nway.json" > /dev/null
 
-for f in table1 table2 BENCH_table2_invariants table3 nway; do
+for f in table1 table2 BENCH_table2_invariants table3 coi nway; do
   # Minimal validity check without external tools: the canonical report
   # shape starts with {"bench": and names its metrics array.
   grep -q '"bench"' "$smoke_dir/$f.json"
   grep -q '"metrics"' "$smoke_dir/$f.json"
 done
+gate_done "bench smoke passed"
 
-echo "ci: tier-1 verify, lint gate, and bench smoke passed"
+echo "ci: tier-1 verify, lint, dataflow, flow-analysis, and bench smoke passed"

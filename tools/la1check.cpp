@@ -17,6 +17,15 @@
 //       emits the synthesizable Verilog for the configured device.
 //   la1check flow
 //       runs the full Figure-2 refinement flow.
+//   la1check flowan [--banks N] [--json F|-] [--fail-on warn|error|never]
+//       [--label L] [--inject D]
+//       semantic dataflow analysis: bit-level taint over the dependence
+//       graph proves bank non-interference (FLOW-BANK-LEAK,
+//       FLOW-CTRL-IN-DATA) and catches vacuous property atoms
+//       (FLOW-UNDRIVEN-ATOM, FLOW-DEAD-ATOM); also prints each RTL
+//       property's semantic MC cone (what `rtl` encodes under use_coi).
+//       --label restricts the taint summary to one label; --inject runs a
+//       named broken fixture (see flow::injected_defects()).
 //   la1check lint [--json F|-] [--fail-on warn|error|never] [--inject D]
 //       static analysis of the device netlist, the shipped RTL property
 //       suite, and any --prop/--vunit-file properties. --inject runs a
@@ -44,6 +53,8 @@
 #include "dfa/sweep.hpp"
 #include "fault/campaign.hpp"
 #include "fault/fault.hpp"
+#include "flow/analyze.hpp"
+#include "flow/fixtures.hpp"
 #include "harness/adapters.hpp"
 #include "harness/lockstep.hpp"
 #include "la1/asm_model.hpp"
@@ -72,7 +83,7 @@ using namespace la1;
 
 int usage() {
   std::fputs(
-      "usage: la1check <sim|asm|rtl|verilog|flow|lint|dfa|faults|cov> "
+      "usage: la1check <sim|asm|rtl|verilog|flow|flowan|lint|dfa|faults|cov> "
       "[options]\n"
       "       la1check msc FILE [options]\n"
       "  common:  --banks N  --seed S\n"
@@ -80,6 +91,8 @@ int usage() {
       "  asm:     --prop \"<psl>\"   --max-states N\n"
       "  rtl:     --prop \"<psl>\"   --node-limit N  --no-coi\n"
       "  verilog: --out FILE\n"
+      "  flowan:  --json FILE|-  --fail-on warn|error|never\n"
+      "           --label L  --inject DEFECT\n"
       "  lint:    --json FILE|-  --fail-on warn|error|never\n"
       "           --prop \"<psl>\" | --vunit-file F  --inject DEFECT\n"
       "  dfa:     --json FILE|-  --fail-on warn|error|never\n"
@@ -686,6 +699,62 @@ int run_flow(const util::Cli& cli) {
   return report.ok ? 0 : 1;
 }
 
+int run_flowan(const util::Cli& cli) {
+  const std::string fail_on = cli.get("fail-on", "error");
+  flow::FlowReport report;
+
+  if (cli.has("inject")) {
+    const std::string name = cli.get("inject", "");
+    report = flow::analyze_injected(name);
+  } else {
+    const int banks = static_cast<int>(cli.get_int("banks", 1));
+    // Model-checking geometry: the same netlist the symbolic engine (and
+    // therefore the semantic cone under `rtl`'s use_coi) actually sees.
+    const core::RtlConfig cfg = core::RtlConfig::model_checking(banks);
+    core::RtlDevice dev = core::build_device(cfg);
+    const rtl::Module flat = dev.flatten();
+    const rtl::Module expanded = rtl::expand_memories(flat);
+    const rtl::BitBlast bb =
+        rtl::bitblast(expanded, core::clock_schedule(flat));
+    const dfa::InvariantSet invariants = dfa::sweep(bb);
+
+    std::vector<std::pair<std::string, psl::PropPtr>> props;
+    props.emplace_back("READ_MODE", core::rtl_read_mode_property(cfg));
+    for (auto& p : core::rtl_properties(cfg)) props.push_back(p);
+
+    report = flow::analyze(flat, props, {}, &bb, &invariants);
+  }
+
+  if (cli.has("label")) {
+    // Keep only the requested label's flow summary (findings untouched).
+    const std::string want = cli.get("label", "");
+    std::vector<flow::LabelFlow> kept;
+    for (flow::LabelFlow& l : report.labels) {
+      if (l.label == want) kept.push_back(std::move(l));
+    }
+    report.labels = std::move(kept);
+  }
+
+  const std::string json = cli.get("json", "");
+  if (json == "-") {
+    std::fputs((report.to_json().dump(2) + "\n").c_str(), stdout);
+  } else {
+    std::fputs(report.render().c_str(), stdout);
+    if (!json.empty()) {
+      std::ofstream f(json);
+      if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json.c_str());
+        return 2;
+      }
+      f << report.to_json().dump(2) << '\n';
+      std::printf("wrote flow report to %s\n", json.c_str());
+    }
+  }
+
+  if (fail_on == "never") return 0;
+  return report.clean(lint::severity_from_string(fail_on)) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -701,6 +770,7 @@ int main(int argc, char** argv) {
     if (mode == "rtl") return run_rtl(cli);
     if (mode == "verilog") return run_verilog(cli);
     if (mode == "flow") return run_flow(cli);
+    if (mode == "flowan") return run_flowan(cli);
     if (mode == "lint") return run_lint(cli);
     if (mode == "dfa") return run_dfa(cli);
     if (mode == "faults") return run_faults(cli);

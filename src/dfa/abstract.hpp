@@ -53,6 +53,93 @@ AbsBit abs_lift2(AbsBit a, AbsBit b, rtl::Logic (*op)(rtl::Logic, rtl::Logic));
 /// Abstract value of a net, bit 0 = LSB (parallel to rtl::LVec).
 using AbsVec = std::vector<AbsBit>;
 
+/// Set union — the lattice join.
+inline AbsBit abs_join(AbsBit a, AbsBit b) { return static_cast<AbsBit>(a | b); }
+/// True when the set admits an X or Z member.
+inline bool abs_may_xz(AbsBit b) { return (b & (kAbsX | kAbsZ)) != 0; }
+/// Per-bit singleton sets for a concrete vector.
+AbsVec abs_of_lvec(const rtl::LVec& v);
+
+/// Abstract mirror of CycleSim::eval_expr, memoized per settle pass: every
+/// operator is the pointwise lift of the concrete one over `nets`/`mems`
+/// (which the caller owns and may mutate between passes — call
+/// begin_pass() to invalidate the memo). Exposed so consumers beyond the
+/// fixpoint (the compile planner's legality rules, say) can ask what an
+/// expression can evaluate to under a set of facts.
+class AbsEvaluator {
+ public:
+  AbsEvaluator(const rtl::Module& m, const std::vector<AbsVec>& nets,
+               const std::vector<AbsVec>& mems);
+
+  /// Invalidates the memo; call whenever net/memory sets may have changed.
+  void begin_pass() { ++stamp_; }
+  const AbsVec& eval(rtl::ExprId id);
+
+ private:
+  AbsVec compute(const rtl::Expr& e);
+
+  const rtl::Module& module_;
+  const std::vector<AbsVec>& nets_;
+  const std::vector<AbsVec>& mems_;
+  std::vector<AbsVec> cache_;
+  std::vector<unsigned> stamp_of_;
+  unsigned stamp_ = 1;  // above the stamp_of_ seed: nothing memoized yet
+};
+
+/// The abstract machine both dataflow clients drive: per-net value sets
+/// with CycleSim's exact settle/edge structure. `analyze` iterates it with
+/// join-accumulated register steps (sound for any clock schedule); the
+/// compile planner (src/plan) steps it cycle by cycle with `exact_edge`
+/// for the X/Z reaching-definitions proof.
+class AbsSim {
+ public:
+  /// Requires an elaborated (instance-free) module; memories are
+  /// summarized as one abstract word each, seeded {0} like CycleSim's
+  /// zero-initialized memories. Throws std::invalid_argument otherwise.
+  explicit AbsSim(const rtl::Module& flat);
+
+  const rtl::Module& module() const { return *module_; }
+  /// Register plus memory-summary bits (the sequential growth budget).
+  std::size_t state_bits() const { return state_bits_; }
+
+  /// Pins inputs to {0,1}, registers to their tracked sets, undriven
+  /// wires to {X}, then relaxes the combinational cloud to its least
+  /// fixpoint by monotone join-accumulation.
+  void settle();
+
+  /// Settled per-net values — valid after settle().
+  const std::vector<AbsVec>& nets() const { return nets_; }
+  const std::vector<AbsVec>& mems() const { return mems_; }
+  /// Tracked register sets (indexed by NetId, empty for non-registers).
+  const std::vector<AbsVec>& regs() const { return regs_; }
+
+  /// Exactly mirrors CycleSim::edge against the settled state: every
+  /// process on (clock, e) samples pre-edge values, then registers commit
+  /// (later processes overwrite, as in the interpreter) and memory
+  /// summaries join (a summary covers every word, so writes only grow
+  /// it). Call settle() afterwards to re-settle the cloud.
+  void exact_edge(rtl::NetId clock, rtl::Edge e);
+
+  /// dfa::analyze's step: joins every process's register updates into the
+  /// tracked sets (covering any edge schedule) and applies every memory
+  /// write. Returns whether any register or summary set grew.
+  bool join_all_edges();
+
+ private:
+  void apply_mem_write(const rtl::MemWrite& mw, bool* changed);
+  AbsEvaluator& ev();
+
+  const rtl::Module* module_;
+  std::vector<char> comb_driven_;
+  std::vector<std::pair<rtl::NetId, std::vector<const rtl::TriDriver*>>> tri_;
+  std::vector<AbsVec> nets_;
+  std::vector<AbsVec> mems_;
+  std::vector<AbsVec> regs_;
+  std::size_t state_bits_ = 0;
+  std::size_t comb_bits_ = 0;
+  AbsEvaluator ev_;
+};
+
 /// The fixpoint: per-net (and per-memory summary) abstract values with the
 /// queries the sequential lint rules need.
 struct Facts {

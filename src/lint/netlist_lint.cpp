@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "rtl/schedule.hpp"
+
 namespace la1::lint {
 
 namespace {
@@ -414,61 +416,12 @@ class NetlistLinter {
   }
 
   void check_comb_loops() {
-    // Iterative Tarjan SCC over the net dependency graph; registers never
-    // appear as combinational targets, so they naturally break cycles.
-    const int n = m_->net_count();
-    std::vector<int> index(static_cast<std::size_t>(n), -1);
-    std::vector<int> low(static_cast<std::size_t>(n), 0);
-    std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
-    std::vector<int> stack;
-    int next_index = 0;
-
-    struct Frame {
-      NetId v;
-      std::size_t edge = 0;
-    };
-
-    for (NetId root = 0; root < n; ++root) {
-      if (index[static_cast<std::size_t>(root)] != -1) continue;
-      std::vector<Frame> frames{{root, 0}};
-      while (!frames.empty()) {
-        Frame& f = frames.back();
-        const std::size_t v = static_cast<std::size_t>(f.v);
-        if (f.edge == 0) {
-          index[v] = low[v] = next_index++;
-          stack.push_back(f.v);
-          on_stack[v] = true;
-        }
-        bool descended = false;
-        while (f.edge < adj_[v].size()) {
-          const NetId w = adj_[v][f.edge++];
-          const std::size_t wi = static_cast<std::size_t>(w);
-          if (index[wi] == -1) {
-            frames.push_back({w, 0});
-            descended = true;
-            break;
-          }
-          if (on_stack[wi]) low[v] = std::min(low[v], index[wi]);
-        }
-        if (descended) continue;
-        if (low[v] == index[v]) {
-          std::vector<NetId> scc;
-          for (;;) {
-            const NetId w = stack.back();
-            stack.pop_back();
-            on_stack[static_cast<std::size_t>(w)] = false;
-            scc.push_back(w);
-            if (w == f.v) break;
-          }
-          report_scc(scc);
-        }
-        const NetId child = f.v;
-        frames.pop_back();
-        if (!frames.empty()) {
-          const std::size_t p = static_cast<std::size_t>(frames.back().v);
-          low[p] = std::min(low[p], low[static_cast<std::size_t>(child)]);
-        }
-      }
+    // Shared Tarjan SCC (rtl/schedule.hpp) over the net dependency graph;
+    // registers never appear as combinational targets, so they naturally
+    // break cycles.
+    for (const std::vector<int>& scc :
+         rtl::strongly_connected_components(adj_)) {
+      report_scc(scc);
     }
   }
 

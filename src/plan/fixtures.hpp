@@ -1,0 +1,31 @@
+// Injected-defect fixtures for the compile-plan legality rules.
+//
+// Same contract as the lint and flow fixture catalogs: each defect is a
+// small LA-1-shaped netlist built to trip exactly one PLAN-* rule, so the
+// CI gate can assert both directions — the stock device analyzes clean,
+// and every rule actually fires on the defect designed for it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plan/plan.hpp"
+
+namespace la1::plan {
+
+struct InjectedDefect {
+  std::string name;           // --inject key, e.g. "x-live-hotpath"
+  std::string expected_rule;  // the one rule the fixture must trip
+  std::string description;
+};
+
+/// The catalog, in stable order.
+const std::vector<InjectedDefect>& injected_defects();
+
+/// Builds the named fixture and runs the full analysis on it (for
+/// "sched-diverge", additionally validates the deliberately tampered
+/// evaluation order the fixture emits). Throws std::invalid_argument on an
+/// unknown name.
+CompilePlan analyze_injected(const std::string& name);
+
+}  // namespace la1::plan

@@ -1,0 +1,58 @@
+// Lowering-legality rules for the bit-parallel compile plan.
+//
+// Each rule rejects (or flags) a netlist shape the compiled backend cannot
+// lower to straight-line two-state word operations without extra machinery:
+//
+//   PLAN-X-LIVE-HOTPATH  an x-live bit feeds register next-state or memory
+//                        write logic, so the permanent X/Z sideband sits on
+//                        the per-cycle hot path instead of only on outputs.
+//   PLAN-PORT-CONFLICT   two write ports hit the same memory on the same
+//                        clock edge with enables not provably exclusive —
+//                        the lowered single-port store would drop a write.
+//   PLAN-TRISTATE-LOWER  a tristate enable can itself be X/Z, so the bus
+//                        cannot be lowered to a priority select chain with
+//                        a Z default (the select is undefined).
+//   PLAN-SCHED-DIVERGE   an emitted evaluation order disagrees with the
+//                        combinational dependency graph (or the graph has
+//                        no valid order at all).
+//
+// All rules report through lint::LintReport so la1check, the refinement
+// flow and the CI gate render them like every other analyzer.
+#pragma once
+
+#include <vector>
+
+#include "dfa/abstract.hpp"
+#include "lint/report.hpp"
+#include "plan/xsafety.hpp"
+#include "rtl/netlist.hpp"
+#include "rtl/schedule.hpp"
+
+namespace la1::plan {
+
+inline constexpr char kRuleXLiveHotpath[] = "PLAN-X-LIVE-HOTPATH";
+inline constexpr char kRulePortConflict[] = "PLAN-PORT-CONFLICT";
+inline constexpr char kRuleTristateLower[] = "PLAN-TRISTATE-LOWER";
+inline constexpr char kRuleSchedDiverge[] = "PLAN-SCHED-DIVERGE";
+
+/// X-live bits read by register next-state or memory-write expressions.
+lint::LintReport check_x_live_hotpath(const rtl::Module& flat,
+                                      const XSafety& xs);
+
+/// Same-edge multi-port memory writes whose enables are not provably
+/// exclusive (abstractly constant-0, or structurally en vs !en).
+lint::LintReport check_port_conflicts(const rtl::Module& flat,
+                                      const dfa::Facts& facts);
+
+/// Tristate drivers whose enable can evaluate to X or Z.
+lint::LintReport check_tristate_lowering(const rtl::Module& flat,
+                                         const dfa::Facts& facts);
+
+/// Validates an emitted evaluation order against the module's dependency
+/// graph: every combinational producer exactly once, dependencies before
+/// dependents. The planner self-checks its own schedule through this; the
+/// sched-diverge fixture feeds it a tampered one.
+lint::LintReport check_schedule_order(const rtl::Module& flat,
+                                      const std::vector<rtl::SchedNode>& order);
+
+}  // namespace la1::plan

@@ -1,0 +1,157 @@
+#include "plan/xsafety.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace la1::plan {
+namespace {
+
+/// Serialized (register sets + memory summaries) — the full state of the
+/// deterministic abstract transition, so equal keys mean the trajectory
+/// has closed a loop.
+std::string state_key(const dfa::AbsSim& sim) {
+  std::string key;
+  const auto& nets = sim.module().nets();
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (nets[i].kind != rtl::NetKind::kReg) continue;
+    const dfa::AbsVec& v = sim.regs()[i];
+    key.append(reinterpret_cast<const char*>(v.data()), v.size());
+    key.push_back('|');
+  }
+  for (const dfa::AbsVec& v : sim.mems()) {
+    key.append(reinterpret_cast<const char*>(v.data()), v.size());
+    key.push_back('|');
+  }
+  return key;
+}
+
+}  // namespace
+
+char to_char(BitClass c) {
+  switch (c) {
+    case BitClass::kProven2State: return 'P';
+    case BitClass::kXTransient: return 'T';
+    case BitClass::kXLive: return 'L';
+  }
+  return '?';
+}
+
+BitClass bit_class_from_char(char c) {
+  switch (c) {
+    case 'P': return BitClass::kProven2State;
+    case 'T': return BitClass::kXTransient;
+    case 'L': return BitClass::kXLive;
+    default:
+      throw std::invalid_argument(std::string("bad bit class: ") + c);
+  }
+}
+
+bool XSafety::net_any_live(rtl::NetId id) const {
+  for (BitClass c : nets[static_cast<std::size_t>(id)].cls) {
+    if (c == BitClass::kXLive) return true;
+  }
+  return false;
+}
+
+XSafety prove_x_safety(const rtl::Module& flat,
+                       const std::vector<rtl::ClockStep>& schedule,
+                       const dfa::Facts* facts, const XSafetyOptions& opt) {
+  dfa::AbsSim sim(flat);
+
+  // Last cycle index at which X/Z was possible, per bit; -1 = never.
+  std::vector<std::vector<int>> net_last(flat.nets().size());
+  for (std::size_t i = 0; i < net_last.size(); ++i) {
+    net_last[i].assign(static_cast<std::size_t>(flat.net(
+                           static_cast<rtl::NetId>(i)).width), -1);
+  }
+  std::vector<std::vector<int>> mem_last(flat.memories().size());
+  for (std::size_t m = 0; m < mem_last.size(); ++m) {
+    mem_last[m].assign(static_cast<std::size_t>(flat.memories()[m].width), -1);
+  }
+
+  auto observe = [&](int cycle) {
+    for (std::size_t i = 0; i < net_last.size(); ++i) {
+      const dfa::AbsVec& v = sim.nets()[i];
+      for (std::size_t b = 0; b < v.size(); ++b) {
+        if (dfa::abs_may_xz(v[b])) net_last[i][b] = cycle;
+      }
+    }
+    for (std::size_t m = 0; m < mem_last.size(); ++m) {
+      const dfa::AbsVec& v = sim.mems()[m];
+      for (std::size_t b = 0; b < v.size(); ++b) {
+        if (dfa::abs_may_xz(v[b])) mem_last[m][b] = cycle;
+      }
+    }
+  };
+
+  // Cycle 0 is the reset settle: registers at their inits, inputs {0,1}.
+  // Each later cycle runs one full schedule round, observing after every
+  // edge so an X/Z window anywhere inside the round counts for the cycle.
+  sim.settle();
+  observe(0);
+
+  std::map<std::string, int> seen;
+  seen.emplace(state_key(sim), 0);
+
+  XSafety out;
+  out.cycles_analyzed = 1;
+  int loop_lo = -1;  // first cycle whose observations repeat forever
+  for (int cycle = 1; cycle <= opt.max_cycles; ++cycle) {
+    for (const rtl::ClockStep& step : schedule) {
+      sim.exact_edge(step.clock, step.edge);
+      sim.settle();
+      observe(cycle);
+    }
+    if (schedule.empty()) observe(cycle);
+    out.cycles_analyzed = cycle + 1;
+    const auto [it, inserted] = seen.emplace(state_key(sim), cycle);
+    if (!inserted) {
+      // Cycle `cycle` ended in the same state as cycle it->second: every
+      // later cycle replays (it->second, cycle]. X/Z inside that window
+      // recurs forever.
+      out.periodic = true;
+      out.period_start = it->second;
+      loop_lo = it->second + 1;
+      break;
+    }
+  }
+
+  // A dfa fixpoint value joins every reachable cycle, so a bit it proves
+  // X/Z-free can never have been observed X/Z here; the converse upgrade
+  // only matters when the loop failed to close.
+  auto classify = [&](const std::vector<int>& last, const dfa::AbsVec* fact,
+                      BitSafety& bs) {
+    bs.cls.resize(last.size());
+    bs.settle.assign(last.size(), 0);
+    for (std::size_t b = 0; b < last.size(); ++b) {
+      const bool fact_clean =
+          fact != nullptr && b < fact->size() && !dfa::abs_may_xz((*fact)[b]);
+      if (last[b] < 0 || fact_clean) {
+        bs.cls[b] = BitClass::kProven2State;
+      } else if (loop_lo >= 0 && last[b] < loop_lo) {
+        bs.cls[b] = BitClass::kXTransient;
+        bs.settle[b] = last[b] + 1;
+        if (bs.settle[b] > out.max_settle) out.max_settle = bs.settle[b];
+      } else {
+        bs.cls[b] = BitClass::kXLive;
+      }
+    }
+  };
+
+  out.nets.resize(net_last.size());
+  for (std::size_t i = 0; i < net_last.size(); ++i) {
+    const dfa::AbsVec* fact =
+        facts != nullptr ? &facts->nets[i] : nullptr;
+    classify(net_last[i], fact, out.nets[i]);
+  }
+  out.mems.resize(mem_last.size());
+  for (std::size_t m = 0; m < mem_last.size(); ++m) {
+    const dfa::AbsVec* fact =
+        facts != nullptr ? &facts->mems[m] : nullptr;
+    classify(mem_last[m], fact, out.mems[m]);
+  }
+  return out;
+}
+
+}  // namespace la1::plan

@@ -18,6 +18,7 @@
 #include "mc/symbolic.hpp"
 #include "msc/compile.hpp"
 #include "ovl/ovl.hpp"
+#include "plan/plan.hpp"
 #include "psl/monitor.hpp"
 #include "refine/conformance.hpp"
 #include "refine/lockstep.hpp"
@@ -25,6 +26,7 @@
 #include "tgen/closure.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
+#include "util/table.hpp"
 
 namespace la1::refine {
 
@@ -227,7 +229,32 @@ FlowReport run_flow(const FlowOptions& options) {
     return fr.clean(lint::Severity::kWarning);
   });
 
-  // 9. RTL symbolic model checking (RuleBase-style), read-mode property,
+  // 9. Lowering-legality compile plan: prove the full-geometry netlist
+  // lowerable to the bit-parallel backend — per-bit two-state X/Z safety,
+  // a dependency-valid levelized schedule, and none of the PLAN-* legality
+  // findings (x-live hot paths, write-port conflicts, unlowerable
+  // tristates). The ≥90% two-state floor matches the CI gate.
+  stage(report, "lowering-legality compile plan", [&](std::string& detail) {
+    core::RtlConfig full_cfg;
+    full_cfg.banks = banks;
+    full_cfg.data_bits = bcfg.data_bits;
+    full_cfg.mem_addr_bits = bcfg.mem_addr_bits();
+    core::RtlDevice dev = core::build_device(full_cfg);
+    const rtl::Module flat = dev.flatten();
+    plan::PlanOptions popt;
+    popt.schedule = core::clock_schedule(flat);
+    const plan::CompilePlan cp = plan::analyze(flat, popt);
+    const double pct = 100.0 * cp.two_state_fraction(true);
+    std::ostringstream d;
+    d << cp.findings.size() << " findings, " << util::fmt_double(pct, 1)
+      << "% state bits two-state, " << cp.schedule.nodes << " nodes / depth "
+      << cp.schedule.depth << ", peak " << cp.schedule.peak_slots
+      << " word slots";
+    detail = d.str();
+    return cp.findings.empty() && pct >= 90.0;
+  });
+
+  // 10. RTL symbolic model checking (RuleBase-style), read-mode property,
   // under the semantic cone of influence: the stage-7 invariants folded
   // into the cone (substituted into the encoding before reachability) and
   // out-of-cone primary inputs dropped from the encoding entirely.
@@ -250,7 +277,7 @@ FlowReport run_flow(const FlowOptions& options) {
     return r.outcome == mc::SymbolicResult::Outcome::kHolds;
   });
 
-  // 10. RTL simulation with OVL monitors.
+  // 11. RTL simulation with OVL monitors.
   core::RtlConfig rcfg;
   rcfg.banks = banks;
   rcfg.data_bits = bcfg.data_bits;
@@ -312,7 +339,7 @@ FlowReport run_flow(const FlowOptions& options) {
     return bank.failures(sim) == 0;
   });
 
-  // 11. Coverage closure: the constrained-random driver re-biases its
+  // 12. Coverage closure: the constrained-random driver re-biases its
   // weights toward uncovered protocol bins until the functional coverage
   // model (src/cov) reports the target percentage. Gates on nearly-full
   // coverage so the lockstep/ABV verdicts above rest on stimulus that
@@ -338,7 +365,7 @@ FlowReport run_flow(const FlowOptions& options) {
     return closure.coverage() >= options.closure_fail_under;
   });
 
-  // 12. Fault-injection campaign: attack the checkers the earlier stages
+  // 13. Fault-injection campaign: attack the checkers the earlier stages
   // relied on. A small fixed-seed mutant set must be overwhelmingly
   // caught, and the unmutated device must raise no alarm.
   stage(report, "fault-injection campaign", [&](std::string& detail) {
@@ -357,7 +384,7 @@ FlowReport run_flow(const FlowOptions& options) {
     return campaign.clean_ok && campaign.mutation_score() >= 0.8;
   });
 
-  // 13. Verilog emission — the flow's final artifact.
+  // 14. Verilog emission — the flow's final artifact.
   stage(report, "Verilog emission", [&](std::string& detail) {
     core::RtlDevice dev = core::build_device(rcfg);
     report.verilog = rtl::to_verilog(*dev.top);

@@ -1,0 +1,212 @@
+#include "rtl/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace la1::rtl {
+
+std::vector<std::vector<int>> strongly_connected_components(
+    const std::vector<std::vector<int>>& adj) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> components;
+  int next_index = 0;
+
+  struct Frame {
+    int v;
+    std::size_t edge = 0;
+  };
+
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::size_t v = static_cast<std::size_t>(f.v);
+      if (f.edge == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(f.v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (f.edge < adj[v].size()) {
+        const int w = adj[v][f.edge++];
+        const std::size_t wi = static_cast<std::size_t>(w);
+        if (index[wi] == -1) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[wi]) low[v] = std::min(low[v], index[wi]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        std::vector<int> scc;
+        for (;;) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          scc.push_back(w);
+          if (w == f.v) break;
+        }
+        components.push_back(std::move(scc));
+      }
+      const int child = f.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const std::size_t p = static_cast<std::size_t>(frames.back().v);
+        low[p] = std::min(low[p], low[static_cast<std::size_t>(child)]);
+      }
+    }
+  }
+  return components;
+}
+
+int TopoSchedule::depth() const {
+  int d = 0;
+  for (int l : levels) d = std::max(d, l + 1);
+  return d;
+}
+
+TopoSchedule topo_schedule(const Module& flat) {
+  TopoSchedule out;
+
+  // One node per continuous assign, plus one per tristate target group.
+  std::map<NetId, SchedNode> tri_groups;
+  std::vector<SchedNode> nodes;
+  for (const ContAssign& a : flat.assigns()) {
+    SchedNode node;
+    node.target = a.target;
+    node.assign_values.push_back(a.value);
+    nodes.push_back(std::move(node));
+  }
+  for (const TriDriver& t : flat.tristates()) {
+    SchedNode& g = tri_groups[t.target];
+    g.target = t.target;
+    g.is_tristate_group = true;
+    g.tri_enables.push_back(t.enable);
+    g.assign_values.push_back(t.value);
+  }
+  for (auto& [net, group] : tri_groups) nodes.push_back(std::move(group));
+
+  std::vector<int> producer(static_cast<std::size_t>(flat.net_count()), -1);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    producer[static_cast<std::size_t>(nodes[i].target)] = static_cast<int>(i);
+  }
+
+  // Nets read through the expression DAG. Register state is not a
+  // combinational dependency; a memory read depends on its address only.
+  auto collect_nets = [&flat](ExprId root, std::vector<NetId>& seen) {
+    std::vector<ExprId> work{root};
+    while (!work.empty()) {
+      const Expr& e = flat.expr(work.back());
+      work.pop_back();
+      if (e.op == Op::kNet) {
+        if (std::find(seen.begin(), seen.end(), e.net) == seen.end()) {
+          seen.push_back(e.net);
+        }
+        continue;
+      }
+      if (e.a != kInvalidId) work.push_back(e.a);
+      if (e.b != kInvalidId) work.push_back(e.b);
+      if (e.c != kInvalidId) work.push_back(e.c);
+      for (ExprId p : e.parts) work.push_back(p);
+    }
+  };
+
+  std::vector<std::vector<NetId>> reads(nodes.size());
+  std::vector<std::vector<int>> deps(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::vector<NetId> seen;
+    for (ExprId e : nodes[i].assign_values) collect_nets(e, seen);
+    for (ExprId e : nodes[i].tri_enables) collect_nets(e, seen);
+    std::vector<NetId> comb_reads;
+    for (NetId n : seen) {
+      if (flat.net(n).kind == NetKind::kReg) continue;
+      comb_reads.push_back(n);
+      const int p = producer[static_cast<std::size_t>(n)];
+      if (p >= 0 &&
+          std::find(deps[i].begin(), deps[i].end(), p) == deps[i].end()) {
+        deps[i].push_back(p);
+      }
+    }
+    reads[i] = std::move(comb_reads);
+  }
+
+  // Net-level cycle report: SCC over "target reads net" edges, restricted
+  // to nets that some schedule node produces (the only nets that can sit
+  // on a combinational cycle).
+  std::vector<std::vector<int>> net_adj(
+      static_cast<std::size_t>(flat.net_count()));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    auto& edges = net_adj[static_cast<std::size_t>(nodes[i].target)];
+    for (NetId n : reads[i]) {
+      if (producer[static_cast<std::size_t>(n)] >= 0) edges.push_back(n);
+    }
+  }
+  for (const std::vector<int>& scc : strongly_connected_components(net_adj)) {
+    bool cyclic = scc.size() > 1;
+    if (!cyclic) {
+      const auto& edges = net_adj[static_cast<std::size_t>(scc.front())];
+      cyclic = std::find(edges.begin(), edges.end(), scc.front()) != edges.end();
+    }
+    if (cyclic) out.comb_cycles.push_back(scc);
+  }
+
+  // Iterative DFS topological sort (dependencies first). On a cyclic graph
+  // the back edge is simply skipped — comb_cycles already reports it.
+  std::vector<int> state(nodes.size(), 0);  // 0 new, 1 on stack, 2 done
+  std::vector<int> topo;
+  topo.reserve(nodes.size());
+  for (std::size_t root = 0; root < nodes.size(); ++root) {
+    if (state[root] != 0) continue;
+    std::vector<std::pair<int, std::size_t>> stack{{static_cast<int>(root), 0}};
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [node, next_dep] = stack.back();
+      if (next_dep < deps[static_cast<std::size_t>(node)].size()) {
+        const int dep = deps[static_cast<std::size_t>(node)][next_dep++];
+        if (state[static_cast<std::size_t>(dep)] == 0) {
+          state[static_cast<std::size_t>(dep)] = 1;
+          stack.emplace_back(dep, 0);
+        }
+        continue;
+      }
+      state[static_cast<std::size_t>(node)] = 2;
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  // Re-index nodes/deps/reads into topological order and compute levels.
+  std::vector<int> new_index(nodes.size(), -1);
+  for (std::size_t pos = 0; pos < topo.size(); ++pos) {
+    new_index[static_cast<std::size_t>(topo[pos])] = static_cast<int>(pos);
+  }
+  out.nodes.reserve(nodes.size());
+  out.deps.resize(nodes.size());
+  out.reads.resize(nodes.size());
+  out.levels.assign(nodes.size(), 0);
+  for (std::size_t pos = 0; pos < topo.size(); ++pos) {
+    const std::size_t old = static_cast<std::size_t>(topo[pos]);
+    out.nodes.push_back(std::move(nodes[old]));
+    out.reads[pos] = std::move(reads[old]);
+    for (int d : deps[old]) {
+      const int nd = new_index[static_cast<std::size_t>(d)];
+      out.deps[pos].push_back(nd);
+      // A forward dep only happens on a cyclic netlist; levels stay sound
+      // for the acyclic consumers.
+      if (nd < static_cast<int>(pos)) {
+        out.levels[pos] = std::max(
+            out.levels[pos], out.levels[static_cast<std::size_t>(nd)] + 1);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace la1::rtl

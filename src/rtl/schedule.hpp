@@ -1,0 +1,73 @@
+// Shared combinational-graph machinery: SCC detection and the levelized
+// evaluation schedule.
+//
+// Two consumers walked the netlist independently before this header
+// existed: CycleSim::levelize() (topological evaluation order for the
+// interpreter) and the lint NET-COMB-LOOP rule (Tarjan SCC over the net
+// dependency graph). Both now go through here, and the compile planner
+// (src/plan) reads the same schedule to prove lowering legality — the
+// interpreter, the linter and the planner can no longer drift apart on
+// what "the combinational order" means.
+//
+// A schedule node is one continuous assign, or one tristate target group
+// (every driver of a bus resolves in a single node, exactly as the
+// interpreter evaluates it). Dependencies are the *non-register* nets a
+// node's expressions read: register and memory state breaks combinational
+// paths by construction.
+#pragma once
+
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace la1::rtl {
+
+/// Strongly connected components of a directed graph in adjacency-list
+/// form (`adj[v]` = successors of `v`). Iterative Tarjan; components are
+/// returned in completion order, members in stack-pop order — callers that
+/// render component contents (the NET-COMB-LOOP message) rely on this
+/// order being stable.
+std::vector<std::vector<int>> strongly_connected_components(
+    const std::vector<std::vector<int>>& adj);
+
+/// One evaluation step of the combinational cloud: a single continuous
+/// assign, or a whole tristate group (all drivers of one bus).
+struct SchedNode {
+  NetId target = kInvalidId;
+  bool is_tristate_group = false;
+  std::vector<ExprId> assign_values;  // one entry unless tristate group
+  std::vector<ExprId> tri_enables;    // parallel to assign_values when tristate
+};
+
+/// The levelized compile plan of a flat module's combinational logic.
+struct TopoSchedule {
+  /// Nodes in a dependency-respecting evaluation order (when acyclic):
+  /// every node appears after all nodes producing the non-register nets it
+  /// reads. On a cyclic netlist the order is still a permutation of all
+  /// nodes but not dependency-valid; check `acyclic()` first.
+  std::vector<SchedNode> nodes;
+  /// ASAP level per `nodes` entry: 0 for nodes depending only on nets no
+  /// schedule node produces (inputs, registers), else 1 + max(dep levels).
+  std::vector<int> levels;
+  /// Combinational prerequisites per `nodes` entry (indices into `nodes`),
+  /// deduplicated, in first-seen order.
+  std::vector<std::vector<int>> deps;
+  /// Non-register nets each node reads (through the expression DAG, memory
+  /// read addresses included), deduplicated.
+  std::vector<std::vector<NetId>> reads;
+  /// Net-level combinational cycles: every SCC of the net dependency graph
+  /// that contains a cycle, in Tarjan completion order.
+  std::vector<std::vector<NetId>> comb_cycles;
+
+  bool acyclic() const { return comb_cycles.empty(); }
+  /// Number of levels (longest dependency chain + 1); 0 when empty.
+  int depth() const;
+};
+
+/// Builds the levelized schedule for `flat` (elaborated, instance-free).
+/// Never throws on combinational cycles — they are reported in
+/// `comb_cycles` so analyzers can diagnose them; the interpreter turns a
+/// non-empty `comb_cycles` into its construction error.
+TopoSchedule topo_schedule(const Module& flat);
+
+}  // namespace la1::rtl

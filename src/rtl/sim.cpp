@@ -1,7 +1,8 @@
 #include "rtl/sim.hpp"
 
-#include <map>
 #include <stdexcept>
+
+#include "rtl/schedule.hpp"
 
 namespace la1::rtl {
 
@@ -29,90 +30,16 @@ CycleSim::CycleSim(const Module& flat) : module_(&flat) {
 }
 
 void CycleSim::levelize() {
-  // One comb node per continuous assign, plus one per tristate target group.
-  std::map<NetId, CombNode> tri_groups;
-  std::vector<CombNode> nodes;
-  for (const ContAssign& a : module_->assigns()) {
-    CombNode node;
-    node.target = a.target;
-    node.assign_values.push_back(a.value);
-    nodes.push_back(std::move(node));
+  // The shared levelized schedule (rtl/schedule.hpp) — the same plan the
+  // linter and the compile planner read, so the interpreter can never
+  // disagree with them on evaluation order.
+  TopoSchedule sched = topo_schedule(*module_);
+  if (!sched.acyclic()) {
+    throw std::invalid_argument(
+        "combinational cycle through net " +
+        module_->net(sched.comb_cycles.front().front()).name);
   }
-  for (const TriDriver& t : module_->tristates()) {
-    CombNode& g = tri_groups[t.target];
-    g.target = t.target;
-    g.is_tristate_group = true;
-    g.tri_enables.push_back(t.enable);
-    g.assign_values.push_back(t.value);
-  }
-  for (auto& [net, group] : tri_groups) nodes.push_back(std::move(group));
-
-  std::vector<int> producer(static_cast<std::size_t>(module_->net_count()), -1);
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    producer[static_cast<std::size_t>(nodes[i].target)] = static_cast<int>(i);
-  }
-
-  // Nets read by each node (through the expression DAG). Register and
-  // memory state reads are not combinational dependencies.
-  auto collect_nets = [this](ExprId root, std::vector<NetId>& out) {
-    std::vector<ExprId> work{root};
-    while (!work.empty()) {
-      const Expr& e = module_->expr(work.back());
-      work.pop_back();
-      if (e.op == Op::kNet) {
-        out.push_back(e.net);
-        continue;
-      }
-      if (e.a != kInvalidId) work.push_back(e.a);
-      if (e.b != kInvalidId) work.push_back(e.b);
-      if (e.c != kInvalidId) work.push_back(e.c);
-      for (ExprId p : e.parts) work.push_back(p);
-    }
-  };
-
-  std::vector<std::vector<int>> deps(nodes.size());
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    std::vector<NetId> read;
-    for (ExprId e : nodes[i].assign_values) collect_nets(e, read);
-    for (ExprId e : nodes[i].tri_enables) collect_nets(e, read);
-    for (NetId n : read) {
-      if (module_->net(n).kind == NetKind::kReg) continue;
-      const int p = producer[static_cast<std::size_t>(n)];
-      if (p >= 0) deps[i].push_back(p);
-    }
-  }
-
-  // Iterative DFS topological sort with cycle detection.
-  std::vector<int> state(nodes.size(), 0);  // 0 new, 1 on stack, 2 done
-  std::vector<int> topo;
-  topo.reserve(nodes.size());
-  for (std::size_t root = 0; root < nodes.size(); ++root) {
-    if (state[root] != 0) continue;
-    std::vector<std::pair<int, std::size_t>> stack{{static_cast<int>(root), 0}};
-    state[root] = 1;
-    while (!stack.empty()) {
-      auto& [node, next_dep] = stack.back();
-      if (next_dep < deps[static_cast<std::size_t>(node)].size()) {
-        const int dep = deps[static_cast<std::size_t>(node)][next_dep++];
-        if (state[static_cast<std::size_t>(dep)] == 1) {
-          throw std::invalid_argument(
-              "combinational cycle through net " +
-              module_->net(nodes[static_cast<std::size_t>(dep)].target).name);
-        }
-        if (state[static_cast<std::size_t>(dep)] == 0) {
-          state[static_cast<std::size_t>(dep)] = 1;
-          stack.emplace_back(dep, 0);
-        }
-        continue;
-      }
-      state[static_cast<std::size_t>(node)] = 2;
-      topo.push_back(node);
-      stack.pop_back();
-    }
-  }
-
-  order_.reserve(nodes.size());
-  for (int i : topo) order_.push_back(std::move(nodes[static_cast<std::size_t>(i)]));
+  order_ = std::move(sched.nodes);
 }
 
 LVec CycleSim::eval_expr(ExprId id) {
@@ -185,7 +112,7 @@ LVec CycleSim::eval_expr(ExprId id) {
 
 void CycleSim::run_comb() {
   ++stamp_;
-  for (const CombNode& node : order_) {
+  for (const SchedNode& node : order_) {
     if (!node.is_tristate_group) {
       net_values_[static_cast<std::size_t>(node.target)] =
           eval_expr(node.assign_values.front());

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "rtl/netlist.hpp"
+#include "rtl/schedule.hpp"
 
 namespace la1::rtl {
 
@@ -63,13 +64,6 @@ class CycleSim {
   std::uint64_t x_write_warnings() const { return x_write_warnings_; }
 
  private:
-  struct CombNode {
-    NetId target = kInvalidId;
-    bool is_tristate_group = false;
-    std::vector<ExprId> assign_values;   // one entry unless tristate
-    std::vector<ExprId> tri_enables;
-  };
-
   void levelize();
   LVec eval_expr(ExprId id);
   void run_comb();
@@ -77,7 +71,7 @@ class CycleSim {
   const Module* module_;
   std::vector<LVec> net_values_;
   std::vector<std::vector<LVec>> mem_values_;
-  std::vector<CombNode> order_;               // topological
+  std::vector<SchedNode> order_;              // shared levelized schedule
   std::vector<int> enabled_drivers_;          // per net, last eval
   std::vector<LVec> expr_cache_;
   std::vector<std::uint64_t> expr_stamp_;

@@ -118,6 +118,26 @@ TEST(BenchJson, Coi) {
             structural->find("peak_bdd_nodes")->as_int());
 }
 
+TEST(BenchJson, Plan) {
+  // Also the ctest-level watchdog for bench_plan: a nonzero exit means the
+  // cost-model ranking diverged from measured time per cycle, or a legality
+  // finding appeared on the stock device.
+  const util::Json doc = run_bench("bench_plan", "--cycles 200");
+  expect_report_shape(doc, "bench_plan");
+  double prev_predicted = -1.0;
+  for (const util::Json& row : doc.find("metrics")->items()) {
+    ASSERT_NE(row.find("predicted_cost"), nullptr);
+    ASSERT_NE(row.find("measured_us_per_cycle"), nullptr);
+    ASSERT_NE(row.find("findings"), nullptr);
+    EXPECT_EQ(row.find("findings")->as_int(), 0);
+    // The stock device grows monotonically with banks, so the rows (listed
+    // in 1,2,4 order) must carry strictly increasing predicted cost.
+    EXPECT_GT(row.find("predicted_cost")->as_double(), prev_predicted);
+    prev_predicted = row.find("predicted_cost")->as_double();
+    EXPECT_GE(row.find("two_state_state_pct")->as_double(), 90.0);
+  }
+}
+
 /// Random JSON document, depth-bounded. Doubles are odd multiples of 1/8 so
 /// they are exactly representable and never integral: %.17g prints integral
 /// doubles without a decimal point, which reparses as kInt and would turn a

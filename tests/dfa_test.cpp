@@ -114,6 +114,54 @@ TEST(AbstractFixpoint, XResetThatLoadsAnInputRecovers) {
   EXPECT_EQ(bit & kAbs01, kAbs01);  // both defined values reachable
 }
 
+TEST(AbstractFixpoint, ZDrivenBusJoinsToZUnionNotX) {
+  // A tristate bus whose one driver can be disabled: at fixpoint the bus
+  // carries {0,1} (enable high, either payload) ∪ {Z} (enable low). The Z
+  // member must survive as Z — collapsing it to X would hide exactly the
+  // distinction the compile planner's x-live classification keys on.
+  rtl::Module m("tri");
+  const rtl::NetId en = m.input("EN", 1);
+  const rtl::NetId d = m.input("D", 1);
+  const rtl::NetId bus = m.wire("BUS", 1);
+  m.tristate(bus, m.ref(en), m.ref(d));
+
+  const Facts f = analyze(m);
+  EXPECT_EQ(f.nets[static_cast<std::size_t>(bus)][0], kAbs01 | kAbsZ);
+}
+
+TEST(AbstractFixpoint, UndefinedEnableResolvesTheBusToX) {
+  // An enable that can itself be X (an X-reset register that never
+  // recovers) poisons the whole resolution: the driver may or may not be
+  // on, so the bus is X — not Z, not a defined value.
+  rtl::Module m("xen");
+  const rtl::NetId clk = m.input("clk", 1);
+  const rtl::NetId d = m.input("D", 1);
+  const rtl::NetId xen = m.reg("XEN", 1, rtl::LVec::xs(1));
+  const rtl::ProcId p = m.process("hold", clk, rtl::Edge::kPos);
+  m.nonblocking(p, xen, m.ref(xen));
+  const rtl::NetId bus = m.wire("BUS", 1);
+  m.tristate(bus, m.ref(xen), m.ref(d));
+
+  const Facts f = analyze(m);
+  EXPECT_EQ(f.nets[static_cast<std::size_t>(bus)][0], kAbsX);
+}
+
+TEST(AbstractFixpoint, CompetingDriversResolveLikeTheInterpreter) {
+  // Two drivers that can both be on: conflicting values resolve to X, so
+  // the fixpoint set is {0,1} (agreeing drivers or one off) ∪ {X}
+  // (disagreement) ∪ {Z} (both off) — the full rtl::resolve lift.
+  rtl::Module m("pair");
+  const rtl::NetId en0 = m.input("EN0", 1);
+  const rtl::NetId en1 = m.input("EN1", 1);
+  const rtl::NetId d = m.input("D", 1);
+  const rtl::NetId bus = m.wire("BUS", 1);
+  m.tristate(bus, m.ref(en0), m.ref(d));
+  m.tristate(bus, m.ref(en1), m.op_not(m.ref(d)));
+
+  const Facts f = analyze(m);
+  EXPECT_EQ(f.nets[static_cast<std::size_t>(bus)][0], kAbsTop);
+}
+
 TEST(AbstractFixpoint, MemoriesAreSummarizedNotIgnored) {
   rtl::Module m("memo");
   const rtl::NetId clk = m.input("clk", 1);

@@ -100,7 +100,7 @@ TEST(Flow, EndToEndOneBank) {
   opt.explore_max_states = 20000;
   const FlowReport report = run_flow(opt);
   EXPECT_TRUE(report.ok) << report.render();
-  EXPECT_EQ(report.stages.size(), 13u);
+  EXPECT_EQ(report.stages.size(), 14u);
   EXPECT_NE(report.verilog.find("module la1_device"), std::string::npos);
   const std::string rendered = report.render();
   EXPECT_NE(rendered.find("MSC spec compilation"), std::string::npos);
@@ -109,6 +109,7 @@ TEST(Flow, EndToEndOneBank) {
   EXPECT_NE(rendered.find("RTL static lint"), std::string::npos);
   EXPECT_NE(rendered.find("sequential dataflow analysis"), std::string::npos);
   EXPECT_NE(rendered.find("flow analysis (taint + cones)"), std::string::npos);
+  EXPECT_NE(rendered.find("lowering-legality compile plan"), std::string::npos);
   EXPECT_NE(rendered.find("invariants substituted"), std::string::npos);
   EXPECT_NE(rendered.find("Verilog emission"), std::string::npos);
 }

@@ -1,0 +1,124 @@
+// Drift check for the la1check command surface: the `--help` commands
+// section, the README command table and the dispatcher must all agree on
+// the set of subcommands. A new subcommand that forgets its --help line or
+// its README row fails here, not in a user's terminal.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace la1 {
+namespace {
+
+#ifndef LA1_LA1CHECK
+#error "LA1_LA1CHECK must point at the la1check binary"
+#endif
+#ifndef LA1_README
+#error "LA1_README must point at the repo README.md"
+#endif
+
+// Every subcommand the driver dispatches. Adding one? Extend this list,
+// the --help text and the README table together.
+const std::set<std::string> kExpected = {
+    "sim", "asm",    "rtl",  "verilog", "flow", "flowan",
+    "lint", "dfa",   "faults", "cov",   "msc",  "plan"};
+
+std::string run_help(int* exit_code) {
+  const std::string out_path = testing::TempDir() + "la1check_help.txt";
+  std::remove(out_path.c_str());
+  const std::string cmd =
+      std::string(LA1_LA1CHECK) + " --help > " + out_path + " 2>&1";
+  *exit_code = std::system(cmd.c_str());
+  std::ifstream in(out_path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Parses the `commands:` section: every line of the form "  name  text"
+// until the next unindented section header. Continuation lines (deeper
+// indentation) belong to the previous command and are skipped.
+std::set<std::string> help_commands(const std::string& help) {
+  std::set<std::string> out;
+  std::istringstream in(help);
+  std::string line;
+  bool in_commands = false;
+  while (std::getline(in, line)) {
+    if (line == "commands:") {
+      in_commands = true;
+      continue;
+    }
+    if (in_commands && !line.empty() && line[0] != ' ') break;
+    if (in_commands && line.rfind("  ", 0) == 0 && line.size() > 2 &&
+        line[2] != ' ') {
+      const std::size_t end = line.find(' ', 2);
+      out.insert(line.substr(2, end - 2));
+    }
+  }
+  return out;
+}
+
+// Parses the README command table: rows of the form "| `name` | ... |".
+std::set<std::string> readme_commands() {
+  std::set<std::string> out;
+  std::ifstream in(LA1_README);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string prefix = "| `";
+    if (line.rfind(prefix, 0) != 0) continue;
+    const std::size_t end = line.find('`', prefix.size());
+    if (end == std::string::npos) continue;
+    const std::string name = line.substr(prefix.size(), end - prefix.size());
+    // Only single-word lowercase tokens are command rows; other tables in
+    // the README quote rule ids and file names.
+    if (!name.empty() &&
+        std::all_of(name.begin(), name.end(),
+                    [](char c) { return c >= 'a' && c <= 'z'; })) {
+      out.insert(name);
+    }
+  }
+  return out;
+}
+
+TEST(ToolsCli, HelpExitsZeroAndListsEveryCommand) {
+  int exit_code = -1;
+  const std::string help = run_help(&exit_code);
+  EXPECT_EQ(exit_code, 0) << help;
+  EXPECT_EQ(help_commands(help), kExpected) << help;
+}
+
+TEST(ToolsCli, HelpDescribesEveryCommandOnItsLine) {
+  int exit_code = -1;
+  const std::string help = run_help(&exit_code);
+  std::istringstream in(help);
+  std::string line;
+  bool in_commands = false;
+  while (std::getline(in, line)) {
+    if (line == "commands:") {
+      in_commands = true;
+      continue;
+    }
+    if (in_commands && !line.empty() && line[0] != ' ') break;
+    if (!in_commands || line.rfind("  ", 0) != 0 || line.size() <= 2 ||
+        line[2] == ' ') {
+      continue;
+    }
+    // "  name   description": a one-line description must follow the name.
+    const std::size_t end = line.find(' ', 2);
+    ASSERT_NE(end, std::string::npos) << line;
+    EXPECT_GT(line.size(), end + 2) << "no description for: " << line;
+  }
+}
+
+TEST(ToolsCli, ReadmeCommandTableMatchesHelp) {
+  EXPECT_EQ(readme_commands(), kExpected);
+}
+
+}  // namespace
+}  // namespace la1

@@ -7,6 +7,7 @@
 #   tools/ci.sh --sanitize      # tier-1 under ASan/UBSan in a separate tree
 #   tools/ci.sh --faults        # also run the fixed-seed fault campaign gate
 #   tools/ci.sh --cov           # also run the coverage-closure + shrinker gate
+#   tools/ci.sh --plan          # also run the lowering-legality compile-plan gate
 #   tools/ci.sh --line-cov      # gcov line-coverage build in a separate tree,
 #                               # reported as a BenchReport-shaped JSON metric
 #   tools/ci.sh --tidy          # clang-tidy gate against tools/tidy-baseline.txt
@@ -26,6 +27,7 @@ smoke_only=0
 sanitize=0
 faults=0
 cov=0
+plan=0
 line_cov=0
 tidy=0
 # Watchdog for the test suites: a hung test (a model-checking run that
@@ -64,6 +66,9 @@ for arg in "$@"; do
     --cov)
       cov=1
       ;;
+    --plan)
+      plan=1
+      ;;
     --line-cov)
       line_cov=1
       ;;
@@ -71,7 +76,7 @@ for arg in "$@"; do
       tidy=1
       ;;
     *)
-      echo "usage: tools/ci.sh [--smoke-only | --sanitize | --faults | --cov | --line-cov | --tidy | --install-hook]" >&2
+      echo "usage: tools/ci.sh [--smoke-only | --sanitize | --faults | --cov | --plan | --line-cov | --tidy | --install-hook]" >&2
       exit 2
       ;;
   esac
@@ -231,6 +236,39 @@ for pair in bank-leak:FLOW-BANK-LEAK ctrl-in-data:FLOW-CTRL-IN-DATA \
 done
 gate_done "flow-analysis gate passed"
 
+# Lowering-legality gate (opt-in: --plan): the compile planner must prove at
+# least 90% of the stock device's state-holding bits two-state with zero
+# legality findings of any severity at every bank count the Table-2 benches
+# exercise, and each injected defect fixture (the PLAN-* companion to the
+# lint-gate fixture list above) must fail reporting exactly its rule id and
+# nothing else.
+if [ "$plan" -eq 1 ]; then
+  for banks in 1 2 4; do
+    "$build_dir/tools/la1check" plan --banks "$banks" --fail-on warn \
+      --min-two-state 90 --json "$smoke_dir/plan-$banks.json" > /dev/null
+    grep -q '"findings": \[\]' "$smoke_dir/plan-$banks.json"
+  done
+  for pair in x-live-hotpath:PLAN-X-LIVE-HOTPATH \
+              port-conflict:PLAN-PORT-CONFLICT \
+              tristate-lower:PLAN-TRISTATE-LOWER \
+              sched-diverge:PLAN-SCHED-DIVERGE; do
+    defect=${pair%%:*}
+    rule=${pair#*:}
+    if "$build_dir/tools/la1check" plan --inject "$defect" --fail-on warn \
+         --json "$smoke_dir/plan-$defect.json" > /dev/null; then
+      echo "ci: plan --inject $defect unexpectedly passed" >&2
+      exit 1
+    fi
+    grep -q "\"rule_id\": \"$rule\"" "$smoke_dir/plan-$defect.json"
+    # Exactly its rule: the report carries one finding, no stray ids.
+    if [ "$(grep -c '"rule_id"' "$smoke_dir/plan-$defect.json")" -ne 1 ]; then
+      echo "ci: plan --inject $defect tripped more than its own rule" >&2
+      exit 1
+    fi
+  done
+  gate_done "lowering-legality gate passed (banks 1, 2 and 4)"
+fi
+
 # Fault-campaign gate (opt-in: --faults): a fixed-seed mutation campaign at
 # 1 and 2 banks must keep the mutation score at or above 0.9 with zero
 # false alarms on the unmutated device. la1check exits nonzero on either
@@ -275,10 +313,12 @@ fi
   --rtl-ticks 200 --json "$smoke_dir/table3.json" > /dev/null
 "$build_dir/bench/bench_coi" --banks-list 1 \
   --json "$smoke_dir/coi.json" > /dev/null
+"$build_dir/bench/bench_plan" --banks-list 1,2 --cycles 200 \
+  --json "$smoke_dir/plan.json" > /dev/null
 "$build_dir/examples/nway_lockstep" --banks-list 1,2 --transactions 200 \
   --json "$smoke_dir/nway.json" > /dev/null
 
-for f in table1 table2 BENCH_table2_invariants table3 coi nway; do
+for f in table1 table2 BENCH_table2_invariants table3 coi plan nway; do
   # Minimal validity check without external tools: the canonical report
   # shape starts with {"bench": and names its metrics array.
   grep -q '"bench"' "$smoke_dir/$f.json"

@@ -69,6 +69,8 @@
 #include "mc/symbolic.hpp"
 #include "msc/compile.hpp"
 #include "msc/parse.hpp"
+#include "plan/fixtures.hpp"
+#include "plan/plan.hpp"
 #include "psl/parse.hpp"
 #include "refine/flow.hpp"
 #include "rtl/verilog.hpp"
@@ -81,11 +83,28 @@ namespace {
 
 using namespace la1;
 
-int usage() {
+void print_usage(std::FILE* out) {
   std::fputs(
-      "usage: la1check <sim|asm|rtl|verilog|flow|flowan|lint|dfa|faults|cov> "
-      "[options]\n"
+      "usage: la1check <command> [options]\n"
       "       la1check msc FILE [options]\n"
+      "\n"
+      "commands:\n"
+      "  sim      assertion-based verification: PSL monitors on the "
+      "behavioural model\n"
+      "  asm      explicit-state model checking over the ASM model\n"
+      "  rtl      symbolic (BDD) model checking on the synthesizable RTL\n"
+      "  verilog  emit the synthesizable Verilog for the configured device\n"
+      "  flow     run the full Figure-2 refinement flow\n"
+      "  flowan   bit-level taint dataflow analysis and semantic MC cones\n"
+      "  lint     static analysis of the netlist and the property suite\n"
+      "  dfa      sequential ternary fixpoint analysis + register sweeping\n"
+      "  faults   fault-injection campaign with detection scoring\n"
+      "  cov      coverage closure, trace shrinking and replay\n"
+      "  msc      compile a clock-annotated MSC chart to monitors/coverage\n"
+      "  plan     lowering-legality compile plan: two-state X/Z proofs,\n"
+      "           levelized schedule, slot pressure, static cost model\n"
+      "\n"
+      "options:\n"
       "  common:  --banks N  --seed S\n"
       "  sim:     --prop \"<psl>\" | --vunit-file F   --ticks T\n"
       "  asm:     --prop \"<psl>\"   --max-states N\n"
@@ -103,8 +122,14 @@ int usage() {
       "           shrink:  --shrink  --transactions N  --out FILE\n"
       "           replay:  --replay FILE\n"
       "  msc:     --emit psl|cov|profile|dot|text  --bank N  --lint\n"
-      "           --json FILE|-  --fail-on warn|error|never\n",
-      stderr);
+      "           --json FILE|-  --fail-on warn|error|never\n"
+      "  plan:    --json FILE|-  --fail-on warn|error|never\n"
+      "           --min-two-state PCT  --max-cycles N  --inject DEFECT\n",
+      out);
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -755,12 +780,74 @@ int run_flowan(const util::Cli& cli) {
   return report.clean(lint::severity_from_string(fail_on)) ? 0 : 1;
 }
 
+int run_plan(const util::Cli& cli) {
+  const std::string fail_on = cli.get("fail-on", "error");
+  const double min_two_state = cli.get_double("min-two-state", -1.0);
+
+  plan::CompilePlan p;
+  if (cli.has("inject")) {
+    p = plan::analyze_injected(cli.get("inject", ""));
+  } else {
+    const int banks = static_cast<int>(cli.get_int("banks", 1));
+    // Full production geometry: the plan targets the compiled bit-parallel
+    // backend, which lowers the real device, not the shrunk model-checking
+    // netlist the symbolic engine sees.
+    core::RtlConfig cfg;
+    cfg.banks = banks;
+    core::RtlDevice dev = core::build_device(cfg);
+    const rtl::Module flat = dev.flatten();
+    plan::PlanOptions opt;
+    opt.schedule = core::clock_schedule(flat);
+    opt.max_cycles = static_cast<int>(cli.get_int("max-cycles", 256));
+    p = plan::analyze(flat, opt);
+  }
+
+  const std::string json = cli.get("json", "");
+  if (json == "-") {
+    std::fputs((p.to_json().dump(2) + "\n").c_str(), stdout);
+  } else {
+    std::fputs(p.render().c_str(), stdout);
+    if (!json.empty()) {
+      std::ofstream f(json);
+      if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json.c_str());
+        return 2;
+      }
+      f << p.to_json().dump(2) << '\n';
+      std::printf("wrote compile plan to %s\n", json.c_str());
+    }
+  }
+
+  int rc = 0;
+  if (fail_on != "never" &&
+      p.findings.fails(lint::severity_from_string(fail_on))) {
+    rc = 1;
+  }
+  const double state_pct = 100.0 * p.two_state_fraction(true);
+  if (min_two_state >= 0.0 && state_pct < min_two_state) {
+    std::fprintf(stderr,
+                 "two-state proof covers %.1f%% of state bits, below the "
+                 "--min-two-state %.1f%% threshold\n",
+                 state_pct, min_two_state);
+    rc = 1;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    print_usage(stdout);
+    return 0;
+  }
   if (cli.positional().empty()) return usage();
   const std::string mode = cli.positional()[0];
+  if (mode == "help") {
+    print_usage(stdout);
+    return 0;
+  }
   const std::size_t expected = mode == "msc" ? 2u : 1u;
   if (cli.positional().size() != expected) return usage();
   try {
@@ -775,6 +862,7 @@ int main(int argc, char** argv) {
     if (mode == "dfa") return run_dfa(cli);
     if (mode == "faults") return run_faults(cli);
     if (mode == "cov") return run_cov(cli);
+    if (mode == "plan") return run_plan(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

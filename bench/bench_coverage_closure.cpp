@@ -16,12 +16,18 @@
 //      and its lockstep detection score over a fixed protocol-fault set,
 //      and report the Pearson correlation — the cross-validation that the
 //      coverage model measures something the fault campaign cares about.
+//   4. Parallel seed sweep: fan N independent closure seeds across the
+//      work-stealing executor (tgen::run_closure_epochs_parallel), pick
+//      the best-covering seed, and assert the sweep report is
+//      byte-identical at 1 worker and at --sweep-workers.
 //
 //   --max-banks N       highest bank count (default 2)
 //   --seed S            seed (default 1)
 //   --target C          closure target fraction (default 0.95)
 //   --epochs N          closure epoch budget (default 40)
 //   --transactions N    transactions per closure epoch (default 250)
+//   --sweep-shards N    seeds in the parallel sweep (default 4)
+//   --sweep-workers N   workers for the sweep run (default 4)
 //   --json PATH         write the {bench, params, metrics} report
 #include <cmath>
 #include <cstdio>
@@ -36,6 +42,7 @@
 #include "tgen/shrink.hpp"
 #include "util/bench_report.hpp"
 #include "util/cli.hpp"
+#include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -113,12 +120,16 @@ int main(int argc, char** argv) {
   const int epochs = static_cast<int>(cli.get_int("epochs", 40));
   const std::uint64_t per_epoch =
       static_cast<std::uint64_t>(cli.get_int("transactions", 250));
+  const int sweep_shards = static_cast<int>(cli.get_int("sweep-shards", 4));
+  const int sweep_workers = static_cast<int>(cli.get_int("sweep-workers", 4));
   util::BenchReport report("bench_coverage_closure");
   report.param("max_banks", util::Json(max_banks))
       .param("seed", util::Json(seed))
       .param("target", util::Json(target))
       .param("epochs", util::Json(epochs))
-      .param("transactions_per_epoch", util::Json(per_epoch));
+      .param("transactions_per_epoch", util::Json(per_epoch))
+      .param("sweep_shards", util::Json(sweep_shards))
+      .param("sweep_workers", util::Json(sweep_workers));
   cli.get("json", "");
   for (const auto& unused : cli.unused()) {
     std::fprintf(stderr, "unknown option --%s\n", unused.c_str());
@@ -274,6 +285,74 @@ int main(int argc, char** argv) {
     row.set("transactions", ladder_txns);
     row.set("pearson", r);
     row.set("rungs", std::move(rungs));
+    report.metric(std::move(row));
+  }
+
+  // --- 4. parallel seed sweep on the work-stealing executor -------------
+  {
+    tgen::ClosureOptions opt;
+    opt.geometry.banks = max_banks;
+    opt.seed = seed;
+    opt.target = target;
+    opt.transactions_per_epoch = per_epoch;
+    opt.budget.max_epochs = epochs;
+
+    tgen::ClosureSweepOptions sw;
+    sw.shards = sweep_shards;
+
+    // Same sweep at 1 worker and at --sweep-workers: the merged report
+    // (and its hash) must be byte-identical — schedule-independence is
+    // what makes the "best seed" answer trustworthy.
+    sw.workers = 1;
+    exec::PoolStats seq_stats;
+    const tgen::ClosureSweepResult sequential =
+        tgen::run_closure_epochs_parallel(opt, sw, &seq_stats);
+    sw.workers = sweep_workers;
+    exec::PoolStats par_stats;
+    const tgen::ClosureSweepResult parallel =
+        tgen::run_closure_epochs_parallel(opt, sw, &par_stats);
+    for (const exec::WorkerStats& ws : par_stats.per_worker) {
+      report.add_worker_cpu(ws.cpu_seconds);
+    }
+
+    const std::uint64_t seq_hash = util::fnv1a64(sequential.to_json().dump());
+    const std::uint64_t par_hash = util::fnv1a64(parallel.to_json().dump());
+    const bool same = seq_hash == par_hash;
+    const bool all_ok = parallel.degraded == 0 && parallel.best_shard >= 0;
+    ok = ok && same && all_ok;
+
+    std::printf("\nparallel seed sweep: %d seed(s) from %llu, best seed %llu "
+                "at %.1f%% coverage (%d ok, %d degraded)\n",
+                sweep_shards,
+                static_cast<unsigned long long>(parallel.base_seed),
+                static_cast<unsigned long long>(
+                    parallel.base_seed +
+                    static_cast<std::uint64_t>(parallel.best_shard)),
+                100.0 * parallel.best_coverage, parallel.ok,
+                parallel.degraded);
+    std::printf("sweep determinism: hash %016llx at 1 worker, %016llx at %d "
+                "-> %s\n",
+                static_cast<unsigned long long>(seq_hash),
+                static_cast<unsigned long long>(par_hash), sweep_workers,
+                same ? "identical" : "MISMATCH");
+
+    util::Json row = util::Json::object();
+    row.set("kind", "seed_sweep");
+    row.set("banks", max_banks);
+    row.set("shards", sweep_shards);
+    row.set("workers", sweep_workers);
+    row.set("best_seed", parallel.base_seed +
+                             static_cast<std::uint64_t>(parallel.best_shard));
+    row.set("best_coverage", parallel.best_coverage);
+    row.set("ok", parallel.ok);
+    row.set("degraded", parallel.degraded);
+    row.set("total_transactions",
+            static_cast<std::int64_t>(parallel.total_transactions));
+    row.set("wall_seconds_1", seq_stats.wall_seconds);
+    row.set("wall_seconds_n", par_stats.wall_seconds);
+    row.set("worker_cpu_seconds", par_stats.total_cpu_seconds());
+    row.set("utilization", par_stats.utilization());
+    row.set("hash_matches", same);
     report.metric(std::move(row));
   }
 

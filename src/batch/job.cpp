@@ -1,0 +1,160 @@
+#include "batch/job.hpp"
+
+#include <stdexcept>
+
+namespace la1::batch {
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kFaults: return "faults";
+    case JobKind::kCovClosure: return "cov-closure";
+    case JobKind::kMcSweep: return "mc-sweep";
+    case JobKind::kLockstepSoak: return "lockstep-soak";
+  }
+  return "lockstep-soak";
+}
+
+JobKind job_kind_from_string(const std::string& name) {
+  if (name == "faults") return JobKind::kFaults;
+  if (name == "cov-closure") return JobKind::kCovClosure;
+  if (name == "mc-sweep") return JobKind::kMcSweep;
+  if (name == "lockstep-soak") return JobKind::kLockstepSoak;
+  throw std::runtime_error("unknown job kind: '" + name +
+                           "' (expected faults, cov-closure, mc-sweep, or "
+                           "lockstep-soak)");
+}
+
+namespace {
+
+util::Json int_array(const std::vector<int>& v) {
+  util::Json arr = util::Json::array();
+  for (int x : v) arr.push(x);
+  return arr;
+}
+
+std::vector<int> read_int_array(const util::Json& j) {
+  std::vector<int> v;
+  for (const util::Json& x : j.items()) {
+    v.push_back(static_cast<int>(x.as_int()));
+  }
+  return v;
+}
+
+}  // namespace
+
+util::Json JobSpec::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("name", name);
+  j.set("kind", to_string(kind));
+  j.set("banks", banks);
+  j.set("seed", seed);
+  j.set("shards", shards);
+  j.set("transactions", transactions);
+  j.set("structural_faults", structural_faults);
+  j.set("protocol_faults", protocol_faults);
+  j.set("run_mc", run_mc);
+  j.set("target", target);
+  j.set("max_epochs", max_epochs);
+  j.set("transactions_per_epoch", transactions_per_epoch);
+  j.set("mc_wall_ms", mc_wall_ms);
+  if (!inject_hang.empty()) j.set("inject_hang", int_array(inject_hang));
+  if (!inject_crash.empty()) j.set("inject_crash", int_array(inject_crash));
+  return j;
+}
+
+JobSpec JobSpec::from_json(const util::Json& j) {
+  JobSpec spec;
+  if (const util::Json* v = j.find("name")) spec.name = v->as_string();
+  if (const util::Json* v = j.find("kind")) {
+    spec.kind = job_kind_from_string(v->as_string());
+  }
+  if (const util::Json* v = j.find("banks")) {
+    spec.banks = static_cast<int>(v->as_int());
+  }
+  if (const util::Json* v = j.find("seed")) {
+    spec.seed = static_cast<std::uint64_t>(v->as_int());
+  }
+  if (const util::Json* v = j.find("shards")) {
+    spec.shards = static_cast<int>(v->as_int());
+  }
+  if (const util::Json* v = j.find("transactions")) {
+    spec.transactions = static_cast<int>(v->as_int());
+  }
+  if (const util::Json* v = j.find("structural_faults")) {
+    spec.structural_faults = static_cast<int>(v->as_int());
+  }
+  if (const util::Json* v = j.find("protocol_faults")) {
+    spec.protocol_faults = static_cast<int>(v->as_int());
+  }
+  if (const util::Json* v = j.find("run_mc")) spec.run_mc = v->as_bool();
+  if (const util::Json* v = j.find("target")) spec.target = v->as_double();
+  if (const util::Json* v = j.find("max_epochs")) {
+    spec.max_epochs = static_cast<int>(v->as_int());
+  }
+  if (const util::Json* v = j.find("transactions_per_epoch")) {
+    spec.transactions_per_epoch = static_cast<std::uint64_t>(v->as_int());
+  }
+  if (const util::Json* v = j.find("mc_wall_ms")) {
+    spec.mc_wall_ms = static_cast<std::uint64_t>(v->as_int());
+  }
+  if (const util::Json* v = j.find("inject_hang")) {
+    spec.inject_hang = read_int_array(*v);
+  }
+  if (const util::Json* v = j.find("inject_crash")) {
+    spec.inject_crash = read_int_array(*v);
+  }
+  if (spec.name.empty()) {
+    throw std::runtime_error("job is missing a 'name'");
+  }
+  if (spec.banks < 1 || spec.banks > 4) {
+    throw std::runtime_error("job '" + spec.name +
+                             "': banks must be in 1..4");
+  }
+  if (spec.shards < 1) {
+    throw std::runtime_error("job '" + spec.name + "': shards must be >= 1");
+  }
+  return spec;
+}
+
+util::Json BatchSpec::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("name", name);
+  util::Json arr = util::Json::array();
+  for (const JobSpec& job : jobs) arr.push(job.to_json());
+  j.set("jobs", std::move(arr));
+  return j;
+}
+
+BatchSpec BatchSpec::from_json(const util::Json& j) {
+  BatchSpec spec;
+  if (const util::Json* v = j.find("name")) spec.name = v->as_string();
+  const util::Json* jobs = j.find("jobs");
+  if (jobs == nullptr) {
+    throw std::runtime_error("batch file has no 'jobs' array");
+  }
+  for (const util::Json& job : jobs->items()) {
+    spec.jobs.push_back(JobSpec::from_json(job));
+  }
+  if (spec.jobs.empty()) {
+    throw std::runtime_error("batch file has an empty 'jobs' array");
+  }
+  for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+    for (std::size_t k = i + 1; k < spec.jobs.size(); ++k) {
+      if (spec.jobs[i].name == spec.jobs[k].name) {
+        throw std::runtime_error("duplicate job name '" + spec.jobs[i].name +
+                                 "' (journal keys must be unique)");
+      }
+    }
+  }
+  return spec;
+}
+
+BatchSpec BatchSpec::parse(const std::string& text) {
+  try {
+    return from_json(util::Json::parse(text));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(e.what());
+  }
+}
+
+}  // namespace la1::batch

@@ -1,0 +1,291 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace la1::exec {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Context::Context(int shard, int attempt, int worker, std::uint64_t wall_ms,
+                 const std::atomic<bool>* cancel)
+    : shard_(shard),
+      attempt_(attempt),
+      worker_(worker),
+      has_deadline_(wall_ms != 0),
+      deadline_ns_(wall_ms != 0 ? steady_now_ns() + wall_ms * 1'000'000ull : 0),
+      cancel_(cancel) {}
+
+bool Context::expired() const {
+  return has_deadline_ && steady_now_ns() >= deadline_ns_;
+}
+
+bool Context::cancelled() const {
+  return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+}
+
+std::uint64_t Context::remaining_ms() const {
+  if (!has_deadline_) return ~0ull;
+  const std::uint64_t now = steady_now_ns();
+  if (now >= deadline_ns_) return 0;
+  return (deadline_ns_ - now) / 1'000'000ull;
+}
+
+void Context::poll() const {
+  if (cancelled()) throw ShardInterrupted{/*cancelled=*/true};
+  if (expired()) throw ShardInterrupted{/*cancelled=*/false};
+}
+
+const char* to_string(ShardStatus status) {
+  switch (status) {
+    case ShardStatus::kOk: return "ok";
+    case ShardStatus::kTimeout: return "timeout";
+    case ShardStatus::kCrashed: return "crashed";
+    case ShardStatus::kCancelled: return "cancelled";
+  }
+  return "crashed";
+}
+
+ShardStatus shard_status_from_string(const std::string& name) {
+  if (name == "ok") return ShardStatus::kOk;
+  if (name == "timeout") return ShardStatus::kTimeout;
+  if (name == "crashed") return ShardStatus::kCrashed;
+  if (name == "cancelled") return ShardStatus::kCancelled;
+  throw std::invalid_argument("unknown shard status: " + name);
+}
+
+double PoolStats::total_cpu_seconds() const {
+  double total = 0.0;
+  for (const WorkerStats& w : per_worker) total += w.cpu_seconds;
+  return total;
+}
+
+double PoolStats::utilization() const {
+  if (workers <= 0 || wall_seconds <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const WorkerStats& w : per_worker) busy += w.busy_seconds;
+  return busy / (static_cast<double>(workers) * wall_seconds);
+}
+
+util::Json PoolStats::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("workers", workers);
+  j.set("shards", shards);
+  j.set("ok", ok);
+  j.set("retried", retried);
+  j.set("timed_out", timed_out);
+  j.set("crashed", crashed);
+  j.set("cancelled", cancelled);
+  j.set("peak_queue_depth", static_cast<std::int64_t>(peak_queue_depth));
+  j.set("wall_seconds", wall_seconds);
+  j.set("cpu_seconds", total_cpu_seconds());
+  j.set("utilization", utilization());
+  util::Json per = util::Json::array();
+  for (const WorkerStats& w : per_worker) {
+    util::Json row = util::Json::object();
+    row.set("shards", w.shards);
+    row.set("steals", w.steals);
+    row.set("cpu_seconds", w.cpu_seconds);
+    row.set("busy_seconds", w.busy_seconds);
+    per.push(std::move(row));
+  }
+  j.set("per_worker", std::move(per));
+  return j;
+}
+
+namespace {
+
+/// Shared scheduling state: per-worker deques behind one mutex. Shards are
+/// heavyweight (a whole mutant simulation, a closure run), so a single lock
+/// around millisecond-scale pops is never the bottleneck, and it keeps the
+/// stealing protocol trivially race-free for the TSan build mode.
+class StealQueues {
+ public:
+  StealQueues(int count, int workers) : queues_(workers) {
+    for (int shard = 0; shard < count; ++shard) {
+      queues_[static_cast<std::size_t>(shard % workers)].push_back(shard);
+    }
+    std::size_t depth = 0;
+    for (const auto& q : queues_) depth = std::max(depth, q.size());
+    peak_depth_ = depth;
+  }
+
+  /// Own deque front first; then victims in `order`, stealing from the
+  /// back. Returns {shard, stolen} or nullopt-equivalent shard = -1.
+  std::pair<int, bool> take(int worker, const std::vector<int>& order) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& own = queues_[static_cast<std::size_t>(worker)];
+    if (!own.empty()) {
+      const int shard = own.front();
+      own.pop_front();
+      return {shard, false};
+    }
+    for (const int victim : order) {
+      auto& q = queues_[static_cast<std::size_t>(victim)];
+      if (!q.empty()) {
+        const int shard = q.back();
+        q.pop_back();
+        return {shard, true};
+      }
+    }
+    return {-1, false};
+  }
+
+  std::size_t peak_depth() const { return peak_depth_; }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::deque<int>> queues_;
+  std::size_t peak_depth_ = 0;
+};
+
+double thread_cpu_seconds() {
+  static thread_local const util::ThreadCpuStopwatch since_thread_start;
+  return since_thread_start.seconds();
+}
+
+}  // namespace
+
+std::vector<ShardResult> run_shards(int count, const ShardFn& fn,
+                                    const Options& options, PoolStats* stats) {
+  if (count < 0) throw std::invalid_argument("run_shards: negative count");
+  if (!fn) throw std::invalid_argument("run_shards: null shard function");
+  const int workers =
+      std::max(1, std::min(options.workers, std::max(1, count)));
+
+  std::vector<ShardResult> results(static_cast<std::size_t>(count));
+  PoolStats pool;
+  pool.workers = workers;
+  pool.shards = count;
+  pool.per_worker.resize(static_cast<std::size_t>(workers));
+  util::Stopwatch pool_wall;
+
+  if (count > 0) {
+    StealQueues queues(count, workers);
+    pool.peak_queue_depth = queues.peak_depth();
+    std::mutex stats_mutex;  // guards the shared PoolStats counters
+
+    const std::atomic<bool>* cancel =
+        options.cancel != nullptr ? options.cancel->flag() : nullptr;
+
+    auto worker_loop = [&](int w) {
+      // Steal-victim order: a seeded shuffle of the other workers, fixed
+      // for the run so a schedule replays under the same steal_seed.
+      std::vector<int> order;
+      for (int v = 0; v < workers; ++v) {
+        if (v != w) order.push_back(v);
+      }
+      util::Rng rng(options.steal_seed * 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(w) + 1);
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[static_cast<std::size_t>(
+                                    rng.below(static_cast<std::uint64_t>(i)))]);
+      }
+
+      WorkerStats local;
+      for (;;) {
+        const auto [shard, stolen] = queues.take(w, order);
+        if (shard < 0) break;
+        if (stolen) ++local.steals;
+
+        ShardResult res;
+        res.shard = shard;
+        res.worker = w;
+        util::Stopwatch wall;
+        const double cpu0 = thread_cpu_seconds();
+        bool needed_retry = false;
+        if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+          res.status = ShardStatus::kCancelled;
+          res.error = "cancelled before dispatch";
+        } else {
+          for (int attempt = 0;; ++attempt) {
+            res.attempts = attempt + 1;
+            const Context ctx(shard, attempt, w, options.shard_wall_ms,
+                              cancel);
+            try {
+              res.value = fn(ctx);
+              res.status = ShardStatus::kOk;
+            } catch (const ShardInterrupted& e) {
+              if (e.cancelled ||
+                  (cancel != nullptr &&
+                   cancel->load(std::memory_order_relaxed))) {
+                res.status = ShardStatus::kCancelled;
+                res.error = "cancelled";
+              } else if (attempt < options.max_retries) {
+                needed_retry = true;
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    options.backoff_ms << attempt));
+                continue;
+              } else {
+                res.status = ShardStatus::kTimeout;
+                res.error = "deadline (" +
+                            std::to_string(options.shard_wall_ms) +
+                            " ms) overrun on every attempt";
+              }
+            } catch (const std::exception& e) {
+              res.status = ShardStatus::kCrashed;
+              res.error = e.what();
+            } catch (...) {
+              res.status = ShardStatus::kCrashed;
+              res.error = "non-standard exception";
+            }
+            break;
+          }
+        }
+        res.wall_seconds = wall.seconds();
+        local.busy_seconds += res.wall_seconds;
+        local.cpu_seconds += thread_cpu_seconds() - cpu0;
+        ++local.shards;
+
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex);
+          results[static_cast<std::size_t>(shard)] = std::move(res);
+          const ShardResult& r = results[static_cast<std::size_t>(shard)];
+          switch (r.status) {
+            case ShardStatus::kOk: ++pool.ok; break;
+            case ShardStatus::kTimeout: ++pool.timed_out; break;
+            case ShardStatus::kCrashed: ++pool.crashed; break;
+            case ShardStatus::kCancelled: ++pool.cancelled; break;
+          }
+          if (needed_retry) ++pool.retried;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        pool.per_worker[static_cast<std::size_t>(w)] = local;
+      }
+    };
+
+    if (workers == 1) {
+      worker_loop(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) threads.emplace_back(worker_loop, w);
+      for (std::thread& t : threads) t.join();
+    }
+  }
+
+  pool.wall_seconds = pool_wall.seconds();
+  if (stats != nullptr) *stats = std::move(pool);
+  return results;
+}
+
+}  // namespace la1::exec

@@ -1,0 +1,176 @@
+// Deterministic work-stealing shard executor.
+//
+// Every expensive workload in la1kit — the fault × checker matrix, closure
+// epochs across seeds, per-property MC sweeps, N-seed lockstep soaks — is
+// embarrassingly parallel: a fixed list of independent shards whose results
+// are merged into one report. This executor runs such a list on a
+// work-stealing thread pool while keeping the merged output a pure function
+// of the shard bodies:
+//
+//   * shards are dealt round-robin into bounded per-worker deques sized at
+//     expansion time (stealing only ever removes entries, so a deque never
+//     grows past its initial share — the xMAS-style bounded-queue
+//     discipline);
+//   * idle workers steal from the back of a victim deque, visiting victims
+//     in a per-worker order drawn from a seedable RNG (`steal_seed`), so a
+//     scheduling anomaly is reproducible by pinning the seed;
+//   * results land in a vector indexed by shard id — the merge order is
+//     canonical regardless of worker count or steal schedule, which is what
+//     makes campaign reports byte-identical at 1/2/4/8 workers.
+//
+// Robustness contract (what "no shard takes the run down" means):
+//
+//   * a shard that throws is quarantined as a kCrashed result carrying the
+//     exception text; sibling shards are unaffected;
+//   * a shard that overruns its cooperative wall-clock deadline (it must
+//     poll Context) is retried — with exponential backoff, and with
+//     Context::attempt incremented so the body can perturb a seed or BDD
+//     variable order, mirroring mc::check's flipped-order retry — and after
+//     the last attempt degrades to a kTimeout result;
+//   * an external CancelToken (e.g. the SIGINT handler in signal.hpp) marks
+//     every not-yet-started shard kCancelled and lets running shards
+//     observe the flag through Context::poll.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace la1::exec {
+
+/// Sticky cancellation flag shared between a controller (signal handler,
+/// batch runner) and the workers observing it.
+class CancelToken {
+ public:
+  void cancel() { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_.load(std::memory_order_relaxed); }
+  /// The raw flag, for wiring into mc::Budget::cancel.
+  const std::atomic<bool>* flag() const { return &flag_; }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Thrown by Context::poll (and free for shard bodies to throw) when the
+/// shard should stop: deadline overrun (cancelled == false) or external
+/// cancellation (cancelled == true). Deliberately not a std::exception so
+/// the crash quarantine never mistakes an interruption for a crash.
+struct ShardInterrupted {
+  bool cancelled = false;
+};
+
+/// Per-attempt view handed to the shard body. Deadlines are cooperative:
+/// long-running bodies poll() at loop boundaries, or forward cancel_flag()
+/// and remaining_ms() into an engine budget (mc::Budget) that polls for
+/// them.
+class Context {
+ public:
+  Context(int shard, int attempt, int worker, std::uint64_t wall_ms,
+          const std::atomic<bool>* cancel);
+
+  int shard() const { return shard_; }
+  /// 0 on the first attempt; retries increment it so the body can perturb
+  /// its seed or variable order.
+  int attempt() const { return attempt_; }
+  int worker() const { return worker_; }
+
+  /// True once the attempt's wall-clock deadline passed (false when the
+  /// executor runs without shard deadlines).
+  bool expired() const;
+  /// True once external cancellation was requested.
+  bool cancelled() const;
+  /// Milliseconds until the deadline; ~0ull when no deadline is set.
+  std::uint64_t remaining_ms() const;
+  /// Throws ShardInterrupted on cancellation or deadline overrun.
+  void poll() const;
+
+  /// The external cancellation flag (nullptr when none), for engine budgets.
+  const std::atomic<bool>* cancel_flag() const { return cancel_; }
+
+ private:
+  int shard_;
+  int attempt_;
+  int worker_;
+  bool has_deadline_;
+  std::uint64_t deadline_ns_;  // steady_clock epoch
+  const std::atomic<bool>* cancel_;
+};
+
+enum class ShardStatus { kOk, kTimeout, kCrashed, kCancelled };
+
+const char* to_string(ShardStatus status);
+ShardStatus shard_status_from_string(const std::string& name);
+
+/// One shard's outcome. `value` is the body's payload (only meaningful for
+/// kOk); the rest is quarantine/telemetry metadata. Merging by `shard`
+/// (the vector is already in that order) keeps reports canonical.
+struct ShardResult {
+  int shard = 0;
+  ShardStatus status = ShardStatus::kOk;
+  std::string error;        // kTimeout/kCrashed/kCancelled: what happened
+  int attempts = 0;         // 0 = never started (cancelled before dispatch)
+  int worker = -1;
+  double wall_seconds = 0.0;
+  util::Json value;
+
+  bool ok() const { return status == ShardStatus::kOk; }
+};
+
+struct Options {
+  /// Worker threads; values < 1 clamp to 1. 1 runs shards in shard order on
+  /// a single worker (the reference schedule).
+  int workers = 1;
+  /// Seed of the per-worker steal-victim order.
+  std::uint64_t steal_seed = 1;
+  /// Per-attempt cooperative wall-clock deadline; 0 = no deadline.
+  std::uint64_t shard_wall_ms = 0;
+  /// Extra attempts after a deadline overrun (kTimeout after the last).
+  int max_retries = 1;
+  /// Base of the exponential retry backoff (base << attempt milliseconds).
+  std::uint64_t backoff_ms = 10;
+  /// External cancellation (signal handler, batch runner); optional.
+  const CancelToken* cancel = nullptr;
+};
+
+/// Per-worker telemetry.
+struct WorkerStats {
+  int shards = 0;
+  int steals = 0;
+  double cpu_seconds = 0.0;   // thread CPU time inside shard bodies
+  double busy_seconds = 0.0;  // wall time inside shard bodies
+};
+
+/// Pool-level telemetry for health reporting.
+struct PoolStats {
+  int workers = 0;
+  int shards = 0;
+  int ok = 0;
+  int retried = 0;    // shards that needed at least one retry
+  int timed_out = 0;
+  int crashed = 0;
+  int cancelled = 0;
+  std::size_t peak_queue_depth = 0;  // max entries across all deques
+  double wall_seconds = 0.0;
+  std::vector<WorkerStats> per_worker;
+
+  /// Sum of per-worker thread CPU inside shard bodies.
+  double total_cpu_seconds() const;
+  /// busy wall across workers / (workers * pool wall): 1.0 = no idle time.
+  double utilization() const;
+  util::Json to_json() const;
+};
+
+using ShardFn = std::function<util::Json(const Context&)>;
+
+/// Runs shards 0..count-1 through `fn` and returns results indexed by shard
+/// id. Never throws for shard-body failures (they land in the per-shard
+/// status); only argument errors throw.
+std::vector<ShardResult> run_shards(int count, const ShardFn& fn,
+                                    const Options& options,
+                                    PoolStats* stats = nullptr);
+
+}  // namespace la1::exec

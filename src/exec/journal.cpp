@@ -1,0 +1,53 @@
+#include "exec/journal.hpp"
+
+#include <stdexcept>
+
+namespace la1::exec {
+
+Journal::Journal(const std::string& path, bool resume) : path_(path) {
+  if (resume) {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      util::Json doc;
+      try {
+        doc = util::Json::parse(line);
+      } catch (const std::invalid_argument&) {
+        // Torn tail line from a kill mid-append: drop it (and anything
+        // after it — a torn line is always last in a flush-per-append
+        // journal, but stay safe either way).
+        continue;
+      }
+      const util::Json* key = doc.find("key");
+      const util::Json* status = doc.find("status");
+      if (key == nullptr || status == nullptr) continue;
+      JournalEntry entry;
+      entry.status = status->as_string();
+      if (const util::Json* value = doc.find("value")) entry.value = *value;
+      entries_[key->as_string()] = std::move(entry);
+    }
+    replayed_ = entries_.size();
+  }
+  out_.open(path, resume ? std::ios::app : std::ios::trunc);
+  if (!out_) throw std::runtime_error("cannot open journal file: " + path);
+}
+
+const JournalEntry* Journal::find(const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void Journal::append(const std::string& key, const std::string& status,
+                     const util::Json& value) {
+  util::Json line = util::Json::object();
+  line.set("key", key);
+  line.set("status", status);
+  line.set("value", value);
+  const std::string text = line.dump();
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << text << '\n';
+  out_.flush();
+}
+
+}  // namespace la1::exec

@@ -1,0 +1,57 @@
+// Append-only JSON-lines journal of completed shard results.
+//
+// The batch runner writes one line per finished shard —
+//
+//   {"key": "<job>/<shard>", "status": "ok|timeout|crashed", "value": ...}
+//
+// — flushing after every append, so a killed run leaves a prefix of
+// complete lines plus at most one torn tail line. Reopening with
+// resume == true replays the journal, keeps every complete line, silently
+// drops a torn tail, and lets the runner skip the shards already recorded:
+// the resumed run produces the same merged report as an uninterrupted one.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace la1::exec {
+
+/// One replayed journal line.
+struct JournalEntry {
+  std::string status;
+  util::Json value;
+};
+
+class Journal {
+ public:
+  /// Opens `path` for appending. With resume, existing complete lines are
+  /// loaded first; without, the file is truncated. Throws
+  /// std::runtime_error when the file cannot be opened for writing.
+  Journal(const std::string& path, bool resume);
+
+  /// The replayed entry for `key`, or nullptr.
+  const JournalEntry* find(const std::string& key) const;
+
+  /// Appends one line and flushes it to disk. Thread-safe.
+  void append(const std::string& key, const std::string& status,
+              const util::Json& value);
+
+  /// Entries replayed at open (not ones appended since).
+  std::size_t replayed() const { return replayed_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::map<std::string, JournalEntry> entries_;
+  std::size_t replayed_ = 0;
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace la1::exec

@@ -1,0 +1,31 @@
+#include "exec/signal.hpp"
+
+#include <csignal>
+
+#include "exec/executor.hpp"
+
+namespace la1::exec {
+
+namespace {
+
+CancelToken g_interrupt_token;
+
+void on_interrupt(int sig) {
+  g_interrupt_token.cancel();
+  // Restore the default disposition: a second ^C kills the process even if
+  // cooperative shutdown wedged.
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+CancelToken& interrupt_token() { return g_interrupt_token; }
+
+void install_interrupt_handler() {
+  std::signal(SIGINT, on_interrupt);
+  std::signal(SIGTERM, on_interrupt);
+}
+
+bool interrupted() { return g_interrupt_token.cancelled(); }
+
+}  // namespace la1::exec

@@ -1,0 +1,25 @@
+// Graceful-shutdown plumbing: one process-wide CancelToken flipped by
+// SIGINT/SIGTERM.
+//
+// Long-running drivers (la1batch, la1check faults/cov) install the handler
+// once, wire interrupt_token() into their executor Options / engine
+// budgets, and on cancellation flush a valid partial report and exit
+// nonzero instead of leaving a torn output file. The handler only sets an
+// atomic flag (async-signal-safe); a second signal falls back to the
+// default disposition so a wedged run can still be killed with ^C ^C.
+#pragma once
+
+namespace la1::exec {
+
+class CancelToken;
+
+/// The process-wide cancellation token the signal handler flips.
+CancelToken& interrupt_token();
+
+/// Installs the SIGINT/SIGTERM handler (idempotent).
+void install_interrupt_handler();
+
+/// True once SIGINT/SIGTERM was received.
+bool interrupted();
+
+}  // namespace la1::exec

@@ -354,128 +354,298 @@ void schedule_bitflips(std::vector<FaultSpec>& plan,
   }
 }
 
+/// Everything both campaign entry points derive before the per-fault work:
+/// the simulation geometry, the activation-scheduled fault plan, and the
+/// shared PSL suite. Pure function of `options`.
+struct CampaignSetup {
+  core::RtlConfig rtl_cfg;
+  std::vector<FaultSpec> plan;
+  psl::VUnit vunit;
+};
+
+CampaignSetup campaign_setup(const CampaignOptions& options) {
+  CampaignSetup s{core::RtlConfig{}, {}, psl::VUnit("fault_campaign")};
+  s.rtl_cfg.banks = options.banks;
+  s.rtl_cfg.data_bits = options.data_bits;
+  s.rtl_cfg.mem_addr_bits = options.mem_addr_bits;
+  {
+    core::RtlDevice dev = core::build_device(s.rtl_cfg);
+    const rtl::Module flat = dev.flatten();
+    s.plan = plan_faults(flat, options.plan, options.seed);
+  }
+  schedule_bitflips(s.plan, options);
+  s.vunit = campaign_vunit(options.banks, s.rtl_cfg.latency_ticks());
+  return s;
+}
+
+/// Control run: every checker over the unmutated device. Any alarm here is
+/// a false alarm and poisons the whole campaign. Shared verbatim by the
+/// sequential and parallel paths so their reports stay byte-identical.
+std::vector<std::string> control_alarms(const CampaignOptions& options,
+                                        const psl::VUnit& vunit,
+                                        const core::RtlConfig& rtl_cfg) {
+  std::vector<std::string> alarms;
+  ovl::OvlBank ovl_bank;
+  harness::RtlDeviceModel device(
+      rtl_cfg, [&](rtl::Module& m) { attach_ovl(m, ovl_bank, options.banks); });
+  harness::RtlDeviceModel reference(rtl_cfg);
+  psl::VUnitRunner runner(vunit);
+  const SimVerdicts v = run_sim(options, device, reference, runner, rtl_cfg);
+  if (v.psl_failures != 0) {
+    alarms.push_back("psl: " + v.psl_detail);
+  }
+  const std::size_t ovl_failures = ovl_bank.failures(device.sim());
+  if (ovl_failures != 0) {
+    alarms.push_back("ovl: " + std::to_string(ovl_failures) +
+                     " monitor failures");
+  }
+  if (v.lockstep_diverged) {
+    alarms.push_back("lockstep: " + v.lockstep_detail);
+  }
+  if (options.run_mc) {
+    const core::RtlConfig mc_cfg =
+        core::RtlConfig::model_checking(options.banks);
+    core::RtlDevice dev = core::build_device(mc_cfg);
+    const rtl::Module flat = dev.flatten();
+    const rtl::Module expanded = rtl::expand_memories(flat);
+    const rtl::BitBlast bb =
+        rtl::bitblast(expanded, core::clock_schedule(flat));
+    mc::SymbolicOptions sopt;
+    sopt.budget = options.mc_budget;
+    for (const auto& [name, prop] : core::rtl_properties(mc_cfg)) {
+      const mc::SymbolicResult r = mc::check(bb, prop, sopt);
+      if (r.verdict.kind == mc::Verdict::Kind::kFalsified) {
+        alarms.push_back("mc: " + name + " falsified on the stock device");
+      }
+    }
+  }
+  return alarms;
+}
+
+/// One mutant through the full detection stack — the unit of work a
+/// parallel shard executes. Pure function of (options, spec).
+CampaignRow mutant_row(const CampaignOptions& options, const psl::VUnit& vunit,
+                       const core::RtlConfig& rtl_cfg, const FaultSpec& spec) {
+  CampaignRow row;
+  row.fault = spec;
+
+  ovl::OvlBank ovl_bank;
+  auto instrument = [&](rtl::Module& m) {
+    if (is_structural(spec.kind)) apply_structural(m, spec);
+    attach_ovl(m, ovl_bank, options.banks);
+  };
+  auto rtl_model = std::make_unique<harness::RtlDeviceModel>(rtl_cfg,
+                                                             instrument);
+  harness::RtlDeviceModel* rtl_ptr = rtl_model.get();
+  std::unique_ptr<harness::DeviceModel> mutant;
+  if (is_structural(spec.kind)) {
+    mutant = std::move(rtl_model);
+  } else {
+    mutant = std::make_unique<ProtocolFaultModel>(std::move(rtl_model), spec);
+  }
+  harness::RtlDeviceModel reference(rtl_cfg);
+  psl::VUnitRunner runner(vunit);
+  const SimVerdicts v = run_sim(options, *mutant, reference, runner, rtl_cfg);
+
+  CampaignCell psl_cell;
+  psl_cell.checker = "psl";
+  psl_cell.outcome =
+      v.psl_failures > 0 ? CellOutcome::kCaught : CellOutcome::kMissed;
+  psl_cell.detail = v.psl_detail;
+  row.cells.push_back(std::move(psl_cell));
+
+  CampaignCell ovl_cell;
+  ovl_cell.checker = "ovl";
+  const std::size_t ovl_failures = ovl_bank.failures(rtl_ptr->sim());
+  ovl_cell.outcome =
+      ovl_failures > 0 ? CellOutcome::kCaught : CellOutcome::kMissed;
+  if (ovl_failures > 0) {
+    ovl_cell.detail = std::to_string(ovl_failures) + " monitor failures";
+  }
+  row.cells.push_back(std::move(ovl_cell));
+
+  CampaignCell ls_cell;
+  ls_cell.checker = "lockstep";
+  ls_cell.outcome =
+      v.lockstep_diverged ? CellOutcome::kCaught : CellOutcome::kMissed;
+  ls_cell.detail = v.lockstep_detail;
+  row.cells.push_back(std::move(ls_cell));
+
+  if (options.run_mc) {
+    row.cells.push_back(mc_cell(options, spec));
+  } else {
+    CampaignCell cell;
+    cell.checker = "mc";
+    cell.outcome = CellOutcome::kNotApplicable;
+    cell.detail = "mc column disabled";
+    row.cells.push_back(std::move(cell));
+  }
+  return row;
+}
+
+util::Json row_to_json(const CampaignRow& r) {
+  util::Json row = util::Json::object();
+  row.set("fault", r.fault.to_json());
+  row.set("caught", r.caught());
+  util::Json cells = util::Json::array();
+  for (const CampaignCell& c : r.cells) {
+    util::Json cell = util::Json::object();
+    cell.set("checker", c.checker);
+    cell.set("outcome", to_string(c.outcome));
+    cell.set("detail", c.detail);
+    cells.push(std::move(cell));
+  }
+  row.set("cells", std::move(cells));
+  return row;
+}
+
+CampaignRow row_from_json(const util::Json& row_j) {
+  CampaignRow row;
+  if (const util::Json* f = row_j.find("fault")) {
+    row.fault = FaultSpec::from_json(*f);
+  }
+  if (const util::Json* cells = row_j.find("cells")) {
+    for (const util::Json& cell_j : cells->items()) {
+      CampaignCell cell;
+      if (const util::Json* v = cell_j.find("checker")) {
+        cell.checker = v->as_string();
+      }
+      if (const util::Json* v = cell_j.find("outcome")) {
+        cell.outcome = cell_outcome_from_string(v->as_string());
+      }
+      if (const util::Json* v = cell_j.find("detail")) {
+        cell.detail = v->as_string();
+      }
+      row.cells.push_back(std::move(cell));
+    }
+  }
+  return row;
+}
+
+/// Quarantined row for a shard the executor could not complete: every
+/// checker cell is kTimeout with the shard's disposition, so the report
+/// shape (and mutation-score denominator) is unchanged.
+CampaignRow degraded_row(const FaultSpec& spec,
+                         const std::vector<std::string>& checkers,
+                         const exec::ShardResult& r) {
+  CampaignRow row;
+  row.fault = spec;
+  std::string detail = std::string("shard ") + exec::to_string(r.status);
+  if (!r.error.empty()) detail += ": " + r.error;
+  for (const std::string& checker : checkers) {
+    CampaignCell cell;
+    cell.checker = checker;
+    cell.outcome = CellOutcome::kTimeout;
+    cell.detail = detail;
+    row.cells.push_back(std::move(cell));
+  }
+  return row;
+}
+
+/// options with the cancellation flag threaded into the per-check budget,
+/// so a raised flag reaches a running BDD build.
+CampaignOptions with_cancel(const CampaignOptions& options,
+                            const std::atomic<bool>* cancel) {
+  CampaignOptions opt = options;
+  if (cancel != nullptr) {
+    opt.cancel = cancel;
+    opt.mc_budget.cancel = cancel;
+  }
+  return opt;
+}
+
 }  // namespace
 
 CampaignReport run_campaign(const CampaignOptions& options) {
+  const CampaignOptions opt = with_cancel(options, options.cancel);
+  CampaignReport report;
+  report.banks = opt.banks;
+  report.seed = opt.seed;
+  report.transactions = opt.transactions;
+  report.checkers = {"psl", "ovl", "lockstep", "mc"};
+
+  const CampaignSetup setup = campaign_setup(opt);
+
+  report.clean_alarms = control_alarms(opt, setup.vunit, setup.rtl_cfg);
+  report.clean_ok = report.clean_alarms.empty();
+
+  for (const FaultSpec& spec : setup.plan) {
+    // Graceful ^C: stop between faults; the rows so far form a valid
+    // partial report.
+    if (opt.cancel != nullptr &&
+        opt.cancel->load(std::memory_order_relaxed)) {
+      break;
+    }
+    report.rows.push_back(mutant_row(opt, setup.vunit, setup.rtl_cfg, spec));
+  }
+  return report;
+}
+
+CampaignReport run_campaign_parallel(const CampaignOptions& options,
+                                     const ParallelOptions& parallel,
+                                     exec::PoolStats* stats) {
   CampaignReport report;
   report.banks = options.banks;
   report.seed = options.seed;
   report.transactions = options.transactions;
   report.checkers = {"psl", "ovl", "lockstep", "mc"};
 
-  core::RtlConfig rtl_cfg;
-  rtl_cfg.banks = options.banks;
-  rtl_cfg.data_bits = options.data_bits;
-  rtl_cfg.mem_addr_bits = options.mem_addr_bits;
+  const CampaignSetup setup = campaign_setup(options);
 
-  std::vector<FaultSpec> plan = [&] {
-    core::RtlDevice dev = core::build_device(rtl_cfg);
-    const rtl::Module flat = dev.flatten();
-    return plan_faults(flat, options.plan, options.seed);
-  }();
-  schedule_bitflips(plan, options);
+  exec::Options eopt;
+  eopt.workers = parallel.workers;
+  eopt.steal_seed = parallel.steal_seed;
+  eopt.shard_wall_ms = parallel.shard_wall_ms;
+  eopt.max_retries = parallel.max_retries;
+  eopt.backoff_ms = parallel.backoff_ms;
+  eopt.cancel = parallel.cancel;
 
-  psl::VUnit vunit = campaign_vunit(options.banks, rtl_cfg.latency_ticks());
+  // Shard 0 is the control run; shard i (i >= 1) is fault plan[i-1]. The
+  // merge below walks results in shard order, so the report is a pure
+  // function of the shard bodies regardless of worker count.
+  const int shard_count = 1 + static_cast<int>(setup.plan.size());
+  const auto body = [&](const exec::Context& ctx) -> util::Json {
+    const CampaignOptions opt = with_cancel(options, ctx.cancel_flag());
+    if (ctx.shard() == 0) {
+      const std::vector<std::string> alarms =
+          control_alarms(opt, setup.vunit, setup.rtl_cfg);
+      util::Json j = util::Json::object();
+      util::Json arr = util::Json::array();
+      for (const std::string& a : alarms) arr.push(a);
+      j.set("alarms", std::move(arr));
+      ctx.poll();  // a cancelled control run must not pass for clean
+      return j;
+    }
+    const FaultSpec& spec = setup.plan[static_cast<std::size_t>(ctx.shard()) - 1];
+    const CampaignRow row = mutant_row(opt, setup.vunit, setup.rtl_cfg, spec);
+    ctx.poll();  // ditto: discard rows finished after cancellation
+    return row_to_json(row);
+  };
+  const std::vector<exec::ShardResult> results =
+      exec::run_shards(shard_count, body, eopt, stats);
 
-  // Control run: every checker over the unmutated device. Any alarm here
-  // is a false alarm and poisons the whole campaign.
-  {
-    ovl::OvlBank ovl_bank;
-    harness::RtlDeviceModel device(
-        rtl_cfg, [&](rtl::Module& m) { attach_ovl(m, ovl_bank, options.banks); });
-    harness::RtlDeviceModel reference(rtl_cfg);
-    psl::VUnitRunner runner(vunit);
-    const SimVerdicts v =
-        run_sim(options, device, reference, runner, rtl_cfg);
-    if (v.psl_failures != 0) {
-      report.clean_alarms.push_back("psl: " + v.psl_detail);
-    }
-    const std::size_t ovl_failures = ovl_bank.failures(device.sim());
-    if (ovl_failures != 0) {
-      report.clean_alarms.push_back(
-          "ovl: " + std::to_string(ovl_failures) + " monitor failures");
-    }
-    if (v.lockstep_diverged) {
-      report.clean_alarms.push_back("lockstep: " + v.lockstep_detail);
-    }
-    if (options.run_mc) {
-      const core::RtlConfig mc_cfg =
-          core::RtlConfig::model_checking(options.banks);
-      core::RtlDevice dev = core::build_device(mc_cfg);
-      const rtl::Module flat = dev.flatten();
-      const rtl::Module expanded = rtl::expand_memories(flat);
-      const rtl::BitBlast bb =
-          rtl::bitblast(expanded, core::clock_schedule(flat));
-      mc::SymbolicOptions sopt;
-      sopt.budget = options.mc_budget;
-      for (const auto& [name, prop] : core::rtl_properties(mc_cfg)) {
-        const mc::SymbolicResult r = mc::check(bb, prop, sopt);
-        if (r.verdict.kind == mc::Verdict::Kind::kFalsified) {
-          report.clean_alarms.push_back("mc: " + name +
-                                        " falsified on the stock device");
-        }
+  const exec::ShardResult& control = results[0];
+  if (control.ok()) {
+    if (const util::Json* alarms = control.value.find("alarms")) {
+      for (const util::Json& a : alarms->items()) {
+        report.clean_alarms.push_back(a.as_string());
       }
     }
-    report.clean_ok = report.clean_alarms.empty();
+  } else {
+    std::string detail =
+        std::string("control run ") + exec::to_string(control.status);
+    if (!control.error.empty()) detail += ": " + control.error;
+    report.clean_alarms.push_back(detail);
   }
+  report.clean_ok = report.clean_alarms.empty();
 
-  for (const FaultSpec& spec : plan) {
-    CampaignRow row;
-    row.fault = spec;
-
-    ovl::OvlBank ovl_bank;
-    auto instrument = [&](rtl::Module& m) {
-      if (is_structural(spec.kind)) apply_structural(m, spec);
-      attach_ovl(m, ovl_bank, options.banks);
-    };
-    auto rtl_model = std::make_unique<harness::RtlDeviceModel>(rtl_cfg,
-                                                               instrument);
-    harness::RtlDeviceModel* rtl_ptr = rtl_model.get();
-    std::unique_ptr<harness::DeviceModel> mutant;
-    if (is_structural(spec.kind)) {
-      mutant = std::move(rtl_model);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const exec::ShardResult& r = results[i];
+    if (r.ok()) {
+      report.rows.push_back(row_from_json(r.value));
     } else {
-      mutant = std::make_unique<ProtocolFaultModel>(std::move(rtl_model), spec);
+      report.rows.push_back(degraded_row(setup.plan[i - 1], report.checkers, r));
     }
-    harness::RtlDeviceModel reference(rtl_cfg);
-    psl::VUnitRunner runner(vunit);
-    const SimVerdicts v = run_sim(options, *mutant, reference, runner, rtl_cfg);
-
-    CampaignCell psl_cell;
-    psl_cell.checker = "psl";
-    psl_cell.outcome =
-        v.psl_failures > 0 ? CellOutcome::kCaught : CellOutcome::kMissed;
-    psl_cell.detail = v.psl_detail;
-    row.cells.push_back(std::move(psl_cell));
-
-    CampaignCell ovl_cell;
-    ovl_cell.checker = "ovl";
-    const std::size_t ovl_failures = ovl_bank.failures(rtl_ptr->sim());
-    ovl_cell.outcome =
-        ovl_failures > 0 ? CellOutcome::kCaught : CellOutcome::kMissed;
-    if (ovl_failures > 0) {
-      ovl_cell.detail = std::to_string(ovl_failures) + " monitor failures";
-    }
-    row.cells.push_back(std::move(ovl_cell));
-
-    CampaignCell ls_cell;
-    ls_cell.checker = "lockstep";
-    ls_cell.outcome =
-        v.lockstep_diverged ? CellOutcome::kCaught : CellOutcome::kMissed;
-    ls_cell.detail = v.lockstep_detail;
-    row.cells.push_back(std::move(ls_cell));
-
-    if (options.run_mc) {
-      row.cells.push_back(mc_cell(options, spec));
-    } else {
-      CampaignCell cell;
-      cell.checker = "mc";
-      cell.outcome = CellOutcome::kNotApplicable;
-      cell.detail = "mc column disabled";
-      row.cells.push_back(std::move(cell));
-    }
-
-    report.rows.push_back(std::move(row));
   }
   return report;
 }
@@ -489,21 +659,7 @@ util::Json CampaignReport::to_json() const {
   for (const std::string& c : checkers) names.push(c);
   j.set("checkers", std::move(names));
   util::Json rows_j = util::Json::array();
-  for (const CampaignRow& r : rows) {
-    util::Json row = util::Json::object();
-    row.set("fault", r.fault.to_json());
-    row.set("caught", r.caught());
-    util::Json cells = util::Json::array();
-    for (const CampaignCell& c : r.cells) {
-      util::Json cell = util::Json::object();
-      cell.set("checker", c.checker);
-      cell.set("outcome", to_string(c.outcome));
-      cell.set("detail", c.detail);
-      cells.push(std::move(cell));
-    }
-    row.set("cells", std::move(cells));
-    rows_j.push(std::move(row));
-  }
+  for (const CampaignRow& r : rows) rows_j.push(row_to_json(r));
   j.set("rows", std::move(rows_j));
   util::Json clean = util::Json::object();
   clean.set("ok", clean_ok);
@@ -534,26 +690,7 @@ CampaignReport CampaignReport::from_json(const util::Json& j) {
   }
   if (const util::Json* rows_j = j.find("rows")) {
     for (const util::Json& row_j : rows_j->items()) {
-      CampaignRow row;
-      if (const util::Json* f = row_j.find("fault")) {
-        row.fault = FaultSpec::from_json(*f);
-      }
-      if (const util::Json* cells = row_j.find("cells")) {
-        for (const util::Json& cell_j : cells->items()) {
-          CampaignCell cell;
-          if (const util::Json* v = cell_j.find("checker")) {
-            cell.checker = v->as_string();
-          }
-          if (const util::Json* v = cell_j.find("outcome")) {
-            cell.outcome = cell_outcome_from_string(v->as_string());
-          }
-          if (const util::Json* v = cell_j.find("detail")) {
-            cell.detail = v->as_string();
-          }
-          row.cells.push_back(std::move(cell));
-        }
-      }
-      report.rows.push_back(std::move(row));
+      report.rows.push_back(row_from_json(row_j));
     }
   }
   if (const util::Json* clean = j.find("clean")) {

@@ -17,10 +17,12 @@
 // round-trip through util::Json.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "exec/executor.hpp"
 #include "fault/fault.hpp"
 #include "mc/verdict.hpp"
 #include "util/json.hpp"
@@ -65,6 +67,27 @@ struct CampaignOptions {
   /// instead of wedging the campaign.
   mc::Budget mc_budget{/*wall_ms=*/5000, /*bdd_nodes=*/500'000,
                        /*max_cycles=*/64};
+  /// Cooperative cancellation (e.g. the SIGINT token in exec/signal.hpp):
+  /// polled between faults and forwarded into every symbolic check's
+  /// Budget. A cancelled campaign returns a valid *partial* report with
+  /// rows for the faults finished so far. Non-owning.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Scheduling knobs for run_campaign_parallel (one shard per fault plus
+/// the control run). The merged report is byte-identical to the
+/// sequential run_campaign at any worker count / steal seed as long as no
+/// shard is degraded by a deadline, crash, or cancellation.
+struct ParallelOptions {
+  int workers = 1;
+  std::uint64_t steal_seed = 1;
+  /// Per-shard cooperative wall deadline; 0 = none. A shard that overruns
+  /// is retried (exponential backoff) and finally degraded to a row whose
+  /// cells are all kTimeout — the campaign itself never wedges.
+  std::uint64_t shard_wall_ms = 0;
+  int max_retries = 1;
+  std::uint64_t backoff_ms = 10;
+  const exec::CancelToken* cancel = nullptr;
 };
 
 struct CampaignReport {
@@ -88,5 +111,13 @@ struct CampaignReport {
 
 /// Runs the full campaign: plan, control run, one pass per mutant.
 CampaignReport run_campaign(const CampaignOptions& options);
+
+/// The same campaign on the work-stealing executor: the control run and
+/// every mutant become shards, merged back in plan order. Crashed or
+/// timed-out shards degrade to quarantined rows instead of taking the
+/// campaign down. `stats`, when non-null, receives pool telemetry.
+CampaignReport run_campaign_parallel(const CampaignOptions& options,
+                                     const ParallelOptions& parallel,
+                                     exec::PoolStats* stats = nullptr);
 
 }  // namespace la1::fault

@@ -80,21 +80,33 @@ namespace {
 /// exactly like bdd::ResourceExhausted.
 struct WallBudgetExpired {};
 
-/// Wall-clock deadline, polled at iteration and conjunct boundaries (the
-/// two places a single BDD operation can run long).
+/// Internal control-flow exception: Budget::cancel was raised. Degrades to
+/// Unknown{cancelled} with no variable-order retry (the caller asked the
+/// whole check to stop, not this attempt).
+struct CheckCancelled {};
+
+/// Wall-clock deadline plus cooperative cancellation, polled at iteration
+/// and conjunct boundaries (the two places a single BDD operation can run
+/// long).
 struct Deadline {
   bool enabled = false;
   std::chrono::steady_clock::time_point at{};
+  const std::atomic<bool>* cancel = nullptr;
 
-  static Deadline after_ms(std::uint64_t ms) {
+  static Deadline of(const Budget& budget) {
     Deadline d;
-    if (ms != 0) {
+    if (budget.wall_ms != 0) {
       d.enabled = true;
-      d.at = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+      d.at = std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(budget.wall_ms);
     }
+    d.cancel = budget.cancel;
     return d;
   }
   void poll() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      throw CheckCancelled{};
+    }
     if (enabled && std::chrono::steady_clock::now() >= at) {
       throw WallBudgetExpired{};
     }
@@ -435,7 +447,7 @@ SymbolicResult check_once(const rtl::BitBlast& design, const psl::PropPtr& prop,
                           const SymbolicOptions& options, VarOrder order) {
   util::CpuStopwatch cpu;
   SymbolicResult result;
-  const Deadline deadline = Deadline::after_ms(options.budget.wall_ms);
+  const Deadline deadline = Deadline::of(options.budget);
   const std::uint64_t node_limit =
       tighter(options.node_limit, options.budget.bdd_nodes);
   const int max_iterations =
@@ -917,6 +929,10 @@ SymbolicResult check_once(const rtl::BitBlast& design, const psl::PropPtr& prop,
     result.outcome = SymbolicResult::Outcome::kStateExplosion;
     exhausted_reason = "wall budget exhausted (" +
                        std::to_string(options.budget.wall_ms) + " ms)";
+  } catch (const CheckCancelled&) {
+    result.outcome = SymbolicResult::Outcome::kStateExplosion;
+    bound_established = false;  // a cancelled check claims nothing
+    exhausted_reason = "cancelled";
   }
 
   switch (result.outcome) {
@@ -952,7 +968,10 @@ SymbolicResult check(const rtl::BitBlast& design, const psl::PropPtr& prop,
   // order, with a fresh budget, when a *budgeted* run exhausted a resource.
   // Unbudgeted runs keep the historical single-shot behaviour (the Table-2
   // explosion benches measure exactly one attempt).
-  if (first.verdict.decisive() || options.budget.unlimited()) return first;
+  if (first.verdict.decisive() || options.budget.unlimited() ||
+      options.budget.cancel_requested()) {
+    return first;
+  }
   SymbolicOptions retry = options;
   retry.var_order = options.var_order == VarOrder::kBitMajor
                         ? VarOrder::kRegisterMajor

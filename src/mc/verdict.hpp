@@ -15,6 +15,7 @@
 // alternate BDD variable order were attempted.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -29,9 +30,19 @@ struct Budget {
   std::uint64_t bdd_nodes = 0;
   /// Reachability iteration cap (combines with max_iterations likewise).
   int max_cycles = 0;
+  /// Cooperative cancellation: polled wherever the wall deadline is polled.
+  /// A set flag degrades the verdict to Unknown{cancelled} with no retry —
+  /// this is how a parallel campaign shard (exec::Context) or a ^C handler
+  /// reaches into a running BDD build. Not a resource: unlimited() ignores
+  /// it. Non-owning; the caller keeps the flag alive for the check.
+  const std::atomic<bool>* cancel = nullptr;
 
   bool unlimited() const {
     return wall_ms == 0 && bdd_nodes == 0 && max_cycles == 0;
+  }
+  /// True once the cancellation flag (when wired) was raised.
+  bool cancel_requested() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
   }
 };
 

@@ -19,11 +19,21 @@ BenchReport& BenchReport::metric(Json row) {
   return *this;
 }
 
+BenchReport& BenchReport::add_worker_cpu(double seconds) {
+  worker_cpu_seconds_ += seconds;
+  ++workers_sampled_;
+  return *this;
+}
+
 Json BenchReport::resources() const {
   Json r = Json::object();
   r.set("peak_rss_bytes", Json(static_cast<double>(peak_rss_bytes())));
   r.set("wall_seconds", Json(wall_.seconds()));
   r.set("cpu_seconds", Json(cpu_.seconds()));
+  if (workers_sampled_ > 0) {
+    r.set("worker_cpu_seconds", Json(worker_cpu_seconds_));
+    r.set("workers_sampled", Json(workers_sampled_));
+  }
   return r;
 }
 

@@ -29,12 +29,21 @@ class BenchReport {
   /// Appends one metrics record (an object, e.g. one table row).
   BenchReport& metric(Json row);
 
+  /// Folds one pool worker's CPU time (e.g. an exec::WorkerStats entry)
+  /// into the resources block. Call once per worker per parallel section;
+  /// the total appears as `worker_cpu_seconds` so a cpu/wall ratio above
+  /// 1.0 is attributable to the workers rather than unexplained.
+  BenchReport& add_worker_cpu(double seconds);
+
   const std::string& bench() const { return bench_; }
   std::size_t metric_count() const { return metrics_.size(); }
 
-  /// {peak_rss_bytes, wall_seconds, cpu_seconds} for the run so far. A
-  /// cpu/wall ratio well below 1 on a single-threaded bench flags time
-  /// spent blocked rather than computing.
+  /// {peak_rss_bytes, wall_seconds, cpu_seconds} for the run so far —
+  /// cpu_seconds sums every thread (CLOCK_PROCESS_CPUTIME_ID), so
+  /// multi-worker benches read cpu/wall > 1.0. When worker CPU was
+  /// recorded, also {worker_cpu_seconds, workers_sampled}. A cpu/wall
+  /// ratio well below 1 on a single-threaded bench flags time spent
+  /// blocked rather than computing.
   Json resources() const;
 
   Json to_json() const;
@@ -53,7 +62,8 @@ class BenchReport {
   Json metrics_ = Json::array();
   Stopwatch wall_;     // both run from construction, so the resources
   CpuStopwatch cpu_;   // section covers the whole bench by default
-
+  double worker_cpu_seconds_ = 0.0;
+  int workers_sampled_ = 0;
 };
 
 }  // namespace la1::util

@@ -8,11 +8,15 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "exec/executor.hpp"
 #include "proptest.hpp"
+#include "util/bench_report.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace la1 {
 namespace {
@@ -177,6 +181,51 @@ util::Json random_doc(util::Rng& rng, int depth) {
       return obj;
     }
   }
+}
+
+// Multithreaded resources accounting: CpuStopwatch reads process CPU (all
+// threads), so a 4-worker bench must report cpu/wall > 1.0 — and the
+// per-worker attribution folded in with add_worker_cpu must show up as
+// worker_cpu_seconds. The ratio assertion only arms on hosts with the
+// cores to produce it.
+TEST(BenchJson, ParallelResourcesAttributeWorkerCpu) {
+  util::BenchReport report("parallel_probe");
+  exec::Options opt;
+  opt.workers = 4;
+  exec::PoolStats stats;
+  exec::run_shards(
+      8,
+      [](const exec::Context& ctx) {
+        // ~40ms of genuine compute per shard, measured on the thread clock.
+        util::ThreadCpuStopwatch cpu;
+        volatile std::uint64_t sink = static_cast<std::uint64_t>(ctx.shard());
+        while (cpu.seconds() < 0.04) {
+          sink = sink * 6364136223846793005ull + 1442695040888963407ull;
+        }
+        util::Json doc = util::Json::object();
+        doc.set("sink", static_cast<std::int64_t>(sink & 0x7fffffff));
+        return doc;
+      },
+      opt, &stats);
+  for (const exec::WorkerStats& w : stats.per_worker) {
+    report.add_worker_cpu(w.cpu_seconds);
+  }
+
+  const util::Json res = report.resources();
+  ASSERT_NE(res.find("worker_cpu_seconds"), nullptr);
+  EXPECT_GT(res.find("worker_cpu_seconds")->as_double(), 0.0);
+  ASSERT_NE(res.find("workers_sampled"), nullptr);
+  EXPECT_EQ(res.find("workers_sampled")->as_int(), 4);
+  // Workers burned ~0.32s of CPU; the process clock must have seen it.
+  EXPECT_GE(res.find("cpu_seconds")->as_double(),
+            0.5 * res.find("worker_cpu_seconds")->as_double());
+
+  if (std::thread::hardware_concurrency() < 4) {
+    GTEST_SKIP() << "cpu/wall ratio gate needs >= 4 hardware threads";
+  }
+  const double cpu = res.find("cpu_seconds")->as_double();
+  const double wall = res.find("wall_seconds")->as_double();
+  EXPECT_GT(cpu / wall, 1.0) << "4 workers should out-run the wall clock";
 }
 
 TEST(JsonProperty, RandomDocumentsRoundTrip) {

@@ -1,0 +1,299 @@
+// The executor's two contracts, adversarially probed:
+//
+//   determinism — the merged result vector is a pure function of the shard
+//   bodies: any worker count crossed with any steal seed produces
+//   byte-identical reports (pinned with FNV-1a hashes);
+//
+//   robustness — a crashing shard is quarantined without taking siblings
+//   down, a deadline overrun retries with the attempt counter bumped and
+//   then degrades to a qualified timeout, cancellation marks undispatched
+//   shards instead of abandoning the merge, and the JSONL journal survives
+//   a kill (torn tail included) to resume into the same report.
+#include "exec/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/journal.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace la1 {
+namespace {
+
+// A deterministic, mildly expensive payload: enough mixing that a merge
+// bug (swapped shards, dropped rows) moves the hash.
+util::Json payload(int shard) {
+  std::uint64_t h = 0xcbf29ce484222325ull ^ static_cast<std::uint64_t>(shard);
+  for (int i = 0; i < 1000; ++i) {
+    h = (h ^ (h >> 33)) * 0xff51afd7ed558ccdull + static_cast<std::uint64_t>(i);
+  }
+  util::Json doc = util::Json::object();
+  doc.set("shard", shard);
+  doc.set("mix", static_cast<std::int64_t>(h & 0x7fffffffffffffffull));
+  return doc;
+}
+
+// The deterministic fingerprint of a result vector: payloads, statuses and
+// error strings only — never worker ids or timings.
+std::uint64_t fingerprint(const std::vector<exec::ShardResult>& results) {
+  std::string blob;
+  for (const exec::ShardResult& r : results) {
+    blob += std::to_string(r.shard);
+    blob += exec::to_string(r.status);
+    blob += r.error;
+    blob += r.value.dump();
+    blob += '\n';
+  }
+  return util::fnv1a64(blob);
+}
+
+TEST(ExecDeterminism, ByteIdenticalAcrossWorkersAndStealSeeds) {
+  const int kShards = 23;  // deliberately not a multiple of any worker count
+  const auto body = [](const exec::Context& ctx) { return payload(ctx.shard()); };
+
+  exec::Options ref;
+  ref.workers = 1;
+  const std::uint64_t expected = fingerprint(exec::run_shards(kShards, body, ref));
+
+  util::Rng rng(20260808);
+  for (int workers : {1, 2, 4, 8}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      exec::Options opt;
+      opt.workers = workers;
+      opt.steal_seed = rng.next_u64();
+      const std::vector<exec::ShardResult> results =
+          exec::run_shards(kShards, body, opt);
+      ASSERT_EQ(results.size(), static_cast<std::size_t>(kShards));
+      for (int i = 0; i < kShards; ++i) {
+        EXPECT_EQ(results[static_cast<std::size_t>(i)].shard, i);
+      }
+      EXPECT_EQ(fingerprint(results), expected)
+          << "workers=" << workers << " steal_seed=" << opt.steal_seed;
+    }
+  }
+}
+
+TEST(ExecDeterminism, PoolStatsCoverEveryShard) {
+  exec::Options opt;
+  opt.workers = 4;
+  exec::PoolStats stats;
+  const auto results = exec::run_shards(
+      12, [](const exec::Context& ctx) { return payload(ctx.shard()); }, opt,
+      &stats);
+  EXPECT_EQ(results.size(), 12u);
+  EXPECT_EQ(stats.workers, 4);
+  EXPECT_EQ(stats.shards, 12);
+  EXPECT_EQ(stats.ok, 12);
+  EXPECT_EQ(stats.crashed, 0);
+  int shards_seen = 0;
+  for (const exec::WorkerStats& w : stats.per_worker) shards_seen += w.shards;
+  EXPECT_EQ(shards_seen, 12);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+TEST(ExecRobustness, CrashedShardIsQuarantinedWithoutHurtingSiblings) {
+  const auto body = [](const exec::Context& ctx) {
+    if (ctx.shard() == 3 || ctx.shard() == 7) {
+      throw std::runtime_error("boom " + std::to_string(ctx.shard()));
+    }
+    return payload(ctx.shard());
+  };
+  for (int workers : {1, 4}) {
+    exec::Options opt;
+    opt.workers = workers;
+    exec::PoolStats stats;
+    const auto results = exec::run_shards(9, body, opt, &stats);
+    EXPECT_EQ(stats.crashed, 2);
+    for (const exec::ShardResult& r : results) {
+      if (r.shard == 3 || r.shard == 7) {
+        EXPECT_EQ(r.status, exec::ShardStatus::kCrashed);
+        EXPECT_EQ(r.error, "boom " + std::to_string(r.shard));
+      } else {
+        EXPECT_TRUE(r.ok()) << "shard " << r.shard << ": " << r.error;
+        EXPECT_EQ(r.value.dump(), payload(r.shard).dump());
+      }
+    }
+  }
+}
+
+TEST(ExecRobustness, NonStandardExceptionStillQuarantines) {
+  exec::Options opt;
+  const auto results = exec::run_shards(
+      1, [](const exec::Context&) -> util::Json { throw 42; }, opt);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, exec::ShardStatus::kCrashed);
+  EXPECT_EQ(results[0].error, "non-standard exception");
+}
+
+TEST(ExecRobustness, DeadlineOverrunRetriesThenDegradesToTimeout) {
+  exec::Options opt;
+  opt.shard_wall_ms = 20;
+  opt.max_retries = 1;
+  opt.backoff_ms = 1;
+  exec::PoolStats stats;
+  const auto results = exec::run_shards(
+      1,
+      [](const exec::Context& ctx) -> util::Json {
+        for (;;) {  // a hang that at least polls cooperatively
+          ctx.poll();
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      },
+      opt, &stats);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, exec::ShardStatus::kTimeout);
+  EXPECT_EQ(results[0].attempts, 2);  // first try + one retry
+  EXPECT_EQ(results[0].error, "deadline (20 ms) overrun on every attempt");
+  EXPECT_EQ(stats.retried, 1);
+  EXPECT_EQ(stats.timed_out, 1);
+}
+
+TEST(ExecRobustness, RetryWithBumpedAttemptCanSucceed) {
+  exec::Options opt;
+  opt.shard_wall_ms = 20;
+  opt.max_retries = 1;
+  opt.backoff_ms = 1;
+  exec::PoolStats stats;
+  const auto results = exec::run_shards(
+      1,
+      [](const exec::Context& ctx) -> util::Json {
+        if (ctx.attempt() == 0) {  // hang only on the first attempt
+          for (;;) {
+            ctx.poll();
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+        util::Json doc = util::Json::object();
+        doc.set("attempt", ctx.attempt());
+        return doc;
+      },
+      opt, &stats);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok()) << results[0].error;
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_EQ(results[0].value.find("attempt")->as_int(), 1);
+  EXPECT_EQ(stats.retried, 1);
+  EXPECT_EQ(stats.ok, 1);
+}
+
+TEST(ExecRobustness, CancellationMarksUndispatchedShards) {
+  exec::CancelToken token;
+  token.cancel();
+  exec::Options opt;
+  opt.cancel = &token;
+  exec::PoolStats stats;
+  const auto results = exec::run_shards(
+      4, [](const exec::Context& ctx) { return payload(ctx.shard()); }, opt,
+      &stats);
+  EXPECT_EQ(stats.cancelled, 4);
+  for (const exec::ShardResult& r : results) {
+    EXPECT_EQ(r.status, exec::ShardStatus::kCancelled);
+    EXPECT_EQ(r.error, "cancelled before dispatch");
+    EXPECT_EQ(r.attempts, 0);
+  }
+}
+
+TEST(ExecRobustness, MidRunCancellationStopsLaterShards) {
+  exec::CancelToken token;
+  exec::Options opt;
+  opt.workers = 1;  // shard order is the dispatch order
+  opt.cancel = &token;
+  const auto results = exec::run_shards(
+      5,
+      [&token](const exec::Context& ctx) -> util::Json {
+        if (ctx.shard() == 1) token.cancel();
+        ctx.poll();  // a cooperative body checks after working
+        return payload(ctx.shard());
+      },
+      opt);
+  EXPECT_TRUE(results[0].ok());
+  // Shard 1 polled after cancelling itself; everything later never ran.
+  EXPECT_EQ(results[1].status, exec::ShardStatus::kCancelled);
+  for (int i = 2; i < 5; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].status,
+              exec::ShardStatus::kCancelled);
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].attempts, 0);
+  }
+}
+
+TEST(ExecJournal, KillAndResumeRoundTripsTheMergedReport) {
+  const std::string path = testing::TempDir() + "exec_journal_test.jsonl";
+  std::remove(path.c_str());
+  const int kShards = 8;
+  const auto body = [](const exec::Context& ctx) { return payload(ctx.shard()); };
+
+  // Uninterrupted reference.
+  exec::Options opt;
+  const std::uint64_t expected =
+      fingerprint(exec::run_shards(kShards, body, opt));
+
+  // "Killed" run: only the first 5 shards made it into the journal.
+  {
+    exec::Journal journal(path, /*resume=*/false);
+    for (int i = 0; i < 5; ++i) {
+      journal.append("job/" + std::to_string(i), "ok", payload(i));
+    }
+  }
+  // A torn tail, as a kill mid-write would leave.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"key\": \"job/5\", \"status\": \"o";
+  }
+
+  exec::Journal journal(path, /*resume=*/true);
+  EXPECT_EQ(journal.replayed(), 5u);
+  EXPECT_EQ(journal.find("job/5"), nullptr);  // torn tail dropped
+
+  // Resume: replay journaled shards, run the rest, merge in shard order.
+  std::vector<exec::ShardResult> merged(kShards);
+  std::vector<int> pending;
+  for (int i = 0; i < kShards; ++i) {
+    const std::string key = "job/" + std::to_string(i);
+    if (const exec::JournalEntry* e = journal.find(key)) {
+      merged[static_cast<std::size_t>(i)].shard = i;
+      merged[static_cast<std::size_t>(i)].value = e->value;
+    } else {
+      pending.push_back(i);
+    }
+  }
+  const auto rest = exec::run_shards(
+      static_cast<int>(pending.size()),
+      [&](const exec::Context& ctx) {
+        return body(exec::Context(pending[static_cast<std::size_t>(ctx.shard())],
+                                  ctx.attempt(), ctx.worker(), 0, nullptr));
+      },
+      opt);
+  for (std::size_t j = 0; j < rest.size(); ++j) {
+    exec::ShardResult r = rest[j];
+    r.shard = pending[j];
+    merged[static_cast<std::size_t>(pending[j])] = std::move(r);
+  }
+  EXPECT_EQ(fingerprint(merged), expected);
+  std::remove(path.c_str());
+}
+
+TEST(ExecJournal, TruncatesWithoutResume) {
+  const std::string path = testing::TempDir() + "exec_journal_trunc.jsonl";
+  {
+    exec::Journal journal(path, /*resume=*/false);
+    journal.append("a/0", "ok", util::Json(1));
+  }
+  {
+    exec::Journal journal(path, /*resume=*/false);
+    EXPECT_EQ(journal.replayed(), 0u);
+    EXPECT_EQ(journal.find("a/0"), nullptr);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace la1

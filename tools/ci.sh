@@ -5,8 +5,13 @@
 #   tools/ci.sh                 # full build + ctest + lint gate + bench smoke
 #   tools/ci.sh --smoke-only    # skip build/ctest, just lint gate + smoke
 #   tools/ci.sh --sanitize      # tier-1 under ASan/UBSan in a separate tree
+#   tools/ci.sh --tsan          # executor/batch tests under ThreadSanitizer
+#                               # in a separate tree
 #   tools/ci.sh --faults        # also run the fixed-seed fault campaign gate
 #   tools/ci.sh --cov           # also run the coverage-closure + shrinker gate
+#   tools/ci.sh --batch         # also run the batch-service gate: fixed-seed
+#                               # job hashes identically at 1 vs 4 workers,
+#                               # resumes after a kill, zero crashed shards
 #   tools/ci.sh --plan          # also run the lowering-legality compile-plan gate
 #   tools/ci.sh --line-cov      # gcov line-coverage build in a separate tree,
 #                               # reported as a BenchReport-shaped JSON metric
@@ -25,9 +30,11 @@ build_dir="${LA1_BUILD_DIR:-$repo_root/build}"
 jobs=$(nproc 2>/dev/null || echo 2)
 smoke_only=0
 sanitize=0
+tsan=0
 faults=0
 cov=0
 plan=0
+batch=0
 line_cov=0
 tidy=0
 # Watchdog for the test suites: a hung test (a model-checking run that
@@ -60,6 +67,9 @@ for arg in "$@"; do
     --sanitize)
       sanitize=1
       ;;
+    --tsan)
+      tsan=1
+      ;;
     --faults)
       faults=1
       ;;
@@ -69,6 +79,9 @@ for arg in "$@"; do
     --plan)
       plan=1
       ;;
+    --batch)
+      batch=1
+      ;;
     --line-cov)
       line_cov=1
       ;;
@@ -76,7 +89,7 @@ for arg in "$@"; do
       tidy=1
       ;;
     *)
-      echo "usage: tools/ci.sh [--smoke-only | --sanitize | --faults | --cov | --plan | --line-cov | --tidy | --install-hook]" >&2
+      echo "usage: tools/ci.sh [--smoke-only | --sanitize | --tsan | --faults | --cov | --plan | --batch | --line-cov | --tidy | --install-hook]" >&2
       exit 2
       ;;
   esac
@@ -90,6 +103,22 @@ if [ "$sanitize" -eq 1 ]; then
   cmake --build "$asan_dir" -j "$jobs"
   (cd "$asan_dir" && ctest --output-on-failure -j "$jobs" --timeout "$test_timeout")
   echo "ci: tier-1 verify passed under ASan/UBSan"
+  exit 0
+fi
+
+if [ "$tsan" -eq 1 ]; then
+  # The concurrent code paths (work-stealing executor, batch runner, the
+  # parallel campaign/closure drivers they schedule) under ThreadSanitizer.
+  # A separate build tree keeps instrumented objects out of the normal
+  # build; only the exec/batch test binaries are built and run — TSan and
+  # ASan cannot share a process, so this complements --sanitize.
+  tsan_dir="${LA1_TSAN_BUILD_DIR:-$repo_root/build-tsan}"
+  cmake -B "$tsan_dir" -S "$repo_root" -DLA1_SANITIZE=thread
+  cmake --build "$tsan_dir" -j "$jobs" \
+    --target exec_determinism_test batch_test
+  (cd "$tsan_dir" && ctest --output-on-failure -j "$jobs" \
+    --timeout "$test_timeout" -R 'Exec|Batch')
+  echo "ci: executor/batch tests passed under ThreadSanitizer"
   exit 0
 fi
 
@@ -299,6 +328,57 @@ if [ "$cov" -eq 1 ]; then
   "$build_dir/tools/la1check" cov --replay "$smoke_dir/cov-repro.json" \
     > /dev/null
   gate_done "coverage-closure gate passed (banks 1 and 2, seed 1)"
+fi
+
+# Batch-service gate (opt-in: --batch): the shipped example job file must
+# (a) produce byte-identical batch hashes at 1 and 4 workers under a
+# perturbed steal schedule, (b) complete with zero crashed shards, and
+# (c) resume after a simulated kill — journal truncated mid-line — to the
+# same hash, replaying the surviving shards instead of re-running them.
+if [ "$batch" -eq 1 ]; then
+  batch_hash() {
+    # The top-level batch hash (indent 2 in the dump); per-job hashes sit
+    # deeper and never match this pattern.
+    sed -n 's/^  "hash": "\([0-9a-f]*\)".*/\1/p' "$1"
+  }
+  "$build_dir/tools/la1batch" example > "$smoke_dir/batch-job.json"
+  "$build_dir/tools/la1batch" run "$smoke_dir/batch-job.json" --workers 1 \
+    --json "$smoke_dir/batch-w1.json" > /dev/null
+  "$build_dir/tools/la1batch" run "$smoke_dir/batch-job.json" --workers 4 \
+    --steal-seed 99 --json "$smoke_dir/batch-w4.json" > /dev/null
+  h1=$(batch_hash "$smoke_dir/batch-w1.json")
+  h4=$(batch_hash "$smoke_dir/batch-w4.json")
+  if [ -z "$h1" ] || [ "$h1" != "$h4" ]; then
+    echo "ci: batch hash differs across worker counts ($h1 vs $h4)" >&2
+    exit 1
+  fi
+  if grep -q '"crashed": [^0]' "$smoke_dir/batch-w4.json"; then
+    echo "ci: batch run reported crashed shard(s)" >&2
+    exit 1
+  fi
+  grep -q '"all_pass": true' "$smoke_dir/batch-w4.json"
+
+  # Kill/resume round trip: journal the full run, keep only the first half
+  # of the journal plus a torn tail, and resume from what survived.
+  "$build_dir/tools/la1batch" run "$smoke_dir/batch-job.json" --workers 2 \
+    --journal "$smoke_dir/batch.jsonl" > /dev/null
+  lines=$(wc -l < "$smoke_dir/batch.jsonl")
+  head -n "$((lines / 2))" "$smoke_dir/batch.jsonl" > "$smoke_dir/batch-cut.jsonl"
+  printf '{"key": "torn' >> "$smoke_dir/batch-cut.jsonl"
+  mv "$smoke_dir/batch-cut.jsonl" "$smoke_dir/batch.jsonl"
+  "$build_dir/tools/la1batch" run "$smoke_dir/batch-job.json" --workers 2 \
+    --journal "$smoke_dir/batch.jsonl" --resume \
+    --json "$smoke_dir/batch-resumed.json" > /dev/null
+  hr=$(batch_hash "$smoke_dir/batch-resumed.json")
+  if [ "$hr" != "$h1" ]; then
+    echo "ci: resumed batch hash $hr differs from uninterrupted $h1" >&2
+    exit 1
+  fi
+  if ! grep -q '"replayed": [1-9]' "$smoke_dir/batch-resumed.json"; then
+    echo "ci: resumed batch replayed nothing from the journal" >&2
+    exit 1
+  fi
+  gate_done "batch-service gate passed (1 vs 4 workers, kill/resume)"
 fi
 
 # Bench smoke: every bench_table* binary must emit a parseable --json

@@ -51,6 +51,7 @@
 
 #include "cov/coverage.hpp"
 #include "dfa/sweep.hpp"
+#include "exec/signal.hpp"
 #include "fault/campaign.hpp"
 #include "fault/fault.hpp"
 #include "flow/analyze.hpp"
@@ -117,6 +118,7 @@ void print_usage(std::FILE* out) {
       "  dfa:     --json FILE|-  --fail-on warn|error|never\n"
       "  faults:  --json FILE|-  --fail-under SCORE  --transactions N\n"
       "           --structural N  --protocol N  --no-mc\n"
+      "           --workers N  --steal-seed S  --shard-wall-ms MS\n"
       "  cov:     closure: --target C  --epochs N  --transactions N\n"
       "           --wall-ms MS  --json FILE|-  --fail-under C\n"
       "           shrink:  --shrink  --transactions N  --out FILE\n"
@@ -406,7 +408,24 @@ int run_faults(const util::Cli& cli) {
       static_cast<int>(cli.get_int("protocol", opt.plan.protocol));
   opt.run_mc = !cli.get_bool("no-mc", false);
 
-  const fault::CampaignReport report = fault::run_campaign(opt);
+  // ^C cancels the remaining faults; the rows finished so far still form
+  // a valid (partial) report, emitted below before the nonzero exit.
+  exec::install_interrupt_handler();
+  opt.cancel = exec::interrupt_token().flag();
+
+  const int workers = static_cast<int>(cli.get_int("workers", 1));
+  fault::CampaignReport report;
+  if (workers > 1) {
+    fault::ParallelOptions par;
+    par.workers = workers;
+    par.steal_seed = static_cast<std::uint64_t>(cli.get_int("steal-seed", 1));
+    par.shard_wall_ms =
+        static_cast<std::uint64_t>(cli.get_int("shard-wall-ms", 0));
+    par.cancel = &exec::interrupt_token();
+    report = fault::run_campaign_parallel(opt, par);
+  } else {
+    report = fault::run_campaign(opt);
+  }
 
   const std::string json = cli.get("json", "");
   if (json == "-") {
@@ -424,6 +443,11 @@ int run_faults(const util::Cli& cli) {
     }
   }
 
+  if (exec::interrupted()) {
+    std::fprintf(stderr, "interrupted: %zu fault row(s) completed\n",
+                 report.rows.size());
+    return 130;
+  }
   if (!report.clean_ok) {
     std::fputs("FAIL: false alarm(s) on the unmutated device\n", stderr);
     return 1;
@@ -572,6 +596,10 @@ int run_cov(const util::Cli& cli) {
   opt.budget.max_epochs = static_cast<int>(cli.get_int("epochs", 40));
   opt.budget.wall_ms = static_cast<std::uint64_t>(cli.get_int("wall-ms", 0));
 
+  // ^C stops after the current epoch; the partial report is still emitted.
+  exec::install_interrupt_handler();
+  opt.cancel = exec::interrupt_token().flag();
+
   const tgen::ClosureResult result = tgen::run_closure(opt);
 
   const std::string json = cli.get("json", "");
@@ -597,6 +625,10 @@ int run_cov(const util::Cli& cli) {
     }
   }
 
+  if (exec::interrupted()) {
+    std::fprintf(stderr, "interrupted after %d epoch(s)\n", result.epochs);
+    return 130;
+  }
   const double fail_under = cli.get_double("fail-under", 0.0);
   if (result.coverage() < fail_under) {
     std::fprintf(stderr, "FAIL: coverage %.3f below threshold %.2f\n",

@@ -20,6 +20,11 @@
 //      work-stealing executor (tgen::run_closure_epochs_parallel), pick
 //      the best-covering seed, and assert the sweep report is
 //      byte-identical at 1 worker and at --sweep-workers.
+//   5. Backend verdict equality: the protocol-fault lockstep detection
+//      run of experiment 3, with the real RTL device as the faulted
+//      model, once on the interpreted simulator and once on the compiled
+//      bit-parallel backend (src/csim) — every verdict, divergence tick,
+//      and comparison count must agree.
 //
 //   --max-banks N       highest bank count (default 2)
 //   --seed S            seed (default 1)
@@ -353,6 +358,88 @@ int main(int argc, char** argv) {
     row.set("worker_cpu_seconds", par_stats.total_cpu_seconds());
     row.set("utilization", par_stats.utilization());
     row.set("hash_matches", same);
+    report.metric(std::move(row));
+  }
+
+  // --- 5. RTL lockstep verdicts across simulation backends --------------
+  {
+    core::RtlConfig rc;
+    rc.banks = g.banks;
+    rc.data_bits = g.data_bits;
+    rc.mem_addr_bits = g.mem_addr_bits;
+    const std::uint64_t rtl_txns = 120;
+
+    // One fingerprint per backend: verdicts, tick counts, comparison
+    // counts and the divergence text (with the backend's model name
+    // normalized out) across the four protocol-fault kinds.
+    auto fingerprint = [&](harness::RtlBackend backend, int* caught) {
+      const fault::FaultKind kinds[] = {fault::FaultKind::kCorruptReadData,
+                                        fault::FaultKind::kGlitchBankSelect,
+                                        fault::FaultKind::kDroppedTransfer,
+                                        fault::FaultKind::kDelayedTransfer};
+      std::string fp;
+      *caught = 0;
+      for (fault::FaultKind kind : kinds) {
+        fault::FaultSpec spec;
+        spec.kind = kind;
+        spec.cycle = 3;
+        harness::BehavioralDeviceModel reference(behavioral_config(g));
+        harness::RtlDevice dev = harness::make_rtl_device(rc, backend);
+        fault::ProtocolFaultModel faulty(std::move(dev.model), spec);
+        tgen::ConstrainedStream stream(g, tgen::Profile{}, seed);
+        harness::LockstepOptions lo;
+        lo.transactions = rtl_txns;
+        const harness::LockstepReport r =
+            harness::run_lockstep({&reference, &faulty}, stream, lo);
+        if (!r.ok) ++*caught;
+        std::string mismatch = r.mismatch;
+        const std::string name =
+            harness::to_string(backend) == std::string("compiled") ? "csim"
+                                                                   : "rtl";
+        for (std::size_t at = mismatch.find(name); at != std::string::npos;
+             at = mismatch.find(name, at)) {
+          mismatch.replace(at, name.size(), "<rtl>");
+          at += 5;
+        }
+        fp += spec.id() + "|" + (r.ok ? "ok" : "caught") + "|" +
+              std::to_string(r.ticks_run) + "|" +
+              std::to_string(r.comparisons) + "|" + mismatch + "\n";
+      }
+      return fp;
+    };
+
+    int caught_interp = 0;
+    int caught_csim = 0;
+    const std::string fp_interp =
+        fingerprint(harness::RtlBackend::kInterpreted, &caught_interp);
+    const std::string fp_csim =
+        fingerprint(harness::RtlBackend::kCompiled, &caught_csim);
+    const std::uint64_t hash_interp = util::fnv1a64(fp_interp);
+    const std::uint64_t hash_csim = util::fnv1a64(fp_csim);
+    const bool same = fp_interp == fp_csim;
+    ok = ok && same;
+
+    std::printf("\nRTL backend verdicts: interpreted caught %d/4, compiled "
+                "caught %d/4, fingerprint %016llx vs %016llx -> %s\n",
+                caught_interp, caught_csim,
+                static_cast<unsigned long long>(hash_interp),
+                static_cast<unsigned long long>(hash_csim),
+                same ? "identical" : "MISMATCH");
+
+    util::Json row = util::Json::object();
+    row.set("kind", "backend_verdicts");
+    row.set("banks", g.banks);
+    row.set("transactions", static_cast<std::int64_t>(rtl_txns));
+    row.set("caught_interpreted", caught_interp);
+    row.set("caught_compiled", caught_csim);
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(hash_interp));
+    row.set("hash_interpreted", hex);
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(hash_csim));
+    row.set("hash_compiled", hex);
+    row.set("verdicts_equal", same);
     report.metric(std::move(row));
   }
 

@@ -16,6 +16,11 @@
 // over one worker, pool utilization, and steal counts; the speedup gate
 // only arms when the host actually has the cores to show one.
 //
+// Each bank count then re-runs the whole campaign on the compiled
+// bit-parallel RTL backend (src/csim) and asserts the report hashes
+// byte-identically to the interpreted run — backend choice must be
+// unobservable in every verdict, score, and rendered cell.
+//
 //   --max-banks N       highest bank count (default 2)
 //   --seed S            campaign seed (default 1)
 //   --transactions N    K cycles of traffic per mutant (default 300)
@@ -96,6 +101,7 @@ int main(int argc, char** argv) {
                        "Identical"});
   bool ok = true;
   bool hashes_ok = true;
+  bool backend_ok = true;
   double speedup_best = 1.0;
   for (int banks = 1; banks <= max_banks; ++banks) {
     fault::CampaignOptions opt;
@@ -169,6 +175,33 @@ int main(int argc, char** argv) {
       report.metric(std::move(m));
     }
 
+    // The same campaign on the compiled backend: one run, one hash, one
+    // equality check against the interpreted report.
+    {
+      fault::CampaignOptions copt = opt;
+      copt.backend = harness::RtlBackend::kCompiled;
+      fault::ParallelOptions par;
+      par.workers = workers_list.front();
+      par.steal_seed = steal_seed;
+      util::CpuStopwatch watch;
+      const fault::CampaignReport run = fault::run_campaign_parallel(copt, par);
+      const double cpu = watch.seconds();
+      const std::uint64_t hash = util::fnv1a64(run.to_json().dump());
+      const bool same = hash == base_hash;
+      backend_ok = backend_ok && same;
+      char hash_hex[17];
+      std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                    static_cast<unsigned long long>(hash));
+      util::Json m = util::Json::object();
+      m.set("kind", "backend");
+      m.set("banks", banks);
+      m.set("backend", harness::to_string(harness::RtlBackend::kCompiled));
+      m.set("cpu_seconds", cpu);
+      m.set("hash", hash_hex);
+      m.set("hash_matches", same);
+      report.metric(std::move(m));
+    }
+
     util::Json by_checker = util::Json::object();
     std::vector<std::string> row{std::to_string(banks),
                                  std::to_string(campaign.rows.size()),
@@ -211,9 +244,11 @@ int main(int argc, char** argv) {
   std::puts("");
   std::fputs(scaling.render().c_str(), stdout);
 
-  ok = ok && hashes_ok;
+  ok = ok && hashes_ok && backend_ok;
   std::printf("determinism: report hash identical at every worker count -> %s\n",
               hashes_ok ? "PASS" : "FAIL");
+  std::printf("backend: compiled report hash identical to interpreted -> %s\n",
+              backend_ok ? "PASS" : "FAIL");
   // Speedup is only gated where the host can physically provide one; on a
   // single-core box the scaling table is still printed for the record.
   if (hw >= 4) {

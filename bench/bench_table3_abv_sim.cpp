@@ -13,6 +13,13 @@
 // simulation is >= ~20x faster per cycle, and the gap widens with the
 // number of banks.
 //
+// The RTL level now runs three ways: the interpreted CycleSim, the
+// compiled bit-parallel backend (src/csim) in one lane, and the compiled
+// backend with 64 independent stimulus streams sharing one pass — the
+// per-stream column that shows where campaign-scale throughput comes
+// from. OVL verdicts must agree across all three; the 64-lane per-stream
+// time/cycle target is >= 10x the interpreter on the stock device.
+//
 //   --banks-list a,b,c   bank counts (default 1,2,4,8)
 //   --sc-ticks N         kernel-model half-cycles (default 40000)
 //   --rtl-ticks N        RTL half-cycles (default 4000)
@@ -24,6 +31,7 @@
 #include "harness/stimulus.hpp"
 #include "la1/behavioral.hpp"
 #include "la1/rtl_model.hpp"
+#include "la1/spec.hpp"
 #include "ovl/ovl.hpp"
 #include "psl/monitor.hpp"
 #include "psl/parse.hpp"
@@ -100,21 +108,22 @@ double run_system_level(int banks, int ticks, std::uint64_t seed,
   return per_cycle;
 }
 
-/// CPU seconds per clock cycle for the RTL model + OVL monitors.
-double run_rtl_level(int banks, int ticks, std::uint64_t seed,
-                     std::size_t* failures) {
+core::RtlConfig rtl_config(int banks) {
   core::RtlConfig cfg;
   cfg.banks = banks;
   cfg.data_bits = 16;
   cfg.mem_addr_bits = kAddrBits - cfg.bank_bits();
+  return cfg;
+}
 
-  // The same Reading-Mode assertions, as OVL monitor logic inside the
-  // simulated design (one latency + one burst monitor per bank, plus the
-  // bus-exclusivity checker) — the paper's "every OVL call loads the
-  // corresponding module into the simulated design". The monitors attach
-  // through the adapter's instrument hook, before the simulator is built.
-  ovl::OvlBank bank;
-  harness::RtlDeviceModel model(cfg, [&](rtl::Module& flat) {
+/// The same Reading-Mode assertions, as OVL monitor logic inside the
+/// simulated design (one latency + one burst monitor per bank, plus the
+/// bus-exclusivity checker) — the paper's "every OVL call loads the
+/// corresponding module into the simulated design". The monitors attach
+/// through the adapter's instrument hook, before the simulator is built.
+std::function<void(rtl::Module&)> ovl_instrument(ovl::OvlBank& bank,
+                                                 int banks) {
+  return [&bank, banks](rtl::Module& flat) {
     const rtl::NetId k = flat.find_net("K");
     const rtl::NetId ks = flat.find_net("KS");
     std::vector<rtl::ExprId> enables;
@@ -132,12 +141,78 @@ double run_rtl_level(int banks, int ticks, std::uint64_t seed,
     ovl::assert_zero_one_hot(flat, bank, "exclusive", banks > 1 ? ks : k,
                              banks > 1 ? flat.concat(enables)
                                        : enables.front());
-  });
+  };
+}
 
+/// CPU seconds per clock cycle for the RTL model + OVL monitors, on the
+/// selected simulation backend.
+double run_rtl_level(int banks, int ticks, std::uint64_t seed,
+                     harness::RtlBackend backend, std::size_t* failures) {
+  const core::RtlConfig cfg = rtl_config(banks);
+  ovl::OvlBank bank;
+  harness::RtlDevice dev =
+      harness::make_rtl_device(cfg, backend, ovl_instrument(bank, banks));
   harness::StimulusStream stream = make_stream(banks, cfg.data_bits, seed);
-  const double per_cycle = drive(model, stream, ticks, [] {});
-  *failures = bank.failures(model.sim());
+  const double per_cycle = drive(*dev.model, stream, ticks, [] {});
+  *failures = bank.failures(dev.net_is_one);
   return per_cycle;
+}
+
+/// CPU seconds per clock cycle *per stream* for the compiled backend with
+/// all 64 bit-lanes occupied: 64 independent transactors feed 64 stimulus
+/// streams (seed, seed+1, ...) through one machine, so each pass over the
+/// bytecode advances every stream by one edge. Failures accumulate the OVL
+/// verdicts of all 64 lanes.
+double run_rtl_level_lanes(int banks, int ticks, std::uint64_t seed,
+                           std::size_t* failures) {
+  constexpr int kLanes = 64;
+  const core::RtlConfig cfg = rtl_config(banks);
+  ovl::OvlBank bank;
+  harness::CsimDeviceModel model(cfg, ovl_instrument(bank, banks));
+  csim::Machine& machine = model.machine();
+  const rtl::Module& flat = model.flat();
+  const rtl::NetId r_n = flat.find_net("R_n");
+  const rtl::NetId w_n = flat.find_net("W_n");
+  const rtl::NetId a = flat.find_net("A");
+  const rtl::NetId d = flat.find_net("D");
+  const rtl::NetId bwe_n = flat.find_net("BWE_n");
+
+  std::vector<harness::Transactor> lanes;
+  std::vector<harness::StimulusStream> streams;
+  for (int lane = 0; lane < kLanes; ++lane) {
+    lanes.emplace_back(model.geometry());
+    streams.push_back(make_stream(banks, cfg.data_bits,
+                                  seed + static_cast<std::uint64_t>(lane)));
+  }
+
+  model.reset();
+  util::CpuStopwatch watch;
+  for (int t = 0; t < ticks; ++t) {
+    const harness::Edge edge = harness::edge_of_tick(t);
+    for (int lane = 0; lane < kLanes; ++lane) {
+      auto& tx = lanes[static_cast<std::size_t>(lane)];
+      if (edge == harness::Edge::kK) {
+        tx.enqueue(streams[static_cast<std::size_t>(lane)].next());
+      }
+      const harness::EdgePins pins = tx.next(edge);
+      machine.set_input_lane_uint(r_n, lane, pins.r_sel_n ? 1 : 0);
+      machine.set_input_lane_uint(w_n, lane, pins.w_sel_n ? 1 : 0);
+      machine.set_input_lane_uint(a, lane, pins.addr);
+      machine.set_input_lane_uint(
+          d, lane, core::pack_beat(pins.din_data, cfg.data_bits));
+      machine.set_input_lane_uint(bwe_n, lane, pins.bwe_n);
+    }
+    machine.edge(edge == harness::Edge::kK ? "K" : "KS", rtl::Edge::kPos);
+  }
+  const double seconds = watch.seconds();
+
+  *failures = 0;
+  for (int lane = 0; lane < kLanes; ++lane) {
+    *failures += bank.failures([&](rtl::NetId net) {
+      return machine.get(net, lane).bit(0) == rtl::Logic::k1;
+    });
+  }
+  return seconds / (static_cast<double>(ticks) / 2.0) / kLanes;
 }
 
 }  // namespace
@@ -177,27 +252,56 @@ int main(int argc, char** argv) {
   }
 
   std::puts("Table 3 - Simulation Results: ABV of the Reading Mode");
-  std::puts("(system-level model + PSL monitors vs RTL + OVL monitors)\n");
+  std::puts(
+      "(system-level model + PSL monitors vs RTL + OVL monitors,\n"
+      " interpreted vs compiled vs compiled 64-lane per-stream)\n");
 
   util::Table table({"Number of Banks", "SystemC (dSC s/cyc)",
-                     "OVL (dOVL s/cyc)", "Ratio dOVL/dSC", "Failures"});
+                     "OVL interp (s/cyc)", "OVL csim (s/cyc)",
+                     "csim64 (s/cyc/stream)", "csim64 speedup",
+                     "Ratio dOVL/dSC", "Failures"});
 
+  bool verdicts_equal = true;
   for (int banks : banks_list) {
     std::size_t sc_failures = 0;
     std::size_t rtl_failures = 0;
+    std::size_t csim_failures = 0;
+    std::size_t lane_failures = 0;
     const double d_sc = run_system_level(banks, sc_ticks, seed, &sc_failures);
-    const double d_ovl = run_rtl_level(banks, rtl_ticks, seed, &rtl_failures);
+    const double d_ovl =
+        run_rtl_level(banks, rtl_ticks, seed,
+                      harness::RtlBackend::kInterpreted, &rtl_failures);
+    const double d_csim =
+        run_rtl_level(banks, rtl_ticks, seed, harness::RtlBackend::kCompiled,
+                      &csim_failures);
+    const double d_lane =
+        run_rtl_level_lanes(banks, rtl_ticks, seed, &lane_failures);
+    const bool row_equal = rtl_failures == csim_failures;
+    verdicts_equal = verdicts_equal && row_equal;
     table.add_row({std::to_string(banks), util::fmt_sci(d_sc, 2),
-                   util::fmt_sci(d_ovl, 2),
+                   util::fmt_sci(d_ovl, 2), util::fmt_sci(d_csim, 2),
+                   util::fmt_sci(d_lane, 2),
+                   util::fmt_double(d_ovl / d_lane, 1) + " x",
                    util::fmt_double(d_ovl / d_sc, 1) + " x",
                    std::to_string(sc_failures + rtl_failures)});
     util::Json row = util::Json::object();
     row.set("banks", util::Json(banks));
     row.set("system_s_per_cycle", util::Json(d_sc));
     row.set("rtl_s_per_cycle", util::Json(d_ovl));
+    row.set("rtl_compiled_s_per_cycle", util::Json(d_csim));
+    row.set("compiled_speedup", util::Json(d_ovl / d_csim));
+    row.set("rtl_lane64_s_per_stream_cycle", util::Json(d_lane));
+    row.set("lane64_speedup", util::Json(d_ovl / d_lane));
     row.set("ratio", util::Json(d_ovl / d_sc));
     row.set("failures",
             util::Json(static_cast<std::int64_t>(sc_failures + rtl_failures)));
+    row.set("rtl_failures",
+            util::Json(static_cast<std::int64_t>(rtl_failures)));
+    row.set("rtl_compiled_failures",
+            util::Json(static_cast<std::int64_t>(csim_failures)));
+    row.set("rtl_lane64_failures",
+            util::Json(static_cast<std::int64_t>(lane_failures)));
+    row.set("verdicts_equal", util::Json(row_equal));
     report.metric(std::move(row));
     std::fflush(stdout);
   }
@@ -205,6 +309,13 @@ int main(int argc, char** argv) {
   std::fputs(table.render().c_str(), stdout);
   std::puts(
       "\nShape check (paper): the system-level simulation runs >= ~20x faster"
-      "\nper cycle, and the ratio grows with the design size (bank count).");
+      "\nper cycle, and the ratio grows with the design size (bank count)."
+      "\nShape check (csim): with all 64 bit-lanes occupied the compiled"
+      "\nbackend spends >= 10x less time per stream cycle than the"
+      "\ninterpreter, with identical OVL verdicts.");
+  if (!verdicts_equal) {
+    std::fputs("FAIL: interpreted and compiled OVL verdicts differ\n", stderr);
+    return 1;
+  }
   return report.finish(cli) ? 0 : 1;
 }

@@ -386,15 +386,18 @@ std::vector<std::string> control_alarms(const CampaignOptions& options,
                                         const core::RtlConfig& rtl_cfg) {
   std::vector<std::string> alarms;
   ovl::OvlBank ovl_bank;
-  harness::RtlDeviceModel device(
-      rtl_cfg, [&](rtl::Module& m) { attach_ovl(m, ovl_bank, options.banks); });
-  harness::RtlDeviceModel reference(rtl_cfg);
+  harness::RtlDevice device = harness::make_rtl_device(
+      rtl_cfg, options.backend,
+      [&](rtl::Module& m) { attach_ovl(m, ovl_bank, options.banks); });
+  harness::RtlDevice reference =
+      harness::make_rtl_device(rtl_cfg, options.backend);
   psl::VUnitRunner runner(vunit);
-  const SimVerdicts v = run_sim(options, device, reference, runner, rtl_cfg);
+  const SimVerdicts v =
+      run_sim(options, *device.model, *reference.model, runner, rtl_cfg);
   if (v.psl_failures != 0) {
     alarms.push_back("psl: " + v.psl_detail);
   }
-  const std::size_t ovl_failures = ovl_bank.failures(device.sim());
+  const std::size_t ovl_failures = ovl_bank.failures(device.net_is_one);
   if (ovl_failures != 0) {
     alarms.push_back("ovl: " + std::to_string(ovl_failures) +
                      " monitor failures");
@@ -434,18 +437,21 @@ CampaignRow mutant_row(const CampaignOptions& options, const psl::VUnit& vunit,
     if (is_structural(spec.kind)) apply_structural(m, spec);
     attach_ovl(m, ovl_bank, options.banks);
   };
-  auto rtl_model = std::make_unique<harness::RtlDeviceModel>(rtl_cfg,
-                                                             instrument);
-  harness::RtlDeviceModel* rtl_ptr = rtl_model.get();
+  harness::RtlDevice rtl_dev =
+      harness::make_rtl_device(rtl_cfg, options.backend, instrument);
+  const std::function<bool(rtl::NetId)> net_is_one = rtl_dev.net_is_one;
   std::unique_ptr<harness::DeviceModel> mutant;
   if (is_structural(spec.kind)) {
-    mutant = std::move(rtl_model);
+    mutant = std::move(rtl_dev.model);
   } else {
-    mutant = std::make_unique<ProtocolFaultModel>(std::move(rtl_model), spec);
+    mutant =
+        std::make_unique<ProtocolFaultModel>(std::move(rtl_dev.model), spec);
   }
-  harness::RtlDeviceModel reference(rtl_cfg);
+  harness::RtlDevice reference =
+      harness::make_rtl_device(rtl_cfg, options.backend);
   psl::VUnitRunner runner(vunit);
-  const SimVerdicts v = run_sim(options, *mutant, reference, runner, rtl_cfg);
+  const SimVerdicts v =
+      run_sim(options, *mutant, *reference.model, runner, rtl_cfg);
 
   CampaignCell psl_cell;
   psl_cell.checker = "psl";
@@ -456,7 +462,7 @@ CampaignRow mutant_row(const CampaignOptions& options, const psl::VUnit& vunit,
 
   CampaignCell ovl_cell;
   ovl_cell.checker = "ovl";
-  const std::size_t ovl_failures = ovl_bank.failures(rtl_ptr->sim());
+  const std::size_t ovl_failures = ovl_bank.failures(net_is_one);
   ovl_cell.outcome =
       ovl_failures > 0 ? CellOutcome::kCaught : CellOutcome::kMissed;
   if (ovl_failures > 0) {

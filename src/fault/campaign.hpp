@@ -24,6 +24,7 @@
 
 #include "exec/executor.hpp"
 #include "fault/fault.hpp"
+#include "harness/adapters.hpp"
 #include "mc/verdict.hpp"
 #include "util/json.hpp"
 
@@ -72,6 +73,10 @@ struct CampaignOptions {
   /// Budget. A cancelled campaign returns a valid *partial* report with
   /// rows for the faults finished so far. Non-owning.
   const std::atomic<bool>* cancel = nullptr;
+  /// Simulator behind every RTL model (mutant, control, and lockstep
+  /// reference alike). The report is required to be byte-identical across
+  /// backends — tools_cli_test pins that with a fixed-seed hash.
+  harness::RtlBackend backend = harness::RtlBackend::kInterpreted;
 };
 
 /// Scheduling knobs for run_campaign_parallel (one shard per fault plus

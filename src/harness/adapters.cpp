@@ -272,4 +272,164 @@ std::uint64_t RtlDeviceModel::memory_word(int bank, std::uint64_t addr) const {
   return word.value_or(~0ull);  // X never equals a defined reference word
 }
 
+// --- CsimDeviceModel ----------------------------------------------------
+
+CsimDeviceModel::CsimDeviceModel(
+    const core::RtlConfig& cfg,
+    const std::function<void(rtl::Module&)>& instrument)
+    : DeviceModel("csim", rtl_geometry(cfg)),
+      cfg_(cfg),
+      flat_(core::build_device(cfg).flatten()) {
+  if (cfg.data_bits % 8 != 0) {
+    throw std::invalid_argument(
+        "CsimDeviceModel: harness co-execution needs byte-multiple beats");
+  }
+  if (instrument) instrument(flat_);
+  compiled_ = std::make_unique<csim::Compiled>(
+      csim::compile(flat_, core::clock_schedule(flat_)));
+  machine_ = std::make_unique<csim::Machine>(*compiled_, 64);
+
+  for (int b = 0; b < cfg.banks; ++b) {
+    const std::string p = "bank" + std::to_string(b) + ".";
+    BankNets n;
+    n.read_start = flat_.find_net(p + "read_start_q");
+    n.fetch = flat_.find_net(p + "fetch_q");
+    n.dout_valid_k = flat_.find_net(p + "dout_valid_k_q");
+    n.dout_valid_ks = flat_.find_net(p + "dout_valid_ks_q");
+    n.write_start = flat_.find_net(p + "write_start_q");
+    n.addr_captured = flat_.find_net(p + "addr_captured_q");
+    n.write_commit = flat_.find_net(p + "write_commit_q");
+    bank_nets_.push_back(n);
+
+    rtl::MemId mem = rtl::kInvalidId;
+    for (std::size_t i = 0; i < flat_.memories().size(); ++i) {
+      if (flat_.memories()[i].name == p + "sram") {
+        mem = static_cast<rtl::MemId>(i);
+        break;
+      }
+    }
+    if (mem == rtl::kInvalidId) {
+      throw std::logic_error("CsimDeviceModel: missing " + p + "sram");
+    }
+    bank_mems_.push_back(mem);
+  }
+  dout_net_ = flat_.find_net("DOUT");
+
+  for (int b = 0; b < cfg.banks; ++b) {
+    const std::string p = "b" + std::to_string(b) + ".";
+    const BankNets& n = bank_nets_[static_cast<std::size_t>(b)];
+    taps_[p + "read_start"] = [this, &n] { return net_bit(n.read_start); };
+    taps_[p + "fetch"] = [this, &n] { return net_bit(n.fetch); };
+    taps_[p + "dout_valid_k"] = [this, &n] { return net_bit(n.dout_valid_k); };
+    taps_[p + "dout_valid_ks"] = [this, &n] {
+      return net_bit(n.dout_valid_ks);
+    };
+    taps_[p + "write_start"] = [this, &n] { return net_bit(n.write_start); };
+    taps_[p + "addr_captured"] = [this, &n] {
+      return net_bit(n.addr_captured);
+    };
+    taps_[p + "write_commit"] = [this, &n] { return net_bit(n.write_commit); };
+  }
+  auto any_of = [this](rtl::NetId BankNets::*field) {
+    for (const BankNets& n : bank_nets_) {
+      if (net_bit(n.*field)) return true;
+    }
+    return false;
+  };
+  taps_["write_start"] = [any_of] { return any_of(&BankNets::write_start); };
+  taps_["addr_captured"] = [any_of] {
+    return any_of(&BankNets::addr_captured);
+  };
+  taps_["write_commit"] = [any_of] { return any_of(&BankNets::write_commit); };
+  taps_["bus_conflict"] = [this] {
+    return machine_->bus_conflict(dout_net_, 0);
+  };
+
+  tap_names_ = concat_names(
+      concat_names(bank_read_taps(cfg.banks), bank_write_taps(cfg.banks)),
+      device_taps());
+  do_reset();
+}
+
+void CsimDeviceModel::do_reset() { machine_->reset(); }
+
+bool CsimDeviceModel::net_bit(rtl::NetId net) const {
+  return machine_->get(net, 0).bit(0) == rtl::Logic::k1;
+}
+
+bool CsimDeviceModel::any_dout_valid() const {
+  for (const BankNets& n : bank_nets_) {
+    if (net_bit(n.dout_valid_k) || net_bit(n.dout_valid_ks)) return true;
+  }
+  return false;
+}
+
+void CsimDeviceModel::apply_edge(const EdgePins& pins) {
+  machine_->set_input_bit("R_n", pins.r_sel_n);
+  machine_->set_input_bit("W_n", pins.w_sel_n);
+  machine_->set_input("A", pins.addr);
+  machine_->set_input("D", core::pack_beat(pins.din_data, cfg_.data_bits));
+  machine_->set_input("BWE_n", pins.bwe_n);
+  machine_->edge(pins.edge == Edge::kK ? "K" : "KS", rtl::Edge::kPos);
+}
+
+bool CsimDeviceModel::tap(const std::string& name) const {
+  auto it = taps_.find(name);
+  if (it == taps_.end()) {
+    throw std::invalid_argument("CsimDeviceModel: unknown tap: " + name);
+  }
+  return it->second();
+}
+
+DoutSample CsimDeviceModel::dout() const {
+  DoutSample s;
+  s.valid = any_dout_valid();
+  if (s.valid) {
+    const auto beat = machine_->get(dout_net_, 0).to_uint();
+    s.defined = beat.has_value();
+    s.beat = beat.value_or(0);
+  }
+  return s;
+}
+
+std::uint64_t CsimDeviceModel::memory_word(int bank, std::uint64_t addr) const {
+  const auto word =
+      machine_->mem_word(bank_mems_[static_cast<std::size_t>(bank)], addr, 0)
+          .to_uint();
+  return word.value_or(~0ull);
+}
+
+// --- backend selection --------------------------------------------------
+
+const char* to_string(RtlBackend b) {
+  return b == RtlBackend::kCompiled ? "compiled" : "interpreted";
+}
+
+RtlBackend rtl_backend_from_string(const std::string& s) {
+  if (s == "interpreted") return RtlBackend::kInterpreted;
+  if (s == "compiled") return RtlBackend::kCompiled;
+  throw std::invalid_argument("unknown RTL backend: " + s);
+}
+
+RtlDevice make_rtl_device(const core::RtlConfig& cfg, RtlBackend backend,
+                          const std::function<void(rtl::Module&)>& instrument) {
+  RtlDevice out;
+  if (backend == RtlBackend::kCompiled) {
+    auto model = std::make_unique<CsimDeviceModel>(cfg, instrument);
+    CsimDeviceModel* raw = model.get();
+    out.net_is_one = [raw](rtl::NetId net) {
+      return raw->machine().get(net, 0).bit(0) == rtl::Logic::k1;
+    };
+    out.model = std::move(model);
+  } else {
+    auto model = std::make_unique<RtlDeviceModel>(cfg, instrument);
+    RtlDeviceModel* raw = model.get();
+    out.net_is_one = [raw](rtl::NetId net) {
+      return raw->sim().get(net).bit(0) == rtl::Logic::k1;
+    };
+    out.model = std::move(model);
+  }
+  return out;
+}
+
 }  // namespace la1::harness

@@ -16,6 +16,8 @@
 #include <map>
 #include <memory>
 
+#include "csim/compile.hpp"
+#include "csim/machine.hpp"
 #include "harness/device_model.hpp"
 #include "la1/asm_model.hpp"
 #include "la1/behavioral.hpp"
@@ -112,5 +114,73 @@ class RtlDeviceModel : public DeviceModel {
   // iterate deterministically so traces are byte-reproducible from seed.
   std::map<std::string, std::function<bool()>> taps_;
 };
+
+/// The same elaborated RTL netlist behind the compiled bit-parallel backend
+/// (src/csim): the module is lowered once through plan::analyze +
+/// csim::compile, and every tick runs the straight-line programs in lane 0
+/// of a csim::Machine. Taps, dout and memory words are decoded from the
+/// same nets RtlDeviceModel reads, so the two adapters are observation-
+/// interchangeable — the csim parity suites hold them in lockstep.
+class CsimDeviceModel : public DeviceModel {
+ public:
+  /// Same contract as RtlDeviceModel: `instrument` mutates the flat module
+  /// (OVL monitors, fault mutants) before it is compiled, so instrumented
+  /// structure is part of the bytecode.
+  explicit CsimDeviceModel(
+      const core::RtlConfig& cfg,
+      const std::function<void(rtl::Module&)>& instrument = {});
+
+  void apply_edge(const EdgePins& pins) override;
+  bool tap(const std::string& name) const override;
+  DoutSample dout() const override;
+  bool models_dout() const override { return true; }
+  std::uint64_t memory_word(int bank, std::uint64_t addr) const override;
+
+  csim::Machine& machine() { return *machine_; }
+  const csim::Compiled& compiled() const { return *compiled_; }
+  const rtl::Module& flat() const { return flat_; }
+
+ protected:
+  void do_reset() override;
+
+ private:
+  struct BankNets {
+    rtl::NetId read_start, fetch, dout_valid_k, dout_valid_ks;
+    rtl::NetId write_start, addr_captured, write_commit;
+  };
+
+  bool net_bit(rtl::NetId net) const;
+  bool any_dout_valid() const;
+
+  core::RtlConfig cfg_;
+  rtl::Module flat_;  // must outlive compiled_ (which borrows it)
+  std::unique_ptr<csim::Compiled> compiled_;
+  std::unique_ptr<csim::Machine> machine_;
+  std::vector<BankNets> bank_nets_;
+  std::vector<rtl::MemId> bank_mems_;
+  rtl::NetId dout_net_ = rtl::kInvalidId;
+  std::map<std::string, std::function<bool()>> taps_;
+};
+
+/// Which simulator executes the RTL level of a harness run.
+enum class RtlBackend { kInterpreted, kCompiled };
+
+const char* to_string(RtlBackend b);
+/// Inverse of to_string ("interpreted" / "compiled"); throws
+/// std::invalid_argument on anything else.
+RtlBackend rtl_backend_from_string(const std::string& s);
+
+/// One RTL DeviceModel plus a backend-neutral net readback (the hook OVL
+/// verdicts are collected through). `net_is_one` borrows `model` — drop
+/// both together.
+struct RtlDevice {
+  std::unique_ptr<DeviceModel> model;
+  std::function<bool(rtl::NetId)> net_is_one;
+};
+
+/// Builds the stock device at `cfg` behind the selected backend.
+RtlDevice make_rtl_device(
+    const core::RtlConfig& cfg, RtlBackend backend,
+    const std::function<void(rtl::Module&)>& instrument = {});
 
 }  // namespace la1::harness

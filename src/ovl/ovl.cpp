@@ -69,6 +69,20 @@ bool OvlBank::fired(const rtl::CycleSim& sim, std::size_t i) const {
   return v.bit(0) == rtl::Logic::k1;
 }
 
+std::size_t OvlBank::failures(
+    const std::function<bool(rtl::NetId)>& net_is_one) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (fired(net_is_one, i)) ++n;
+  }
+  return n;
+}
+
+bool OvlBank::fired(const std::function<bool(rtl::NetId)>& net_is_one,
+                    std::size_t i) const {
+  return net_is_one(entries_.at(i).flag);
+}
+
 void OvlBank::resolve(const rtl::Module& flat, const std::string& prefix) {
   for (Entry& e : entries_) {
     const rtl::NetId id = flat.find_net(prefix + flag_name(e.name));

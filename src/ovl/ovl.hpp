@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,14 @@ class OvlBank {
 
   /// True when monitor `i` has fired.
   bool fired(const rtl::CycleSim& sim, std::size_t i) const;
+
+  /// Backend-neutral readback: `net_is_one(flag)` answers whether a 1-bit
+  /// net reads 1 — the compiled backend (csim::Machine) plugs in here
+  /// without this library depending on it.
+  std::size_t failures(
+      const std::function<bool(rtl::NetId)>& net_is_one) const;
+  bool fired(const std::function<bool(rtl::NetId)>& net_is_one,
+             std::size_t i) const;
 
   /// Remaps flag nets by name against an elaborated module (optionally with
   /// an instance `prefix`, e.g. "bank0.").

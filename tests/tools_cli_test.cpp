@@ -29,8 +29,8 @@ namespace {
 // Every subcommand the driver dispatches. Adding one? Extend this list,
 // the --help text and the README table together.
 const std::set<std::string> kExpected = {
-    "sim", "asm",    "rtl",  "verilog", "flow", "flowan",
-    "lint", "dfa",   "faults", "cov",   "msc",  "plan"};
+    "sim", "asm",    "rtl",  "verilog", "flow", "flowan", "lint",
+    "dfa", "faults", "cov",  "msc",     "plan", "csim"};
 
 // The batch tool's own dispatcher.
 const std::set<std::string> kBatchExpected = {"run", "example"};
@@ -127,6 +127,57 @@ TEST(ToolsCli, HelpDescribesEveryCommandOnItsLine) {
 
 TEST(ToolsCli, ReadmeCommandTableMatchesHelp) {
   EXPECT_EQ(readme_commands(), kExpected);
+}
+
+TEST(ToolsCli, HelpPinsBackendSelectionFlag) {
+  // `faults --backend interpreted|compiled` is the simulator-selection
+  // surface; losing the flag (or renaming a backend) is a breaking change.
+  int exit_code = -1;
+  const std::string help = run_help(&exit_code);
+  EXPECT_NE(help.find("--backend interpreted|compiled"), std::string::npos)
+      << help;
+}
+
+TEST(ToolsCli, CompiledFaultsReportMatchesInterpretedByteForByte) {
+  // The same tiny fixed-seed campaign on both backends: the JSON reports
+  // must be byte-identical — backend choice is unobservable in verdicts.
+  const std::string dir = testing::TempDir();
+  const std::string args =
+      " faults --banks 1 --seed 5 --transactions 40 --structural 2 "
+      "--protocol 1 --no-mc --json ";
+  const std::string interp = dir + "la1_faults_interp.json";
+  const std::string compiled = dir + "la1_faults_compiled.json";
+  ASSERT_EQ(std::system((std::string(LA1_LA1CHECK) + args + interp +
+                         " --backend interpreted > /dev/null 2>&1")
+                            .c_str()),
+            0);
+  ASSERT_EQ(std::system((std::string(LA1_LA1CHECK) + args + compiled +
+                         " --backend compiled > /dev/null 2>&1")
+                            .c_str()),
+            0);
+  std::ifstream a(interp), b(compiled);
+  std::ostringstream ja, jb;
+  ja << a.rdbuf();
+  jb << b.rdbuf();
+  ASSERT_FALSE(ja.str().empty());
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(ToolsCli, CsimSubcommandProvesParityAndReportsSpeedup) {
+  const std::string dir = testing::TempDir();
+  const std::string out = dir + "la1_csim.json";
+  ASSERT_EQ(std::system((std::string(LA1_LA1CHECK) +
+                         " csim --banks 1 --cycles 50 --parity-cycles 20 "
+                         "--json " +
+                         out + " > /dev/null 2>&1")
+                            .c_str()),
+            0);
+  std::ifstream in(out);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"parity_ok\": true"), std::string::npos) << json;
+  EXPECT_NE(json.find("per_stream_speedup"), std::string::npos) << json;
 }
 
 TEST(ToolsCli, BatchHelpExitsZeroAndListsEveryCommand) {

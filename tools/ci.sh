@@ -13,6 +13,10 @@
 #                               # job hashes identically at 1 vs 4 workers,
 #                               # resumes after a kill, zero crashed shards
 #   tools/ci.sh --plan          # also run the lowering-legality compile-plan gate
+#   tools/ci.sh --csim          # also run the compiled-simulation gate: parity
+#                               # suites, backend hash-equality, and (on hosts
+#                               # with >= 4 cores) the >=10x per-stream speedup
+#                               # smoke — smaller hosts skip the timing check
 #   tools/ci.sh --line-cov      # gcov line-coverage build in a separate tree,
 #                               # reported as a BenchReport-shaped JSON metric
 #   tools/ci.sh --tidy          # clang-tidy gate against tools/tidy-baseline.txt
@@ -34,6 +38,7 @@ tsan=0
 faults=0
 cov=0
 plan=0
+csim=0
 batch=0
 line_cov=0
 tidy=0
@@ -79,6 +84,9 @@ for arg in "$@"; do
     --plan)
       plan=1
       ;;
+    --csim)
+      csim=1
+      ;;
     --batch)
       batch=1
       ;;
@@ -89,7 +97,7 @@ for arg in "$@"; do
       tidy=1
       ;;
     *)
-      echo "usage: tools/ci.sh [--smoke-only | --sanitize | --tsan | --faults | --cov | --plan | --batch | --line-cov | --tidy | --install-hook]" >&2
+      echo "usage: tools/ci.sh [--smoke-only | --sanitize | --tsan | --faults | --cov | --plan | --csim | --batch | --line-cov | --tidy | --install-hook]" >&2
       exit 2
       ;;
   esac
@@ -101,6 +109,8 @@ if [ "$sanitize" -eq 1 ]; then
   asan_dir="${LA1_ASAN_BUILD_DIR:-$repo_root/build-asan}"
   cmake -B "$asan_dir" -S "$repo_root" -DLA1_SANITIZE=address,undefined
   cmake --build "$asan_dir" -j "$jobs"
+  # The full ctest run includes the csim differential suites, so the
+  # compiled backend's slot arithmetic gets the ASan/UBSan treatment too.
   (cd "$asan_dir" && ctest --output-on-failure -j "$jobs" --timeout "$test_timeout")
   echo "ci: tier-1 verify passed under ASan/UBSan"
   exit 0
@@ -108,17 +118,19 @@ fi
 
 if [ "$tsan" -eq 1 ]; then
   # The concurrent code paths (work-stealing executor, batch runner, the
-  # parallel campaign/closure drivers they schedule) under ThreadSanitizer.
-  # A separate build tree keeps instrumented objects out of the normal
-  # build; only the exec/batch test binaries are built and run — TSan and
-  # ASan cannot share a process, so this complements --sanitize.
+  # parallel campaign/closure drivers they schedule) under ThreadSanitizer,
+  # plus the csim differential suites: compiled-backend campaigns run one
+  # Machine per worker, so the suites double as a data-race check on the
+  # compile/executor seam. A separate build tree keeps instrumented objects
+  # out of the normal build; only these test binaries are built and run —
+  # TSan and ASan cannot share a process, so this complements --sanitize.
   tsan_dir="${LA1_TSAN_BUILD_DIR:-$repo_root/build-tsan}"
   cmake -B "$tsan_dir" -S "$repo_root" -DLA1_SANITIZE=thread
   cmake --build "$tsan_dir" -j "$jobs" \
-    --target exec_determinism_test batch_test
+    --target exec_determinism_test batch_test csim_parity_test csim_lane_test
   (cd "$tsan_dir" && ctest --output-on-failure -j "$jobs" \
-    --timeout "$test_timeout" -R 'Exec|Batch')
-  echo "ci: executor/batch tests passed under ThreadSanitizer"
+    --timeout "$test_timeout" -R 'Exec|Batch|Csim')
+  echo "ci: executor/batch/csim tests passed under ThreadSanitizer"
   exit 0
 fi
 
@@ -296,6 +308,47 @@ if [ "$plan" -eq 1 ]; then
     fi
   done
   gate_done "lowering-legality gate passed (banks 1, 2 and 4)"
+fi
+
+# Compiled-simulation gate (opt-in: --csim): the 64-lane bit-parallel
+# backend must (a) pass the differential suites — the random-netlist
+# lockstep proof and the lane-discipline tests, (b) prove full-device
+# parity against the interpreter through `la1check csim` at every bank
+# count the Table-3 benches exercise, and (c) produce a byte-identical
+# fault-campaign report on both backends. The >=10x per-stream speedup
+# smoke only arms on hosts with at least 4 cores — on a loaded or tiny
+# machine the timing signal is noise, so the gate degrades to a skip
+# notice there; the exactness checks always run.
+if [ "$csim" -eq 1 ]; then
+  (cd "$build_dir" && ctest --output-on-failure -j "$jobs" \
+    --timeout "$test_timeout" -R 'Csim')
+  for banks in 1 2 4; do
+    "$build_dir/tools/la1check" csim --banks "$banks" --cycles 200 \
+      --parity-cycles 100 --json "$smoke_dir/csim-$banks.json" > /dev/null
+    grep -q '"parity_ok": true' "$smoke_dir/csim-$banks.json"
+  done
+  for backend in interpreted compiled; do
+    "$build_dir/tools/la1check" faults --banks 1 --seed 1 --transactions 40 \
+      --structural 2 --protocol 1 --no-mc --backend "$backend" \
+      --json "$smoke_dir/csim-faults-$backend.json" > /dev/null
+  done
+  if ! cmp -s "$smoke_dir/csim-faults-interpreted.json" \
+       "$smoke_dir/csim-faults-compiled.json"; then
+    echo "ci: compiled fault-campaign report differs from interpreted" >&2
+    exit 1
+  fi
+  cores=$(nproc 2>/dev/null || echo 1)
+  if [ "$cores" -ge 4 ]; then
+    speedup=$(sed -n 's/.*"per_stream_speedup": \([0-9.]*\).*/\1/p' \
+      "$smoke_dir/csim-1.json")
+    if ! awk -v s="$speedup" 'BEGIN { exit !(s + 0 >= 10.0) }'; then
+      echo "ci: per-stream speedup $speedup below the 10x bar" >&2
+      exit 1
+    fi
+    gate_done "compiled-simulation gate passed (parity, hash-equality, ${speedup}x per stream)"
+  else
+    gate_done "compiled-simulation gate passed (parity, hash-equality; speedup smoke skipped on $cores-core host)"
+  fi
 fi
 
 # Fault-campaign gate (opt-in: --faults): a fixed-seed mutation campaign at
